@@ -1,0 +1,61 @@
+"""Ablations of scheduler design choices called out in DESIGN.md.
+
+* backfill depth — without backfill, small jobs stall behind large
+  ones and CPU waits inflate;
+* multi-GPU priority — without the expedited path, multi-GPU jobs
+  lose their 1 s median wait.
+"""
+
+import numpy as np
+
+from repro.cluster.spec import supercloud_spec
+from repro.slurm.scheduler import SchedulerConfig, SlurmSimulator
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def _requests(scale=0.02, seed=3):
+    return WorkloadGenerator(WorkloadConfig(scale=scale, seed=seed)).generate()
+
+
+def _median_wait(result, gpus_predicate):
+    waits = [
+        r.wait_time_s for r in result.records if gpus_predicate(r.request.num_gpus)
+    ]
+    return float(np.median(waits))
+
+
+def test_backfill_ablation(benchmark):
+    requests = _requests()
+    nodes = WorkloadConfig(scale=0.02).scaled_nodes
+
+    def run_both():
+        deep = SlurmSimulator(
+            supercloud_spec(nodes), SchedulerConfig(backfill_depth=64)
+        ).run(list(requests))
+        shallow = SlurmSimulator(
+            supercloud_spec(nodes), SchedulerConfig(backfill_depth=1)
+        ).run(list(requests))
+        return deep, shallow
+
+    deep, shallow = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    deep_wait = np.mean([r.wait_time_s for r in deep.records])
+    shallow_wait = np.mean([r.wait_time_s for r in shallow.records])
+    # backfill never hurts average wait on this workload
+    assert deep_wait <= shallow_wait + 1.0
+
+
+def test_priority_ablation(benchmark):
+    requests = _requests()
+    nodes = WorkloadConfig(scale=0.02).scaled_nodes
+
+    def run_both():
+        with_priority = SlurmSimulator(supercloud_spec(nodes)).run(list(requests))
+        without = SlurmSimulator(
+            supercloud_spec(nodes),
+            SchedulerConfig(multi_gpu_priority=0.0, priority_dispatch_overhead_s=3.0),
+        ).run(list(requests))
+        return with_priority, without
+
+    with_priority, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    multi = lambda g: g > 1
+    assert _median_wait(with_priority, multi) < _median_wait(without, multi)

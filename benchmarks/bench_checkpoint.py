@@ -1,0 +1,14 @@
+"""Opportunity study: checkpoint/restart for dev/IDE state loss."""
+
+from repro.opportunities.checkpoint import checkpoint_study, interval_sweep
+
+
+def test_checkpoint_accounting(benchmark, dataset):
+    study = benchmark(checkpoint_study, dataset.gpu_jobs)
+    assert study.lossy_job_fraction > 0.05
+    assert study.net_saving_gpu_hours > 0
+
+
+def test_checkpoint_interval_sweep(benchmark, dataset):
+    sweep = benchmark(interval_sweep, dataset.gpu_jobs)
+    assert sweep.num_rows == 5

@@ -1,0 +1,22 @@
+"""Opportunity study: GPU co-location (Sec. III takeaway)."""
+
+from repro.opportunities.colocation import colocation_study
+
+
+def test_colocation_packing(benchmark, dataset):
+    report = benchmark(colocation_study, dataset, 200)
+    assert report.gpu_savings_fraction > 0.1
+    assert report.mean_slowdown < 1.25
+
+
+def test_colocation_headroom_ablation(dataset, benchmark):
+    """Ablation: tighter headroom saves fewer GPUs but slows jobs less."""
+
+    def sweep():
+        return [
+            colocation_study(dataset, max_jobs=150, headroom=h) for h in (30.0, 60.0, 90.0)
+        ]
+
+    conservative, moderate, aggressive = benchmark(sweep)
+    assert conservative.gpus_after >= moderate.gpus_after >= aggressive.gpus_after
+    assert conservative.mean_slowdown <= aggressive.mean_slowdown + 0.1

@@ -1,0 +1,18 @@
+"""Extension figures: timeline, predictability, queueing theory."""
+
+from repro.figures.registry import run_figure
+
+
+def test_ext_timeline(benchmark, dataset):
+    result = benchmark(run_figure, "ext_timeline", dataset)
+    assert result.get("mean GPU utilization (<0.7)").measured < 0.7
+
+
+def test_ext_prediction(benchmark, dataset):
+    result = benchmark(run_figure, "ext_prediction", dataset)
+    assert result.get("runtime predictability gain (<0.5)").measured < 0.5
+
+
+def test_ext_queueing(benchmark, dataset):
+    result = benchmark(run_figure, "ext_queueing", dataset)
+    assert result.get("service-time SCV (>>1)").measured > 1.0

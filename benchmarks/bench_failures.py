@@ -1,0 +1,43 @@
+"""Failure-injection ablation: hardware reliability vs job outcomes.
+
+The paper reports hardware causes <0.5% of job failures at current
+reliability, and Sec. VIII asks whether *less reliable* (cheaper)
+GPUs would be tolerable.  This bench sweeps node MTBF and measures
+the hardware-failure share of jobs.
+"""
+
+import numpy as np
+
+from repro.cluster.spec import supercloud_spec
+from repro.slurm.failures import SECONDS_PER_YEAR, FailureModel
+from repro.slurm.job import ExitCondition
+from repro.slurm.scheduler import SchedulerConfig, SlurmSimulator
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def _failure_share(requests, nodes, mtbf_years):
+    config = SchedulerConfig(
+        failure_model=FailureModel(node_mtbf_s=mtbf_years * SECONDS_PER_YEAR, seed=9)
+    )
+    result = SlurmSimulator(supercloud_spec(nodes), config).run(list(requests))
+    failed = sum(
+        1 for r in result.records if r.exit_condition is ExitCondition.NODE_FAILURE
+    )
+    return failed / max(len(result.records), 1)
+
+
+def test_failure_reliability_sweep(benchmark):
+    config = WorkloadConfig(scale=0.02, seed=4)
+    requests = WorkloadGenerator(config).generate()
+
+    def sweep():
+        return {
+            years: _failure_share(requests, config.scaled_nodes, years)
+            for years in (40.0, 2.0, 0.25)
+        }
+
+    shares = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # current-generation reliability: hardware failures are negligible
+    assert shares[40.0] < 0.005
+    # failure share grows monotonically as MTBF shrinks
+    assert shares[40.0] <= shares[2.0] <= shares[0.25]

@@ -1,0 +1,13 @@
+"""Fig 3: runtime and queue-wait CDFs of GPU vs CPU jobs."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig03_runtime_and_wait_cdfs(benchmark, dataset):
+    result = benchmark(run_figure, "fig03", dataset)
+    # shape: GPU jobs run longer but wait less than CPU jobs
+    assert result.get("GPU runtime median").measured > result.get("CPU runtime median").measured
+    assert (
+        result.get("GPU jobs waiting <2% of service").measured
+        > result.get("CPU jobs waiting <2% of service").measured
+    )

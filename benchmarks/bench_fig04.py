@@ -1,0 +1,12 @@
+"""Fig 4: average GPU resource and PCIe utilization CDFs."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig04_utilization_cdfs(benchmark, dataset):
+    result = benchmark(run_figure, "fig04", dataset)
+    # shape: SM > memory-size > memory-BW medians; low utilization overall
+    sm = result.get("SM util median").measured
+    mem = result.get("memory util median").measured
+    assert sm > mem
+    assert result.get("jobs with SM util >50%").measured < 0.5

@@ -1,0 +1,10 @@
+"""Fig 5: utilization conditioned on submission interface."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig05_interface_conditioning(benchmark, dataset):
+    result = benchmark(run_figure, "fig05", dataset)
+    # shape: interface mix near the paper's 1/30/4/65 split
+    assert result.get("other job share").measured > 0.5
+    assert result.get("map-reduce job share").measured < 0.05

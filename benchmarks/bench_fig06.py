@@ -1,0 +1,10 @@
+"""Fig 6: active/idle phase segmentation of the time-series subset."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig06_phase_segmentation(benchmark, dataset):
+    result = benchmark(run_figure, "fig06", dataset)
+    # shape: bimodal active fraction, irregular interval lengths
+    assert result.get("active-time share p75").measured > result.get("active-time share p25").measured
+    assert result.get("active interval CoV median").measured > 0.3

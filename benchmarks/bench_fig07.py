@@ -1,0 +1,12 @@
+"""Fig 7: within-run variability and the bottleneck radar."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig07_variability_and_bottlenecks(benchmark, dataset):
+    result = benchmark(run_figure, "fig07", dataset)
+    # shape: SM is the dominant bottleneck; memory BW essentially never
+    assert (
+        result.get("sm bottleneck fraction").measured
+        > result.get("mem_bw bottleneck fraction").measured
+    )

@@ -1,0 +1,9 @@
+"""Fig 8: single and pairwise bottleneck fractions."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig08_pairwise_bottlenecks(benchmark, dataset):
+    result = benchmark(run_figure, "fig08", dataset)
+    # shape: no resource pair saturates in the same run for >~10% of jobs
+    assert result.get("max of any pair (< 0.10)").measured < 0.15

@@ -1,0 +1,10 @@
+"""Fig 9: power CDFs and power-cap impact."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig09_power_capping(benchmark, dataset):
+    result = benchmark(run_figure, "fig09", dataset)
+    # shape: most jobs survive a 150 W cap untouched
+    assert result.get("unimpacted at 150 W cap").measured > 0.5
+    assert result.get("avg-impacted at 150 W cap").measured < 0.10

@@ -1,0 +1,10 @@
+"""Fig 10: per-user average job characteristics."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig10_user_averages(benchmark, dataset):
+    result = benchmark(run_figure, "fig10", dataset)
+    # shape: the median user averages hours-long jobs at low utilization
+    assert result.get("user avg runtime median").measured > 60.0
+    assert result.get("user avg SM median").measured < 30.0

@@ -1,0 +1,9 @@
+"""Fig 11: within-user variability of job characteristics."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig11_user_variability(benchmark, dataset):
+    result = benchmark(run_figure, "fig11", dataset)
+    # shape: a typical user's jobs vary wildly (CoV around 100%+)
+    assert result.get("user runtime CoV median").measured > 0.7

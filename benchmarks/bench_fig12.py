@@ -1,0 +1,12 @@
+"""Fig 12: Spearman correlations of user activity vs behavior."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig12_correlations(benchmark, dataset):
+    result = benchmark(run_figure, "fig12", dataset)
+    # shape: expert users use GPUs better, but are no more predictable
+    avg = result.get("njobs vs avg SM (high +)").measured
+    cov = result.get("njobs vs SM CoV (< 0.5)").measured
+    assert avg > cov
+    assert cov < 0.5

@@ -1,0 +1,12 @@
+"""Fig 13: multi-GPU job mix and GPU-hour footprint."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig13_job_size_mix(benchmark, dataset):
+    result = benchmark(run_figure, "fig13", dataset)
+    # shape: single-GPU jobs dominate by count, multi-GPU by hours
+    single = result.get("single-GPU job fraction").measured
+    hours = result.get("multi-GPU share of GPU hours").measured
+    assert single > 0.7
+    assert hours > (1.0 - single)

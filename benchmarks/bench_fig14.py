@@ -1,0 +1,9 @@
+"""Fig 14: cross-GPU variability of multi-GPU jobs."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig14_cross_gpu_cov(benchmark, dataset):
+    result = benchmark(run_figure, "fig14", dataset)
+    # shape: removing idle GPUs collapses the cross-GPU CoV
+    assert result.get("active-only SM CoV median (low)").measured < 0.3

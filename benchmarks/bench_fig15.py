@@ -1,0 +1,13 @@
+"""Fig 15: life-cycle class mix and GPU-hour footprint."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig15_lifecycle_mix(benchmark, dataset):
+    result = benchmark(run_figure, "fig15", dataset)
+    # shape: mature jobs are the majority of jobs but a minority of hours
+    assert result.get("mature job share").measured > 0.45
+    assert (
+        result.get("mature GPU-hour share").measured
+        < result.get("mature job share").measured
+    )

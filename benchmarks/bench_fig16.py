@@ -1,0 +1,10 @@
+"""Fig 16: utilization box plots per life-cycle class."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig16_class_utilization(benchmark, dataset):
+    result = benchmark(run_figure, "fig16", dataset)
+    # shape: development/IDE jobs barely touch the GPU
+    assert result.get("mature/expl >> dev/IDE ordering holds").measured == 1.0
+    assert result.get("ide SM median").measured < 1.0

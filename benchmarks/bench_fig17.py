@@ -1,0 +1,9 @@
+"""Fig 17: per-user life-cycle composition."""
+
+from repro.figures.registry import run_figure
+
+
+def test_fig17_user_composition(benchmark, dataset):
+    result = benchmark(run_figure, "fig17", dataset)
+    # shape: many users are dominated by non-mature work
+    assert result.get("users with mature job share <40%").measured > 0.05

@@ -1,0 +1,14 @@
+"""Opportunity study: static MIG partitioning (Sec. VIII)."""
+
+from repro.opportunities.mig import best_partition, partition_sweep
+
+
+def test_mig_partition_sweep(benchmark, dataset):
+    sweep = benchmark(partition_sweep, dataset.gpu_jobs, "mean")
+    assert sweep.num_rows >= 6
+
+
+def test_mig_best_partition(benchmark, dataset):
+    best = benchmark(best_partition, dataset.gpu_jobs, "mean")
+    # the low-utilization finding translates into real MIG capacity
+    assert best.capacity_multiplier > 1.5

@@ -1,0 +1,10 @@
+"""Sec. IV: concentration of user activity."""
+
+from repro.figures.registry import run_figure
+
+
+def test_pareto_concentration(benchmark, dataset):
+    result = benchmark(run_figure, "pareto", dataset)
+    # shape: top users dominate submissions
+    assert result.get("top 5% users' job share").measured > 0.25
+    assert result.get("top 20% users' job share").measured > 0.6

@@ -1,0 +1,12 @@
+"""Sec. III follow-on: predicting idle GPU phases for co-location."""
+
+from repro.analysis.features import predictor_study
+
+
+def test_idle_phase_prediction(benchmark, dataset):
+    scores, accuracy, skill = benchmark(
+        predictor_study, dataset.timeseries, 60.0, 100
+    )
+    # phases mostly outlast a one-minute horizon: prediction is viable
+    assert accuracy > 0.75
+    assert len(scores) > 5

@@ -1,0 +1,34 @@
+"""End-to-end pipeline benchmarks: generation, scheduling, monitoring."""
+
+from repro.dataset import generate_dataset
+from repro.slurm.scheduler import SlurmSimulator
+from repro.cluster.spec import supercloud_spec
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def test_workload_generation(benchmark):
+    def generate():
+        return WorkloadGenerator(WorkloadConfig(scale=0.02, seed=1)).generate()
+
+    requests = benchmark(generate)
+    assert len(requests) > 500
+
+
+def test_scheduler_simulation(benchmark):
+    config = WorkloadConfig(scale=0.02, seed=1)
+    requests = WorkloadGenerator(config).generate()
+
+    def simulate():
+        # jobs carry no monitoring here: pure scheduler throughput
+        return SlurmSimulator(supercloud_spec(config.scaled_nodes)).run(list(requests))
+
+    result = benchmark(simulate)
+    assert len(result.records) == len(requests)
+
+
+def test_full_dataset_pipeline(benchmark):
+    def build():
+        return generate_dataset(WorkloadConfig(scale=0.01, seed=2))
+
+    dataset = benchmark(build)
+    assert dataset.gpu_jobs.num_rows > 100

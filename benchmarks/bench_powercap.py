@@ -1,0 +1,11 @@
+"""Opportunity study: power-cap over-provisioning (Fig 9b follow-on)."""
+
+from repro.opportunities.powercap import best_design, powercap_study
+
+
+def test_powercap_sweep(benchmark, dataset):
+    study = benchmark(powercap_study, dataset.gpu_jobs)
+    design = best_design(study)
+    # low power draw makes aggressive capping a throughput win
+    assert design.relative_throughput > 1.2
+    assert design.cap_w < 300.0

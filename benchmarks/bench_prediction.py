@@ -1,0 +1,9 @@
+"""Sec. IV follow-on: how predictable is user behavior?"""
+
+from repro.analysis.prediction import predictability_gain, strategy_comparison
+
+
+def test_prediction_strategy_comparison(benchmark, dataset):
+    comparison = benchmark(strategy_comparison, dataset.gpu_jobs)
+    # the paper's negative result: user history barely helps runtime
+    assert predictability_gain(comparison, "run_time_s") < 0.5

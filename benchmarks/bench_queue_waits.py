@@ -1,0 +1,11 @@
+"""Sec. V: median queue wait by job GPU count."""
+
+from repro.figures.registry import run_figure
+
+
+def test_queue_waits_by_size(benchmark, dataset):
+    result = benchmark(run_figure, "queue_waits", dataset)
+    # shape: multi-GPU jobs are not penalised with longer waits
+    single = result.get("median wait, 1 GPU(s)").measured
+    multi = result.get("median wait, 2 GPU(s)").measured
+    assert multi <= single

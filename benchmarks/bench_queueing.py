@@ -1,0 +1,16 @@
+"""Analytic queueing cross-check and capacity answers."""
+
+from repro.analysis.queueing import required_gpus_for_wait, workload_parameters
+
+
+def test_queueing_capacity_answer(benchmark, dataset):
+    params = benchmark(workload_parameters, dataset.gpu_jobs)
+    servers = required_gpus_for_wait(
+        params["arrival_rate_per_s"],
+        params["mean_service_s"],
+        params["service_scv"],
+        target_wait_s=60.0,
+    )
+    # the analytic answer stays below the provisioned fleet — the
+    # paper's over-provisioning claim in closed form
+    assert servers <= dataset.spec.total_gpus

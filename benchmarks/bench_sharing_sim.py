@@ -1,0 +1,9 @@
+"""Opportunity study: fleet-level GPU sharing (Sec. III recommendation)."""
+
+from repro.opportunities.sharing_sim import sharing_study
+
+
+def test_fleet_sharing(benchmark, dataset):
+    exclusive, shared = benchmark(sharing_study, dataset, None, 1000)
+    # on a tight fleet, sharing reduces queueing
+    assert shared.mean_wait_s <= exclusive.mean_wait_s

@@ -1,0 +1,9 @@
+"""Table I: system specification reproduction."""
+
+from repro.figures.registry import run_figure
+
+
+def test_table1(benchmark, dataset):
+    result = benchmark(run_figure, "table1", dataset)
+    assert result.get("GPUs per node").measured == 2
+    assert result.get("GPU RAM").measured == 32.0

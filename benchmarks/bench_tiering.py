@@ -1,0 +1,15 @@
+"""Opportunity study: two-tier GPU fleet (Sec. VI/VIII)."""
+
+from repro.opportunities.tiering import tiering_study, tiering_sweep
+
+
+def test_tiering_default_policy(benchmark, dataset):
+    outcome = benchmark(tiering_study, dataset.gpu_jobs)
+    assert outcome.cost_saving_fraction > 0.0
+    assert outcome.routed_job_fraction > 0.2
+
+
+def test_tiering_design_sweep(benchmark, dataset):
+    sweep = benchmark(tiering_sweep, dataset.gpu_jobs)
+    assert sweep.num_rows == 9
+    assert max(sweep["cost_saving_fraction"]) > 0.1

@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures.
+
+The dataset is generated once per session.  ``REPRO_BENCH_SCALE``
+selects the dataset size (default 0.05 keeps the whole suite under a
+minute; 1.0 reproduces the paper-sized dataset, ~4 minutes of
+generation).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dataset import generate_dataset
+from repro.workload.generator import WorkloadConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20220214"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return generate_dataset(WorkloadConfig(scale=BENCH_SCALE, seed=BENCH_SEED))

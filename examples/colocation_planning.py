@@ -1,0 +1,65 @@
+"""Operator what-if: co-location and a two-tier GPU fleet.
+
+The paper's Sec. III and VI takeaways propose (1) sharing GPUs between
+jobs with complementary idle phases, and (2) routing exploratory /
+development / IDE jobs to cheaper, slower GPUs.  This example
+quantifies both on the reproduced dataset and prints a small planning
+report an operator could act on.
+
+Run with ``python examples/colocation_planning.py``.
+"""
+
+from repro import WorkloadConfig, generate_dataset
+from repro.opportunities.colocation import ColocationSimulator, colocation_study
+from repro.opportunities.tiering import TierSpec, tiering_study, tiering_sweep
+
+
+def main() -> None:
+    dataset = generate_dataset(WorkloadConfig(scale=0.05, seed=23))
+    print(dataset.describe())
+    print()
+
+    print("== co-location study ==")
+    for headroom in (40.0, 60.0, 80.0):
+        report = colocation_study(dataset, max_jobs=300, headroom=headroom)
+        print(
+            f"  headroom {headroom:3.0f}%: {report.num_pairs:3d} pairs, "
+            f"{report.gpu_savings_fraction:5.1%} GPUs saved, "
+            f"mean slowdown {report.mean_slowdown:.3f}, "
+            f"p95 slowdown {report.p95_slowdown:.3f}"
+        )
+    print()
+
+    print("== pairing inspection: the two least-demanding jobs ==")
+    simulator = ColocationSimulator()
+    models = [
+        (record.request.tags["activity"], record.run_time_s)
+        for record in dataset.records
+        if record.request.num_gpus == 1 and "activity" in record.request.tags
+    ][:40]
+    models.sort(key=lambda pair: simulator._demand(pair[0], pair[1]).mean())
+    pair = simulator.evaluate_pair(models[0][0], models[1][0], min(models[0][1], models[1][1]))
+    print(
+        f"  combined mean demand {pair.combined_mean_demand:.1f}%, "
+        f"contention {pair.contention_fraction:.1%} of the time, "
+        f"worst slowdown {pair.worst_slowdown:.3f}"
+    )
+    print()
+
+    print("== two-tier fleet study ==")
+    outcome = tiering_study(dataset.gpu_jobs, TierSpec("slow", 0.5, 0.35))
+    print(
+        f"  routing exploratory+development+IDE ({outcome.routed_job_fraction:.0%} of jobs, "
+        f"{outcome.routed_hour_fraction:.0%} of hours) to a half-speed tier at 35% price:"
+    )
+    print(
+        f"  cost saving {outcome.cost_saving_fraction:.1%}, "
+        f"mean slowdown of routed jobs {outcome.mean_slowdown_routed:.2f}x"
+    )
+    print()
+    print("  design sweep (speed x price):")
+    print(tiering_sweep(dataset.gpu_jobs).to_string())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Operator what-if: power-cap the fleet and buy more GPUs.
+
+Reproduces Fig 9 and then extends it with the Sec. III takeaway: at
+iso-power, how many extra GPUs does each cap level buy, and does the
+throttling cost outweigh the capacity gain?
+
+Run with ``python examples/power_capping_study.py``.
+"""
+
+from repro import WorkloadConfig, generate_dataset
+from repro.analysis.power import power_cap_impact, power_headroom
+from repro.opportunities.powercap import best_design, powercap_study
+
+
+def main() -> None:
+    dataset = generate_dataset(WorkloadConfig(scale=0.05, seed=11))
+    gpu_jobs = dataset.gpu_jobs
+    print(dataset.describe())
+    print()
+
+    headroom = power_headroom(gpu_jobs)
+    print(
+        f"median job draws {headroom.median_avg_power_w:.0f} W on average "
+        f"(peak {headroom.median_max_power_w:.0f} W) of the "
+        f"{headroom.board_power_w:.0f} W board budget"
+    )
+    print()
+
+    print("Fig 9(b): job impact per cap level")
+    for impact in power_cap_impact(gpu_jobs):
+        print(
+            f"  cap {impact.cap_w:5.0f} W: {impact.unimpacted_fraction:6.1%} unimpacted, "
+            f"{impact.max_impacted_fraction:6.1%} peak-impacted, "
+            f"{impact.avg_impacted_fraction:6.1%} avg-impacted"
+        )
+    print()
+
+    print("iso-power over-provisioning (448-GPU budget):")
+    study = powercap_study(gpu_jobs)
+    print(study.to_string())
+    design = best_design(study)
+    print()
+    print(
+        f"best design: cap at {design.cap_w:.0f} W -> {design.num_gpus} GPUs, "
+        f"{design.relative_throughput:.2f}x fleet throughput "
+        f"(mean per-job speed {design.mean_job_speed:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Quickstart: generate a dataset and reproduce two headline figures.
+
+Run with ``python examples/quickstart.py``.  Uses a reduced scale so
+the whole script finishes in well under a minute; raise ``SCALE`` to
+1.0 for the paper-sized dataset (47k GPU jobs, ~4 minutes).
+"""
+
+from repro import WorkloadConfig, generate_dataset
+from repro.figures.registry import run_figure
+
+SCALE = 0.05
+SEED = 20220214
+
+
+def main() -> None:
+    print(f"Generating the Supercloud-like dataset at scale {SCALE} ...")
+    dataset = generate_dataset(WorkloadConfig(scale=SCALE, seed=SEED))
+    print(dataset.describe())
+    print()
+
+    print("First rows of the combined GPU-job table:")
+    preview = dataset.gpu_jobs.select(
+        ["job_id", "user", "num_gpus", "run_time_s", "sm_mean", "power_w_mean", "lifecycle_class"]
+    )
+    print(preview.head(8).to_string())
+    print()
+
+    for figure_id in ("fig04", "fig15"):
+        result = run_figure(figure_id, dataset)
+        print(result.to_text())
+        print()
+
+    print("Try `python -m repro report` for all figures at once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""What if the GPUs were less reliable (but cheaper)?
+
+The paper's Sec. VIII asks vendors for "high performance, but
+potentially less resilience ... at a lower production cost".  This
+example injects node failures at several reliability levels, measures
+the job-failure share and the GPU hours lost, and shows how much
+checkpointing claws back.
+
+Run with ``python examples/reliability_study.py``.
+"""
+
+import numpy as np
+
+from repro.cluster.spec import supercloud_spec
+from repro.monitor.collector import MonitoringCollector, MonitoringConfig
+from repro.opportunities.checkpoint import CheckpointModel, checkpoint_study
+from repro.slurm.accounting import accounting_table
+from repro.slurm.failures import SECONDS_PER_YEAR, FailureModel
+from repro.slurm.job import ExitCondition
+from repro.slurm.scheduler import SchedulerConfig, SlurmSimulator
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def run_with_mtbf(requests, nodes, mtbf_years):
+    config = SchedulerConfig(
+        failure_model=FailureModel(
+            node_mtbf_s=mtbf_years * SECONDS_PER_YEAR, repair_time_s=4 * 3600.0, seed=13
+        )
+    )
+    simulator = SlurmSimulator(supercloud_spec(nodes), config)
+    collector = MonitoringCollector(MonitoringConfig(timeseries_fraction=0.0))
+    collector.attach(simulator)
+    result = simulator.run([r for r in requests])
+    jobs = accounting_table(result.records)
+    gpu_jobs = jobs.filter(lambda t: np.asarray(t["num_gpus"]) > 0)
+    gpu_jobs = gpu_jobs.join(collector.job_gpu_table(), on="job_id")
+    return result, gpu_jobs
+
+
+def main() -> None:
+    workload = WorkloadConfig(scale=0.03, seed=17)
+    requests = WorkloadGenerator(workload).generate()
+    print(f"workload: {len(requests)} jobs on {workload.scaled_nodes} nodes\n")
+
+    print(f"{'MTBF':>12} {'node fails':>11} {'jobs killed':>12} "
+          f"{'hw-failure share':>17} {'lost GPU-h':>11} {'ckpt saves':>11}")
+    for mtbf_years in (40.0, 5.0, 1.0, 0.25):
+        result, gpu_jobs = run_with_mtbf(requests, workload.scaled_nodes, mtbf_years)
+        records = result.records
+        hw_failed = [r for r in records if r.exit_condition is ExitCondition.NODE_FAILURE]
+        lost = sum(r.gpu_hours for r in hw_failed)
+        study = checkpoint_study(gpu_jobs, CheckpointModel(interval_s=600.0))
+        print(
+            f"{mtbf_years:>9.2f} yr {result.node_failures:>11d} "
+            f"{result.jobs_killed_by_failures:>12d} "
+            f"{len(hw_failed) / len(records):>16.2%} {lost:>11.1f} "
+            f"{study.net_saving_gpu_hours:>10.0f}h"
+        )
+    print()
+    print(
+        "At the 40-year MTBF of current hardware, failures are noise (the paper's\n"
+        "<0.5% observation); even at 0.25 years, checkpointing absorbs most of the\n"
+        "lost work — supporting the cheap-but-less-reliable GPU recommendation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Reproduction of "AI-Enabling Workloads on Large-Scale GPU-Accelerated
+System: Characterization, Opportunities, and Implications" (HPCA 2022).
+
+The package rebuilds the paper's entire measurement pipeline on a
+calibrated synthetic substrate (the production traces are not
+redistributable):
+
+* :mod:`repro.frame` — columnar table library (pandas substitute);
+* :mod:`repro.cluster` — the 224-node / 448-V100 hardware model;
+* :mod:`repro.slurm` — event-driven scheduler simulator;
+* :mod:`repro.monitor` — nvidia-smi/CPU telemetry substrate;
+* :mod:`repro.workload` — calibrated workload generator;
+* :mod:`repro.analysis` — the characterization toolkit;
+* :mod:`repro.figures` — per-figure reproduction harness;
+* :mod:`repro.opportunities` — Sec. VI/VIII what-if models.
+
+Quickstart
+----------
+>>> from repro import generate_dataset, WorkloadConfig
+>>> dataset = generate_dataset(WorkloadConfig(scale=0.02, seed=7))
+>>> dataset.gpu_jobs.num_rows > 0
+True
+"""
+
+from repro.dataset import SupercloudDataset, default_dataset, generate_dataset
+from repro.workload.calibration import PAPER_TARGETS, PaperTargets
+from repro.workload.generator import WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_TARGETS",
+    "PaperTargets",
+    "SupercloudDataset",
+    "WorkloadConfig",
+    "default_dataset",
+    "generate_dataset",
+    "__version__",
+]

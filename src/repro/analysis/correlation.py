@@ -1,0 +1,48 @@
+"""User-behavior correlations (Fig 12).
+
+The paper correlates a user's activity (number of jobs, total GPU
+hours) against their average job characteristics and against the
+variability (CoV) of those characteristics, using Spearman rank
+correlation.  Finding: expert users use GPUs more efficiently (high
+positive correlation with average utilization) but are *not* more
+predictable (low correlation with CoV).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import spearman
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+#: Activity columns on the x side of the correlation.
+ACTIVITY_COLUMNS = ("num_jobs", "gpu_hours")
+
+#: Behavior columns on the y side.
+BEHAVIOR_COLUMNS = (
+    "avg_runtime",
+    "avg_sm",
+    "avg_mem_bw",
+    "cov_runtime",
+    "cov_sm",
+    "cov_mem_bw",
+)
+
+
+def user_behavior_correlations(users: Table) -> Table:
+    """Spearman correlation of each (activity, behavior) pair.
+
+    Returns a table with columns ``activity``, ``behavior``, ``rho``,
+    ``p_value``.  Users whose behavior column is NaN (e.g. CoV of an
+    all-zero metric) are dropped pairwise, as the paper's pipeline
+    does implicitly through pandas.
+    """
+    if users.num_rows < 3:
+        raise AnalysisError("need at least 3 users for correlations")
+    rows = []
+    for activity in ACTIVITY_COLUMNS:
+        for behavior in BEHAVIOR_COLUMNS:
+            rho, p = spearman(users[activity], users[behavior])
+            rows.append(
+                {"activity": activity, "behavior": behavior, "rho": rho, "p_value": p}
+            )
+    return Table.from_rows(rows)

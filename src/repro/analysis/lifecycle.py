@@ -1,0 +1,116 @@
+"""Development life-cycle classification (Fig 15-17; Sec. VI).
+
+The paper's novel contribution: classify every job by where it sits in
+the algorithm-development cycle, *derived purely from how it ended*:
+
+* ``mature`` — completed with exit code 0;
+* ``exploratory`` — cancelled by the user (suboptimal hyper-parameters);
+* ``development`` — crashed with a non-zero exit (debugging);
+* ``ide`` — interactive session that hit its timeout limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+from repro.slurm.job import LIFECYCLE_CLASSES
+
+
+def classify_exit(exit_code: int, cancelled_by_user: bool, timed_out: bool) -> str:
+    """Classify one job from its raw scheduler exit facts.
+
+    Mirrors the paper's rules; precedence follows how Slurm reports
+    states (TIMEOUT and CANCELLED are states, not exit codes).
+    """
+    if timed_out:
+        return "ide"
+    if cancelled_by_user:
+        return "exploratory"
+    if exit_code == 0:
+        return "mature"
+    return "development"
+
+
+def lifecycle_breakdown(gpu_jobs: Table) -> Table:
+    """Job share, GPU-hour share, and median runtime per class (Fig 15)."""
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    classes = np.asarray(list(gpu_jobs["lifecycle_class"]))
+    hours = np.asarray(gpu_jobs["gpu_hours"], dtype=float)
+    runtimes = np.asarray(gpu_jobs["run_time_s"], dtype=float)
+    total_hours = hours.sum()
+    rows = []
+    for cls in LIFECYCLE_CLASSES:
+        mask = classes == cls
+        rows.append(
+            {
+                "lifecycle_class": cls,
+                "job_fraction": float(mask.mean()),
+                "gpu_hour_fraction": float(hours[mask].sum() / total_hours) if total_hours else 0.0,
+                "median_runtime_min": float(np.median(runtimes[mask]) / 60.0) if mask.any() else float("nan"),
+                "num_jobs": int(mask.sum()),
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def class_utilization_boxes(
+    gpu_jobs: Table,
+    metrics: tuple[str, ...] = ("sm_mean", "mem_bw_mean", "mem_size_mean"),
+) -> Table:
+    """Box-plot statistics of utilization per class (Fig 16)."""
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    classes = np.asarray(list(gpu_jobs["lifecycle_class"]))
+    rows = []
+    for cls in LIFECYCLE_CLASSES:
+        mask = classes == cls
+        if not mask.any():
+            continue
+        for metric in metrics:
+            values = np.asarray(gpu_jobs[metric], dtype=float)[mask]
+            rows.append(
+                {
+                    "lifecycle_class": cls,
+                    "metric": metric,
+                    "p25": float(np.percentile(values, 25)),
+                    "median": float(np.median(values)),
+                    "p75": float(np.percentile(values, 75)),
+                }
+            )
+    return Table.from_rows(rows)
+
+
+def user_lifecycle_composition(gpu_jobs: Table, by: str = "jobs") -> Table:
+    """Per-user composition of the four classes (Fig 17).
+
+    ``by`` selects the quantity being decomposed: ``"jobs"`` (Fig 17a)
+    or ``"gpu_hours"`` (Fig 17b).  The result is sorted by the user's
+    mature fraction descending, with a ``user_percentile`` column for
+    the x-axis of the paper's stacked plot.
+    """
+    if by not in ("jobs", "gpu_hours"):
+        raise AnalysisError(f"by must be 'jobs' or 'gpu_hours', got {by!r}")
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+
+    def composition(group: Table) -> dict:
+        classes = np.asarray(list(group["lifecycle_class"]))
+        if by == "jobs":
+            weights = np.ones(group.num_rows)
+        else:
+            weights = np.asarray(group["gpu_hours"], dtype=float)
+        total = weights.sum()
+        out = {}
+        for cls in LIFECYCLE_CLASSES:
+            share = float(weights[classes == cls].sum() / total) if total > 0 else 0.0
+            out[f"{cls}_fraction"] = share
+        return out
+
+    table = gpu_jobs.group_by("user").apply(composition)
+    table = table.sort_by("mature_fraction", descending=True)
+    n = table.num_rows
+    percentiles = (np.arange(n) + 0.5) / n * 100.0
+    return table.with_column("user_percentile", percentiles)

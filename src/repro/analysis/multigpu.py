@@ -1,0 +1,135 @@
+"""Multi-GPU job analysis (Fig 13, Fig 14; Sec. V).
+
+Covers the job-size mix, GPU-hour footprint by size, per-user job-size
+breadth, and the cross-GPU utilization variability of multi-GPU jobs
+— with and without each job's idle GPUs, which is how the paper shows
+that *active* GPUs behave uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import coefficient_of_variation
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+#: Size buckets used by Fig 13 and the Sec. V wait-time comparison.
+SIZE_BUCKETS = ((1, 1), (2, 2), (3, 8), (9, 10_000))
+SIZE_LABELS = ("1", "2", "3-8", ">=9")
+
+#: A GPU with mean SM and memory utilization below this is idle.
+IDLE_GPU_THRESHOLD = 0.5
+
+
+def gpu_count_breakdown(gpu_jobs: Table) -> Table:
+    """Job share and GPU-hour share per size bucket (Fig 13)."""
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    counts = np.asarray(gpu_jobs["num_gpus"], dtype=float)
+    hours = np.asarray(gpu_jobs["gpu_hours"], dtype=float)
+    total_hours = hours.sum()
+    rows = []
+    for (lo, hi), label in zip(SIZE_BUCKETS, SIZE_LABELS):
+        mask = (counts >= lo) & (counts <= hi)
+        rows.append(
+            {
+                "gpus": label,
+                "job_fraction": float(mask.mean()),
+                "gpu_hour_fraction": float(hours[mask].sum() / total_hours) if total_hours else 0.0,
+                "num_jobs": int(mask.sum()),
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def user_gpu_breadth(gpu_jobs: Table) -> dict[str, float]:
+    """Fraction of users who ever ran multi-GPU / 3+ / 9+ GPU jobs."""
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    breadth = gpu_jobs.group_by("user").aggregate({"num_gpus": "max"})
+    max_gpus = np.asarray(breadth["num_gpus_max"], dtype=float)
+    return {
+        "any_multi_gpu": float((max_gpus >= 2).mean()),
+        "three_plus": float((max_gpus >= 3).mean()),
+        "nine_plus": float((max_gpus >= 9).mean()),
+    }
+
+
+def wait_by_size(gpu_jobs: Table) -> Table:
+    """Median queue wait per size bucket (Sec. V text)."""
+    counts = np.asarray(gpu_jobs["num_gpus"], dtype=float)
+    waits = np.asarray(gpu_jobs["wait_time_s"], dtype=float)
+    rows = []
+    for (lo, hi), label in zip(SIZE_BUCKETS, SIZE_LABELS):
+        mask = (counts >= lo) & (counts <= hi)
+        rows.append(
+            {
+                "gpus": label,
+                "median_wait_s": float(np.median(waits[mask])) if mask.any() else float("nan"),
+                "num_jobs": int(mask.sum()),
+            }
+        )
+    return Table.from_rows(rows)
+
+
+@dataclass(frozen=True)
+class MultiGpuCovResult:
+    """Cross-GPU CoV per multi-GPU job, all GPUs vs active-only."""
+
+    job_id: int
+    num_gpus: int
+    num_idle_gpus: int
+    cov_all: dict[str, float]
+    cov_active: dict[str, float]
+
+
+def multi_gpu_cov(
+    per_gpu: Table,
+    metrics: tuple[str, ...] = ("sm_mean", "mem_bw_mean", "mem_size_mean"),
+    idle_threshold: float = IDLE_GPU_THRESHOLD,
+) -> list[MultiGpuCovResult]:
+    """Cross-GPU CoV for every multi-GPU job (Fig 14).
+
+    ``cov_all`` includes idle GPUs; ``cov_active`` drops GPUs whose
+    mean SM *and* memory utilization sit below ``idle_threshold``.
+    """
+    if per_gpu.num_rows == 0:
+        raise AnalysisError("no per-GPU rows")
+    results = []
+    for job_key, group in per_gpu.group_by("job_id"):
+        if group.num_rows < 2:
+            continue
+        sm = np.asarray(group["sm_mean"], dtype=float)
+        mem = np.asarray(group["mem_bw_mean"], dtype=float)
+        active = (sm > idle_threshold) | (mem > idle_threshold)
+        cov_all = {
+            m: coefficient_of_variation(np.asarray(group[m], dtype=float)) for m in metrics
+        }
+        if active.sum() >= 2:
+            cov_active = {
+                m: coefficient_of_variation(np.asarray(group[m], dtype=float)[active])
+                for m in metrics
+            }
+        else:
+            cov_active = {m: float("nan") for m in metrics}
+        results.append(
+            MultiGpuCovResult(
+                job_id=int(job_key[0]),
+                num_gpus=group.num_rows,
+                num_idle_gpus=int((~active).sum()),
+                cov_all=cov_all,
+                cov_active=cov_active,
+            )
+        )
+    return results
+
+
+def idle_gpu_fraction(results: list[MultiGpuCovResult]) -> float:
+    """Fraction of multi-GPU jobs with at least half their GPUs idle."""
+    if not results:
+        raise AnalysisError("no multi-GPU jobs")
+    flags = [r.num_idle_gpus * 2 >= r.num_gpus and r.num_idle_gpus > 0 for r in results]
+    return float(np.mean(flags))

@@ -1,0 +1,150 @@
+"""Cluster occupancy over time.
+
+The paper's queue-wait findings rest on a provisioning claim:
+"Supercloud achieves low wait times by investing in provisioning
+enough resources to meet the GPU demand" (Sec. III takeaway).  This
+module reconstructs the load timeline from simulation records so that
+claim can be inspected: concurrent GPU/node occupancy, daily GPU
+hours, peak concurrency, and the visibility of conference-deadline
+surges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class OccupancyTimeline:
+    """Sampled concurrent occupancy of one resource."""
+
+    times_s: np.ndarray
+    occupancy: np.ndarray
+    capacity: float
+
+    @property
+    def peak(self) -> float:
+        return float(self.occupancy.max()) if self.occupancy.size else 0.0
+
+    @property
+    def mean(self) -> float:
+        return float(self.occupancy.mean()) if self.occupancy.size else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        if self.capacity <= 0:
+            raise AnalysisError("capacity must be positive")
+        return self.mean / self.capacity
+
+    @property
+    def peak_utilization(self) -> float:
+        return self.peak / self.capacity if self.capacity > 0 else 0.0
+
+
+def _interval_counts(starts, ends, weights, grid) -> np.ndarray:
+    """Weighted count of intervals covering each grid point.
+
+    Uses the +w at start / -w at end sweep, evaluated on the grid:
+    O((n + g) log n) instead of O(n*g).
+    """
+    events = np.concatenate([starts, ends])
+    deltas = np.concatenate([weights, -weights])
+    order = np.argsort(events, kind="stable")
+    events = events[order]
+    cumulative = np.cumsum(deltas[order])
+    idx = np.searchsorted(events, grid, side="right") - 1
+    out = np.where(idx >= 0, cumulative[np.clip(idx, 0, None)], 0.0)
+    return np.maximum(out, 0.0)
+
+
+def gpu_occupancy(records, capacity: int, num_samples: int = 2000) -> OccupancyTimeline:
+    """Concurrent GPUs in use, sampled on an even grid."""
+    gpu_records = [r for r in records if r.request.num_gpus > 0]
+    if not gpu_records:
+        raise AnalysisError("no GPU jobs in records")
+    starts = np.asarray([r.start_time_s for r in gpu_records])
+    ends = np.asarray([r.end_time_s for r in gpu_records])
+    weights = np.asarray([float(r.request.num_gpus) for r in gpu_records])
+    grid = np.linspace(starts.min(), ends.max(), num_samples)
+    occupancy = _interval_counts(starts, ends, weights, grid)
+    return OccupancyTimeline(times_s=grid, occupancy=occupancy, capacity=float(capacity))
+
+
+def daily_gpu_hours(records) -> Table:
+    """GPU hours consumed per study day (start-day attribution)."""
+    rows: dict[int, float] = {}
+    for record in records:
+        if record.request.num_gpus == 0:
+            continue
+        day = int(record.start_time_s // SECONDS_PER_DAY)
+        rows[day] = rows.get(day, 0.0) + record.gpu_hours
+    if not rows:
+        raise AnalysisError("no GPU jobs in records")
+    return Table.from_rows(
+        [{"day": day, "gpu_hours": hours} for day, hours in sorted(rows.items())]
+    )
+
+
+def surge_visibility(daily: Table, windows) -> Table:
+    """Compare daily GPU hours inside vs outside surge windows.
+
+    ``windows`` are ``(start_day, end_day, multiplier)`` tuples (the
+    generator's conference-deadline windows).
+    """
+    days = np.asarray(daily["day"], dtype=float)
+    hours = np.asarray(daily["gpu_hours"], dtype=float)
+    rows = []
+    for start_day, end_day, multiplier in windows:
+        inside = (days >= start_day) & (days < end_day)
+        if not inside.any() or inside.all():
+            continue
+        rows.append(
+            {
+                "window_start_day": start_day,
+                "window_end_day": end_day,
+                "intended_multiplier": multiplier,
+                "inside_mean_gpu_hours": float(hours[inside].mean()),
+                "outside_mean_gpu_hours": float(hours[~inside].mean()),
+                "observed_ratio": float(hours[inside].mean() / max(hours[~inside].mean(), 1e-9)),
+            }
+        )
+    if not rows:
+        raise AnalysisError("no surge window overlaps the study period")
+    return Table.from_rows(rows)
+
+
+def capacity_sweep(requests, node_counts, spec_factory=None) -> Table:
+    """Re-run the same workload at several cluster sizes.
+
+    Quantifies the paper's provisioning claim: as capacity shrinks,
+    GPU queue waits depart from the seconds regime.  ``spec_factory``
+    maps a node count to a ClusterSpec (defaults to
+    :func:`repro.cluster.spec.supercloud_spec`).
+    """
+    from repro.cluster.spec import supercloud_spec
+    from repro.slurm.scheduler import SlurmSimulator
+
+    spec_factory = spec_factory or supercloud_spec
+    rows = []
+    for nodes in node_counts:
+        result = SlurmSimulator(spec_factory(nodes)).run(list(requests))
+        waits = np.asarray(
+            [r.wait_time_s for r in result.records if r.request.num_gpus > 0]
+        )
+        rows.append(
+            {
+                "nodes": nodes,
+                "gpu_median_wait_s": float(np.median(waits)),
+                "gpu_p95_wait_s": float(np.percentile(waits, 95)),
+                "gpu_wait_under_1min": float((waits < 60.0).mean()),
+                "peak_queue": result.peak_queue_length,
+            }
+        )
+    return Table.from_rows(rows)

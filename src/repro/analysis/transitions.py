@@ -1,0 +1,128 @@
+"""Life-cycle transition structure of user job streams (paper Fig 2).
+
+Fig 2 sketches the typical workflow — design in an IDE, debug
+development runs, sweep hyper-parameters, finish with a mature run.
+If that structure is real it should be visible as *transition
+statistics* in the per-user job sequence: which class tends to follow
+which, and how jobs cluster into bursts ("campaigns") separated by
+think time.  This module mines both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+from repro.slurm.job import LIFECYCLE_CLASSES
+
+
+def transition_matrix(gpu_jobs: Table) -> Table:
+    """Per-user class-to-class transition probabilities, pooled.
+
+    One row per source class, one column per destination class, cells
+    = P(next job's class | this job's class), computed over
+    consecutive submissions of the same user.
+    """
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    counts = {a: {b: 0 for b in LIFECYCLE_CLASSES} for a in LIFECYCLE_CLASSES}
+    ordered = gpu_jobs.sort_by("submit_time_s")
+    last_class: dict[str, str] = {}
+    users = list(ordered["user"])
+    classes = list(ordered["lifecycle_class"])
+    for user, cls in zip(users, classes):
+        previous = last_class.get(user)
+        if previous is not None:
+            counts[previous][cls] += 1
+        last_class[user] = cls
+    rows = []
+    for source in LIFECYCLE_CLASSES:
+        total = sum(counts[source].values())
+        row: dict[str, object] = {"from_class": source, "num_transitions": total}
+        for destination in LIFECYCLE_CLASSES:
+            row[destination] = counts[source][destination] / total if total else 0.0
+        rows.append(row)
+    return Table.from_rows(rows)
+
+
+def self_transition_rates(matrix: Table) -> dict[str, float]:
+    """P(same class again) per class — workflow 'stickiness'."""
+    return {
+        str(row["from_class"]): float(row[str(row["from_class"])])
+        for row in matrix.iter_rows()
+    }
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Burst structure of user submissions."""
+
+    num_campaigns: int
+    median_campaign_jobs: float
+    median_campaign_span_s: float
+    #: fraction of campaigns whose final job is mature ("the workflow
+    #: converges", Fig 2's arrow into production)
+    fraction_ending_mature: float
+    #: fraction of multi-job campaigns containing any exploratory job
+    fraction_with_exploration: float
+
+
+def segment_campaigns(gpu_jobs: Table, gap_s: float = 2.0 * 3600.0) -> list[dict]:
+    """Split each user's submissions into campaigns by idle gaps.
+
+    A campaign is a maximal run of submissions with inter-arrival gaps
+    below ``gap_s`` (think time).  Returns one dict per campaign with
+    ``user``, ``classes`` (in order), ``span_s``.
+    """
+    if gap_s <= 0:
+        raise AnalysisError("gap must be positive")
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    ordered = gpu_jobs.sort_by("submit_time_s")
+    per_user: dict[str, list[tuple[float, str]]] = {}
+    for row in ordered.iter_rows():
+        per_user.setdefault(row["user"], []).append(
+            (float(row["submit_time_s"]), str(row["lifecycle_class"]))
+        )
+    campaigns = []
+    for user, jobs in per_user.items():
+        current: list[tuple[float, str]] = []
+        for submit, cls in jobs:
+            if current and submit - current[-1][0] > gap_s:
+                campaigns.append(_campaign_record(user, current))
+                current = []
+            current.append((submit, cls))
+        if current:
+            campaigns.append(_campaign_record(user, current))
+    return campaigns
+
+
+def _campaign_record(user: str, jobs: list[tuple[float, str]]) -> dict:
+    return {
+        "user": user,
+        "classes": [cls for _, cls in jobs],
+        "span_s": jobs[-1][0] - jobs[0][0],
+    }
+
+
+def campaign_stats(campaigns: list[dict]) -> CampaignStats:
+    """Aggregate campaign structure."""
+    if not campaigns:
+        raise AnalysisError("no campaigns")
+    sizes = np.asarray([len(c["classes"]) for c in campaigns], dtype=float)
+    spans = np.asarray([c["span_s"] for c in campaigns], dtype=float)
+    ending_mature = np.asarray([c["classes"][-1] == "mature" for c in campaigns])
+    multi = [c for c in campaigns if len(c["classes"]) > 1]
+    with_exploration = (
+        float(np.mean([("exploratory" in c["classes"]) for c in multi])) if multi else 0.0
+    )
+    return CampaignStats(
+        num_campaigns=len(campaigns),
+        median_campaign_jobs=float(np.median(sizes)),
+        median_campaign_span_s=float(np.median(spans)),
+        fraction_ending_mature=float(ending_mature.mean()),
+        fraction_with_exploration=with_exploration,
+    )

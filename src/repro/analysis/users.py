@@ -1,0 +1,71 @@
+"""Per-user aggregation (Fig 10, Fig 11) and the Pareto statistics (Sec. IV).
+
+The paper aggregates every job statistic twice: pooled over jobs, and
+per user (mean and CoV across a user's jobs).  :func:`user_table`
+builds the per-user view once; figure modules read columns off it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import coefficient_of_variation, gini
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+#: Job columns averaged per user, with short output names.
+USER_METRICS = {
+    "run_time_s": "runtime",
+    "sm_mean": "sm",
+    "mem_bw_mean": "mem_bw",
+    "mem_size_mean": "mem_size",
+}
+
+
+def user_table(gpu_jobs: Table) -> Table:
+    """One row per user: job count, GPU hours, mean and CoV of each metric."""
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs to aggregate")
+
+    def summarise(group: Table) -> dict:
+        out: dict[str, float] = {
+            "num_jobs": group.num_rows,
+            "gpu_hours": float(np.asarray(group["gpu_hours"], dtype=float).sum()),
+        }
+        for column, name in USER_METRICS.items():
+            values = np.asarray(group[column], dtype=float)
+            out[f"avg_{name}"] = float(values.mean())
+            out[f"cov_{name}"] = coefficient_of_variation(values)
+        return out
+
+    return gpu_jobs.group_by("user").apply(summarise)
+
+
+@dataclass(frozen=True)
+class ParetoStats:
+    """Concentration of job submissions across users (Sec. IV)."""
+
+    num_users: int
+    median_jobs_per_user: float
+    top5pct_job_share: float
+    top20pct_job_share: float
+    gini_coefficient: float
+
+
+def pareto_stats(users: Table) -> ParetoStats:
+    """The "top few users submit most jobs" statistics."""
+    counts = np.sort(np.asarray(users["num_jobs"], dtype=float))[::-1]
+    if counts.size == 0:
+        raise AnalysisError("no users")
+    total = counts.sum()
+    k5 = max(1, int(round(0.05 * counts.size)))
+    k20 = max(1, int(round(0.20 * counts.size)))
+    return ParetoStats(
+        num_users=int(counts.size),
+        median_jobs_per_user=float(np.median(counts)),
+        top5pct_job_share=float(counts[:k5].sum() / total),
+        top20pct_job_share=float(counts[:k20].sum() / total),
+        gini_coefficient=gini(counts),
+    )

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``  — generate the dataset and write it to CSV files.
+``figure``    — reproduce one figure and print paper-vs-measured rows.
+``report``    — run every figure and write EXPERIMENTS-style markdown.
+``plot``      — render figures as SVG charts.
+``opportunities`` — run the Sec. VI/VIII what-if studies.
+``summary``   — operator-facing text report with ASCII charts.
+``validate``  — grade the dataset against the paper's statistics.
+
+Every command accepts ``--scale`` (1.0 = paper size), ``--seed``,
+``--days``, and ``--scenario`` (paper, training_heavy,
+exploration_surge, interactive_campus).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as _np
+
+from repro.dataset import generate_dataset
+from repro.frame import write_csv
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (1.0 = paper size)")
+    parser.add_argument("--seed", type=int, default=20220214, help="generation seed")
+    parser.add_argument("--days", type=float, default=125.0, help="study duration in days")
+    parser.add_argument(
+        "--scenario",
+        default="paper",
+        help="workload scenario (paper, training_heavy, exploration_surge, interactive_campus)",
+    )
+
+
+def _build_dataset(args: argparse.Namespace):
+    from repro.workload.scenarios import make_scenario
+
+    config = make_scenario(args.scenario, scale=args.scale, seed=args.seed)
+    if args.days != config.days:
+        import dataclasses
+
+        config = dataclasses.replace(config, days=args.days)
+    return generate_dataset(config)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    write_csv(dataset.jobs, out / "jobs.csv")
+    write_csv(dataset.gpu_jobs, out / "gpu_jobs.csv")
+    write_csv(dataset.per_gpu, out / "per_gpu.csv")
+    print(dataset.describe())
+    print(f"wrote jobs.csv, gpu_jobs.csv, per_gpu.csv to {out}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.figures.registry import run_figure
+
+    dataset = _build_dataset(args)
+    result = run_figure(args.figure_id, dataset)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.figures.report import write_report
+
+    dataset = _build_dataset(args)
+    path = write_report(dataset, args.output)
+    print(f"wrote {path} ({dataset.describe()})")
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.figures.plots import plottable_figures, save_figure_plots
+    from repro.figures.registry import run_figure
+
+    dataset = _build_dataset(args)
+    figure_ids = plottable_figures() if args.figure_id == "all" else [args.figure_id]
+    written = []
+    for figure_id in figure_ids:
+        result = run_figure(figure_id, dataset)
+        written.extend(save_figure_plots(result, args.output))
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_opportunities(args: argparse.Namespace) -> int:
+    from repro.opportunities.checkpoint import checkpoint_study
+    from repro.opportunities.colocation import colocation_study
+    from repro.opportunities.powercap import powercap_study
+    from repro.opportunities.tiering import tiering_study
+
+    dataset = _build_dataset(args)
+    colo = colocation_study(dataset)
+    print(
+        f"co-location: {colo.num_pairs} pairs of {colo.num_jobs} jobs, "
+        f"{colo.gpu_savings_fraction:.0%} GPUs saved, mean slowdown {colo.mean_slowdown:.3f}"
+    )
+    tier = tiering_study(dataset.gpu_jobs)
+    print(
+        f"two-tier fleet: {tier.cost_saving_fraction:.0%} cost saving routing "
+        f"{tier.routed_job_fraction:.0%} of jobs (slowdown {tier.mean_slowdown_routed:.2f}x)"
+    )
+    power = powercap_study(dataset.gpu_jobs)
+    print("power capping:")
+    print(power.to_string())
+    ckpt = checkpoint_study(dataset.gpu_jobs)
+    print(
+        f"checkpointing: {ckpt.lossy_job_fraction:.0%} of jobs lose state; "
+        f"net saving {ckpt.net_saving_gpu_hours:.0f} GPU-hours at "
+        f"{ckpt.model.interval_s:.0f}s intervals"
+    )
+    from repro.opportunities.mig import best_partition
+
+    mig = best_partition(dataset.gpu_jobs, sizing="mean")
+    print(
+        f"MIG: best static partition {'+'.join(mig.partition)} packs "
+        f"{mig.capacity_multiplier:.1f} jobs per GPU "
+        f"({mig.fraction_fitting:.0%} of jobs fit a slice)"
+    )
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.reporting import operator_summary
+
+    print(operator_summary(_build_dataset(args)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import pass_fraction, scorecard, validate_dataset
+
+    results = validate_dataset(_build_dataset(args))
+    table = scorecard(results)
+    failed = table.filter(lambda t: ~_np.asarray(t["passed"], dtype=bool))
+    if failed.num_rows:
+        print("failed checks:")
+        print(failed.to_string(max_rows=60))
+    fraction = pass_fraction(results)
+    print(f"\n{sum(r.passed for r in results)}/{len(results)} checks passed "
+          f"({fraction:.0%}; threshold {args.min_pass:.0%})")
+    return 0 if fraction >= args.min_pass else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="supercloud-repro",
+        description="Reproduction of the HPCA'22 MIT Supercloud characterization study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate the dataset as CSV files")
+    _add_dataset_args(generate)
+    generate.add_argument("--output", default="dataset", help="output directory")
+    generate.set_defaults(fn=_cmd_generate)
+
+    figure = sub.add_parser("figure", help="reproduce one figure")
+    _add_dataset_args(figure)
+    figure.add_argument("figure_id", help="e.g. fig04, table1, pareto")
+    figure.set_defaults(fn=_cmd_figure)
+
+    report = sub.add_parser("report", help="run every figure, write markdown")
+    _add_dataset_args(report)
+    report.add_argument("--output", default="EXPERIMENTS.md", help="output file")
+    report.set_defaults(fn=_cmd_report)
+
+    opportunities = sub.add_parser("opportunities", help="run the Sec. VI/VIII studies")
+    _add_dataset_args(opportunities)
+    opportunities.set_defaults(fn=_cmd_opportunities)
+
+    plot = sub.add_parser("plot", help="render figures as SVG charts")
+    _add_dataset_args(plot)
+    plot.add_argument("figure_id", help="figure id or 'all'")
+    plot.add_argument("--output", default="plots", help="output directory")
+    plot.set_defaults(fn=_cmd_plot)
+
+    summary = sub.add_parser("summary", help="operator-facing text summary")
+    _add_dataset_args(summary)
+    summary.set_defaults(fn=_cmd_summary)
+
+    validate = sub.add_parser("validate", help="grade the dataset against the paper")
+    _add_dataset_args(validate)
+    validate.add_argument("--min-pass", type=float, default=0.85,
+                          help="exit non-zero below this pass fraction")
+    validate.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Hardware model of the Supercloud system (Table I of the paper).
+
+* :mod:`repro.cluster.spec` — static specifications (nodes, GPUs,
+  interconnect, storage, power envelopes).
+* :mod:`repro.cluster.node` — runtime node/GPU state with allocation
+  tracking used by the scheduler.
+* :mod:`repro.cluster.topology` — the two-layer partial fat-tree
+  Omnipath interconnect, used for dense placement of multi-node jobs.
+"""
+
+from repro.cluster.node import Cluster, GpuDevice, Node
+from repro.cluster.spec import (
+    ClusterSpec,
+    GpuSpec,
+    NodeSpec,
+    StorageSpec,
+    supercloud_spec,
+)
+from repro.cluster.topology import FatTreeTopology
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "FatTreeTopology",
+    "GpuDevice",
+    "GpuSpec",
+    "Node",
+    "NodeSpec",
+    "StorageSpec",
+    "supercloud_spec",
+]

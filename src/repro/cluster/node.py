@@ -1,0 +1,166 @@
+"""Runtime node and GPU state with strict allocation accounting.
+
+The scheduler places jobs onto :class:`Node` objects.  Nodes enforce
+the paper's sharing policy: CPU cores and memory may be divided among
+co-located jobs, but each GPU is exclusively owned by at most one job
+("Supercloud does not co-locate jobs on the same GPU at this point").
+Violations raise :class:`~repro.errors.SchedulerError` — these are the
+invariants the property-based tests drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec, NodeSpec
+from repro.errors import SchedulerError
+
+
+@dataclass
+class GpuDevice:
+    """One physical GPU; ``owner_job`` is None while idle."""
+
+    node_index: int
+    device_index: int
+    owner_job: int | None = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.owner_job is None
+
+    def acquire(self, job_id: int) -> None:
+        if self.owner_job is not None:
+            raise SchedulerError(
+                f"GPU {self.node_index}:{self.device_index} already owned by "
+                f"job {self.owner_job}, cannot assign job {job_id}"
+            )
+        self.owner_job = job_id
+
+    def release(self, job_id: int) -> None:
+        if self.owner_job != job_id:
+            raise SchedulerError(
+                f"job {job_id} does not own GPU {self.node_index}:{self.device_index} "
+                f"(owner: {self.owner_job})"
+            )
+        self.owner_job = None
+
+
+@dataclass
+class Allocation:
+    """Resources a job holds on one node."""
+
+    job_id: int
+    cores: int
+    memory_gb: float
+    gpu_indices: tuple[int, ...]
+
+
+class Node:
+    """Mutable state of one compute node."""
+
+    def __init__(self, index: int, spec: NodeSpec) -> None:
+        self.index = index
+        self.spec = spec
+        self.gpus = [GpuDevice(index, i) for i in range(spec.gpus_per_node)]
+        self.free_cores = spec.physical_cores
+        self.free_memory_gb = spec.ram_gb
+        self.allocations: dict[int, Allocation] = {}
+        #: False while the node is down for repair (failure injection).
+        self.available = True
+
+    # ------------------------------------------------------------------
+    @property
+    def free_gpus(self) -> int:
+        return sum(1 for g in self.gpus if g.is_free)
+
+    @property
+    def used_gpus(self) -> int:
+        return len(self.gpus) - self.free_gpus
+
+    def can_fit(self, cores: int, memory_gb: float, gpus: int) -> bool:
+        """Check whether a request fits in the node's free resources."""
+        return (
+            self.available
+            and cores <= self.free_cores
+            and memory_gb <= self.free_memory_gb
+            and gpus <= self.free_gpus
+        )
+
+    def allocate(self, job_id: int, cores: int, memory_gb: float, gpus: int) -> Allocation:
+        """Carve out resources for a job; raises if they do not fit."""
+        if job_id in self.allocations:
+            raise SchedulerError(f"job {job_id} already allocated on node {self.index}")
+        if not self.can_fit(cores, memory_gb, gpus):
+            raise SchedulerError(
+                f"node {self.index} cannot fit request "
+                f"(cores={cores}/{self.free_cores}, mem={memory_gb}/{self.free_memory_gb}, "
+                f"gpus={gpus}/{self.free_gpus}) for job {job_id}"
+            )
+        taken: list[int] = []
+        for gpu in self.gpus:
+            if len(taken) == gpus:
+                break
+            if gpu.is_free:
+                gpu.acquire(job_id)
+                taken.append(gpu.device_index)
+        self.free_cores -= cores
+        self.free_memory_gb -= memory_gb
+        allocation = Allocation(job_id, cores, memory_gb, tuple(taken))
+        self.allocations[job_id] = allocation
+        return allocation
+
+    def release(self, job_id: int) -> None:
+        """Return a job's resources to the free pool."""
+        allocation = self.allocations.pop(job_id, None)
+        if allocation is None:
+            raise SchedulerError(f"job {job_id} holds nothing on node {self.index}")
+        self.free_cores += allocation.cores
+        self.free_memory_gb += allocation.memory_gb
+        for device_index in allocation.gpu_indices:
+            self.gpus[device_index].release(job_id)
+
+    def check_invariants(self) -> None:
+        """Assert conservation of cores/memory/GPUs (test hook)."""
+        used_cores = sum(a.cores for a in self.allocations.values())
+        used_mem = sum(a.memory_gb for a in self.allocations.values())
+        owned = sum(len(a.gpu_indices) for a in self.allocations.values())
+        if used_cores + self.free_cores != self.spec.physical_cores:
+            raise SchedulerError(f"core accounting broken on node {self.index}")
+        if abs(used_mem + self.free_memory_gb - self.spec.ram_gb) > 1e-6:
+            raise SchedulerError(f"memory accounting broken on node {self.index}")
+        if owned != self.used_gpus:
+            raise SchedulerError(f"GPU accounting broken on node {self.index}")
+
+
+class Cluster:
+    """All nodes of the modeled system, with whole-cluster queries."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.nodes = [Node(i, spec.node) for i in range(spec.num_nodes)]
+
+    @property
+    def free_gpus(self) -> int:
+        return sum(n.free_gpus for n in self.nodes)
+
+    @property
+    def used_gpus(self) -> int:
+        return sum(n.used_gpus for n in self.nodes)
+
+    @property
+    def free_cores(self) -> int:
+        return sum(n.free_cores for n in self.nodes)
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of GPUs/cores/memory currently allocated."""
+        total_mem = self.spec.num_nodes * self.spec.node.ram_gb
+        free_mem = sum(n.free_memory_gb for n in self.nodes)
+        return {
+            "gpu": 1.0 - self.free_gpus / max(self.spec.total_gpus, 1),
+            "cores": 1.0 - self.free_cores / max(self.spec.total_cores, 1),
+            "memory": 1.0 - free_mem / max(total_mem, 1e-9),
+        }
+
+    def check_invariants(self) -> None:
+        for node in self.nodes:
+            node.check_invariants()

@@ -1,0 +1,121 @@
+"""Static hardware specifications (paper Table I and Fig. 1).
+
+The Supercloud system: 224 nodes, each with two Intel Xeon Gold 6248
+CPUs (20 cores, 2-way hyper-threading), 384 GB RAM, two Nvidia V100
+GPUs (32 GB), 100 Gb/s Omnipath in a two-layer partial fat-tree, 25
+Gb/s Ethernet, 1 TB SSD + 3.8 TB HDD local storage and a shared SSD
+pool.  Power figures come from the V100 datasheet values the paper
+quotes (300 W board power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU model's envelope; utilization metrics are % of these."""
+
+    model: str = "Nvidia Volta V100"
+    memory_gb: float = 32.0
+    max_power_w: float = 300.0
+    idle_power_w: float = 25.0
+    #: Peak PCIe 3.0 x16 bandwidth per direction, in MB/s.
+    pcie_bandwidth_mbps: float = 16000.0
+    #: Relative compute throughput (1.0 = V100); used by the
+    #: multi-tier what-if models in :mod:`repro.opportunities`.
+    relative_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.max_power_w <= 0:
+            raise ReproError("GPU envelope values must be positive")
+        if self.idle_power_w >= self.max_power_w:
+            raise ReproError("idle power must be below max power")
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Local and shared storage capacities."""
+
+    local_ssd_tb: float = 1.0
+    local_hdd_tb: float = 3.8
+    shared_ssd_tb: float = 873.0
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node (paper Fig. 1)."""
+
+    cpus_per_node: int = 2
+    cores_per_cpu: int = 20
+    hyperthreads_per_core: int = 2
+    ram_gb: float = 384.0
+    gpus_per_node: int = 2
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    network_gbps: float = 25.0
+    interconnect_gbps: float = 100.0
+
+    @property
+    def physical_cores(self) -> int:
+        return self.cpus_per_node * self.cores_per_cpu
+
+    @property
+    def logical_cores(self) -> int:
+        return self.physical_cores * self.hyperthreads_per_core
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The full system: node count plus per-node spec."""
+
+    name: str = "MIT Supercloud (TX-GAIA)"
+    num_nodes: int = 224
+    node: NodeSpec = field(default_factory=NodeSpec)
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    interconnect: str = "100 Gb/s Omnipath two-layer partial fat-tree"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ReproError("cluster must have at least one node")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.gpus_per_node
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.physical_cores
+
+    @property
+    def total_gpu_power_budget_w(self) -> float:
+        """Power needed to run all GPUs flat out — the headroom Fig. 9
+        shows is mostly unused."""
+        return self.total_gpus * self.node.gpu.max_power_w
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """Rows for the Table I reproduction."""
+        return [
+            {"section": "node", "item": "Number of Nodes", "value": self.num_nodes},
+            {"section": "node", "item": "Number of CPU Cores", "value": self.total_cores},
+            {"section": "node", "item": "Node RAM (GB)", "value": self.node.ram_gb},
+            {"section": "node", "item": "Interconnect", "value": self.interconnect},
+            {"section": "gpu", "item": "Number of GPUs", "value": self.total_gpus},
+            {"section": "gpu", "item": "GPUs per Node", "value": self.node.gpus_per_node},
+            {"section": "gpu", "item": "GPU Type", "value": self.node.gpu.model},
+            {"section": "gpu", "item": "GPU RAM (GB)", "value": self.node.gpu.memory_gb},
+            {"section": "storage", "item": "Local SSD (TB)", "value": self.storage.local_ssd_tb},
+            {"section": "storage", "item": "Local HDD (TB)", "value": self.storage.local_hdd_tb},
+            {"section": "storage", "item": "Shared SSD (TB)", "value": self.storage.shared_ssd_tb},
+        ]
+
+
+def supercloud_spec(num_nodes: int = 224) -> ClusterSpec:
+    """The paper's system, optionally scaled down for fast tests.
+
+    ``num_nodes`` scales the machine while preserving the per-node
+    configuration (2 V100s, 40 cores, 384 GB).
+    """
+    return ClusterSpec(num_nodes=num_nodes)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+also swallowing programming errors (``TypeError`` and friends raised by
+numpy are intentionally left alone).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FrameError(ReproError):
+    """Raised for structural problems in :mod:`repro.frame` tables."""
+
+
+class ColumnMissingError(FrameError, KeyError):
+    """Raised when a requested column does not exist in a table."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        shown = ", ".join(self.available[:12])
+        return f"column {self.name!r} not found (available: {shown})"
+
+
+class LengthMismatchError(FrameError):
+    """Raised when columns of differing lengths are combined."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a distribution is built from inconsistent anchors."""
+
+
+class SchedulerError(ReproError):
+    """Raised for invalid scheduler requests or internal inconsistencies."""
+
+
+class PlacementError(SchedulerError):
+    """Raised when a job cannot ever be placed on the modeled cluster."""
+
+
+class MonitoringError(ReproError):
+    """Raised by the monitoring substrate for invalid sampling requests."""
+
+
+class WorkloadError(ReproError):
+    """Raised when workload-generation parameters are invalid."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis is run on unsuitable data."""

@@ -1,0 +1,13 @@
+"""Per-figure reproduction harness.
+
+One module per paper figure/table.  Every module exposes
+``run(dataset) -> FigureResult`` where the result carries the raw data
+series (what a plot would draw) *and* structured paper-vs-measured
+comparison rows.  :mod:`repro.figures.report` runs everything and
+renders EXPERIMENTS.md.
+"""
+
+from repro.figures.base import Comparison, FigureResult
+from repro.figures.registry import all_figures, get_figure, run_figure
+
+__all__ = ["Comparison", "FigureResult", "all_figures", "get_figure", "run_figure"]

@@ -1,0 +1,72 @@
+"""Shared result types for figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.frame import Table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-reported number next to its measured counterpart."""
+
+    name: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (NaN when the paper value is zero)."""
+        if self.paper == 0:
+            return float("nan")
+        return self.measured / self.paper
+
+    def formatted(self) -> str:
+        return (
+            f"{self.name}: paper {self.paper:g}{self.unit}, "
+            f"measured {self.measured:.3g}{self.unit}"
+        )
+
+
+@dataclass
+class FigureResult:
+    """Everything a figure reproduction produced."""
+
+    figure_id: str
+    title: str
+    series: dict[str, Any] = field(default_factory=dict)
+    comparisons: list[Comparison] = field(default_factory=list)
+    notes: str = ""
+
+    def comparison_table(self) -> Table:
+        """Comparisons as a frame Table (for CSV export / printing)."""
+        return Table.from_rows(
+            [
+                {
+                    "figure": self.figure_id,
+                    "name": c.name,
+                    "paper": c.paper,
+                    "measured": round(c.measured, 4),
+                    "unit": c.unit,
+                }
+                for c in self.comparisons
+            ],
+            columns=["figure", "name", "paper", "measured", "unit"],
+        )
+
+    def get(self, name: str) -> Comparison:
+        """Look up one comparison by name."""
+        for comparison in self.comparisons:
+            if comparison.name == name:
+                return comparison
+        raise KeyError(f"no comparison named {name!r} in {self.figure_id}")
+
+    def to_text(self) -> str:
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        lines.extend("  " + c.formatted() for c in self.comparisons)
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Fig 8: single and pairwise resource bottlenecks."""
+
+from __future__ import annotations
+
+from repro.analysis.bottleneck import analyse
+from repro.dataset import SupercloudDataset
+from repro.figures.base import Comparison, FigureResult
+
+
+def run(dataset: SupercloudDataset) -> FigureResult:
+    """Fig 8(a): single-resource saturation; Fig 8(b): two resources
+    saturated in the same run."""
+    result = analyse(dataset.gpu_jobs)
+    comparisons = [
+        Comparison("SM bottleneck", 0.22, result.single["sm"]),
+        Comparison("memory-BW bottleneck", 0.002, result.single["mem_bw"]),
+        Comparison("PCIe Rx + SM in same run", 0.09, result.pair_fraction("pcie_rx", "sm")),
+        Comparison("max of any pair (< 0.10)", 0.10, result.max_pair_fraction),
+    ]
+    return FigureResult(
+        figure_id="fig08",
+        title="Single and pairwise resource bottlenecks",
+        series={"single": result.single, "pairs": result.pairs},
+        comparisons=comparisons,
+        notes="pairwise saturation need not be simultaneous (paper Sec. III)",
+    )

@@ -1,0 +1,34 @@
+"""Fig 10: per-user average job characteristics."""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ecdf
+from repro.analysis.users import user_table
+from repro.dataset import SupercloudDataset
+from repro.figures.base import Comparison, FigureResult
+
+
+def run(dataset: SupercloudDataset) -> FigureResult:
+    """CDFs across users of the mean runtime/SM/memory/size of their jobs."""
+    users = user_table(dataset.gpu_jobs)
+    runtime = ecdf([v / 60.0 for v in users["avg_runtime"]])
+    sm = ecdf(users["avg_sm"])
+    mem = ecdf(users["avg_mem_bw"])
+    size = ecdf(users["avg_mem_size"])
+
+    comparisons = [
+        Comparison("user avg runtime p25", 135.0, runtime.quantile(0.25), " min"),
+        Comparison("user avg runtime median", 392.0, runtime.median(), " min"),
+        Comparison("user avg runtime p75", 823.0, runtime.quantile(0.75), " min"),
+        Comparison("user avg SM median", 10.75, sm.median(), "%"),
+        Comparison("user avg memory median", 1.8, mem.median(), "%"),
+        Comparison("user avg memory-size median", 11.2, size.median(), "%"),
+        Comparison("users with avg SM >20%", 0.32, sm.fraction_above(20.0)),
+        Comparison("users with avg memory >20%", 0.05, mem.fraction_above(20.0)),
+    ]
+    return FigureResult(
+        figure_id="fig10",
+        title="Per-user average job characteristics",
+        series={"runtime": runtime, "sm": sm, "mem_bw": mem, "mem_size": size, "users": users},
+        comparisons=comparisons,
+    )

@@ -1,0 +1,48 @@
+"""Fig 11: within-user variability of job characteristics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import ecdf
+from repro.analysis.users import user_table
+from repro.dataset import SupercloudDataset
+from repro.figures.base import Comparison, FigureResult
+
+
+def _cov_ecdf(users, column):
+    values = np.asarray(users[column], dtype=float)
+    values = values[np.isfinite(values)]
+    return ecdf(values) if values.size else None
+
+
+def run(dataset: SupercloudDataset) -> FigureResult:
+    """CDFs across users of the CoV of runtime/SM/memory/size."""
+    # Users with a single job have zero variance by construction; the
+    # paper's CoV analysis implicitly covers users with several jobs.
+    users = user_table(dataset.gpu_jobs).filter(
+        lambda t: np.asarray(t["num_jobs"], dtype=float) >= 3
+    )
+    runtime = _cov_ecdf(users, "cov_runtime")
+    sm = _cov_ecdf(users, "cov_sm")
+    mem = _cov_ecdf(users, "cov_mem_bw")
+    size = _cov_ecdf(users, "cov_mem_size")
+
+    comparisons = [
+        Comparison("user runtime CoV p25", 0.86, runtime.quantile(0.25)),
+        Comparison("user runtime CoV median", 1.55, runtime.median()),
+        Comparison("user runtime CoV p75", 2.27, runtime.quantile(0.75)),
+    ]
+    if sm is not None:
+        comparisons.append(Comparison("user SM CoV median", 1.21, sm.median()))
+    if mem is not None:
+        comparisons.append(Comparison("user memory CoV median", 1.82, mem.median()))
+    if size is not None:
+        comparisons.append(Comparison("user memory-size CoV median", 0.99, size.median()))
+    return FigureResult(
+        figure_id="fig11",
+        title="Within-user variability of job characteristics",
+        series={"runtime": runtime, "sm": sm, "mem_bw": mem, "mem_size": size},
+        comparisons=comparisons,
+        notes="users with fewer than 3 jobs excluded (CoV undefined/degenerate)",
+    )

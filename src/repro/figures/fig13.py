@@ -1,0 +1,37 @@
+"""Fig 13: job-size mix and GPU-hour footprint of multi-GPU jobs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.multigpu import gpu_count_breakdown, user_gpu_breadth
+from repro.dataset import SupercloudDataset
+from repro.figures.base import Comparison, FigureResult
+
+
+def run(dataset: SupercloudDataset) -> FigureResult:
+    """Fig 13(a): fraction of jobs per GPU count; Fig 13(b): GPU-hour
+    share; plus Sec. V per-user breadth."""
+    gpu = dataset.gpu_jobs
+    breakdown = gpu_count_breakdown(gpu)
+    breadth = user_gpu_breadth(gpu)
+
+    counts = np.asarray(gpu["num_gpus"], dtype=float)
+    hours = np.asarray(gpu["gpu_hours"], dtype=float)
+    multi_share = float(hours[counts > 1].sum() / hours.sum())
+
+    comparisons = [
+        Comparison("single-GPU job fraction", 0.84, float((counts == 1).mean())),
+        Comparison("jobs with >2 GPUs", 0.024, float((counts > 2).mean())),
+        Comparison("jobs with >=9 GPUs (<1%)", 0.01, float((counts >= 9).mean())),
+        Comparison("multi-GPU share of GPU hours", 0.50, multi_share),
+        Comparison("users with any multi-GPU job", 0.60, breadth["any_multi_gpu"]),
+        Comparison("users with >=3-GPU jobs", 0.13, breadth["three_plus"]),
+        Comparison("users with >=9-GPU jobs", 0.052, breadth["nine_plus"]),
+    ]
+    return FigureResult(
+        figure_id="fig13",
+        title="Multi-GPU job mix and GPU-hour footprint",
+        series={"breakdown": breakdown, "breadth": breadth},
+        comparisons=comparisons,
+    )

@@ -1,0 +1,43 @@
+"""Fig 15: life-cycle class mix and GPU-hour footprint."""
+
+from __future__ import annotations
+
+from repro.analysis.lifecycle import lifecycle_breakdown
+from repro.dataset import SupercloudDataset
+from repro.figures.base import Comparison, FigureResult
+
+PAPER_JOB_SHARES = {"mature": 0.60, "exploratory": 0.18, "development": 0.19, "ide": 0.035}
+PAPER_HOUR_SHARES = {"mature": 0.39, "exploratory": 0.34, "development": 0.09, "ide": 0.18}
+
+
+def run(dataset: SupercloudDataset) -> FigureResult:
+    """Fig 15(a): job shares per class; Fig 15(b): GPU-hour shares."""
+    breakdown = lifecycle_breakdown(dataset.gpu_jobs)
+    by_class = {
+        str(row["lifecycle_class"]): row for row in breakdown.iter_rows()
+    }
+    comparisons = []
+    for cls, paper in PAPER_JOB_SHARES.items():
+        comparisons.append(
+            Comparison(f"{cls} job share", paper, by_class[cls]["job_fraction"])
+        )
+    for cls, paper in PAPER_HOUR_SHARES.items():
+        comparisons.append(
+            Comparison(f"{cls} GPU-hour share", paper, by_class[cls]["gpu_hour_fraction"])
+        )
+    comparisons.append(
+        Comparison(
+            "median exploratory runtime", 62.0, by_class["exploratory"]["median_runtime_min"], " min"
+        )
+    )
+    comparisons.append(
+        Comparison("median mature runtime", 36.0, by_class["mature"]["median_runtime_min"], " min")
+    )
+    nonmature = 1.0 - by_class["mature"]["gpu_hour_fraction"]
+    comparisons.append(Comparison("non-mature GPU-hour share", 0.61, nonmature))
+    return FigureResult(
+        figure_id="fig15",
+        title="Development life-cycle mix and footprint",
+        series={"breakdown": breakdown},
+        comparisons=comparisons,
+    )

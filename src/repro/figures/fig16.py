@@ -1,0 +1,42 @@
+"""Fig 16: utilization box plots per life-cycle class."""
+
+from __future__ import annotations
+
+from repro.analysis.lifecycle import class_utilization_boxes
+from repro.dataset import SupercloudDataset
+from repro.figures.base import Comparison, FigureResult
+
+PAPER_SM_MEDIANS = {"mature": 21.0, "exploratory": 15.0, "development": 0.0, "ide": 0.0}
+
+
+def run(dataset: SupercloudDataset) -> FigureResult:
+    """Box plots (p25/median/p75) of SM/memory/size per class."""
+    boxes = class_utilization_boxes(dataset.gpu_jobs)
+    sm_rows = {
+        str(row["lifecycle_class"]): row
+        for row in boxes.iter_rows()
+        if row["metric"] == "sm_mean"
+    }
+    comparisons = []
+    for cls, paper in PAPER_SM_MEDIANS.items():
+        if cls in sm_rows:
+            comparisons.append(
+                Comparison(f"{cls} SM median", paper, sm_rows[cls]["median"], "%")
+            )
+    if "ide" in sm_rows:
+        comparisons.append(
+            Comparison("IDE SM p75 (paper: 0)", 0.0, sm_rows["ide"]["p75"], "%")
+        )
+    # Ordering claim: development and IDE jobs use far less than
+    # mature/exploratory jobs.
+    ordered = (
+        sm_rows["mature"]["median"] > sm_rows["development"]["median"]
+        and sm_rows["exploratory"]["median"] > sm_rows["ide"]["median"]
+    )
+    comparisons.append(Comparison("mature/expl >> dev/IDE ordering holds", 1.0, float(ordered)))
+    return FigureResult(
+        figure_id="fig16",
+        title="Utilization by life-cycle class",
+        series={"boxes": boxes},
+        comparisons=comparisons,
+    )

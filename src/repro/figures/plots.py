@@ -1,0 +1,420 @@
+"""Render figure results as SVG charts.
+
+Each paper figure maps to one or more charts built from the data
+series its ``run()`` stored in ``FigureResult.series``.  Used by the
+``python -m repro plot`` command.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.stats import Ecdf
+from repro.errors import AnalysisError
+from repro.figures.base import FigureResult
+from repro.plot import BarSeries, BoxSeries, Figure, LineSeries
+
+
+def _cdf_series(label: str, dist: Ecdf, max_points: int = 400) -> LineSeries:
+    """Down-sample an ECDF to a drawable polyline."""
+    step = max(len(dist.values) // max_points, 1)
+    xs = list(dist.values[::step]) + [float(dist.values[-1])]
+    ys = list(dist.probabilities[::step]) + [1.0]
+    return LineSeries(label, xs, ys)
+
+
+def _cdf_chart(title, x_label, named_cdfs, x_log=False) -> Figure:
+    fig = Figure(title=title, x_label=x_label, y_label="CDF", x_log=x_log)
+    for label, dist in named_cdfs:
+        if dist is not None:
+            fig.add(_cdf_series(label, dist))
+    if not fig.series:
+        raise AnalysisError(f"no series available for chart {title!r}")
+    return fig
+
+
+def figure_charts(result: FigureResult) -> dict[str, Figure]:
+    """Build the charts for one figure result, keyed by chart name."""
+    builder = _BUILDERS.get(result.figure_id)
+    if builder is None:
+        raise AnalysisError(f"no chart builder for {result.figure_id!r}")
+    return builder(result)
+
+
+def save_figure_plots(result: FigureResult, directory: str | Path) -> list[Path]:
+    """Render every chart of a figure to ``directory`` as SVG files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, chart in figure_charts(result).items():
+        path = directory / f"{result.figure_id}_{name}.svg"
+        path.write_text(chart.render(), encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def plottable_figures() -> list[str]:
+    """Figure ids that have a chart builder."""
+    return list(_BUILDERS)
+
+
+# ----------------------------------------------------------------------
+# Per-figure builders
+# ----------------------------------------------------------------------
+def _fig03(result: FigureResult) -> dict[str, Figure]:
+    series = result.series
+    return {
+        "runtimes": _cdf_chart(
+            "Fig 3(a): job run times",
+            "run time (minutes)",
+            [("GPU jobs", series["gpu_runtime_cdf"]), ("CPU jobs", series["cpu_runtime_cdf"])],
+            x_log=True,
+        ),
+        "wait_fraction": _cdf_chart(
+            "Fig 3(b): queue wait as fraction of service time",
+            "wait / service time",
+            [
+                ("GPU jobs", series["gpu_wait_fraction_cdf"]),
+                ("CPU jobs", series["cpu_wait_fraction_cdf"]),
+            ],
+        ),
+    }
+
+
+def _fig04(result: FigureResult) -> dict[str, Figure]:
+    series = result.series
+    return {
+        "utilization": _cdf_chart(
+            "Fig 4(a): average GPU resource utilization",
+            "utilization (%)",
+            [
+                ("SM", series["sm"]),
+                ("memory BW", series["mem_bw"]),
+                ("memory size", series["mem_size"]),
+            ],
+        ),
+        "pcie": _cdf_chart(
+            "Fig 4(b): PCIe bandwidth utilization",
+            "utilization (%)",
+            [("Tx", series["pcie_tx"]), ("Rx", series["pcie_rx"])],
+        ),
+    }
+
+
+def _fig05(result: FigureResult) -> dict[str, Figure]:
+    sm = [
+        (name.split("_", 1)[1], dist)
+        for name, dist in result.series.items()
+        if name.startswith("sm_")
+    ]
+    mem = [
+        (name.split("_", 1)[1], dist)
+        for name, dist in result.series.items()
+        if name.startswith("mem_")
+    ]
+    return {
+        "sm": _cdf_chart("Fig 5(a): SM utilization by interface", "SM utilization (%)", sm),
+        "mem": _cdf_chart("Fig 5(b): memory utilization by interface", "memory utilization (%)", mem),
+    }
+
+
+def _fig06(result: FigureResult) -> dict[str, Figure]:
+    charts = {
+        "active_fraction": _cdf_chart(
+            "Fig 6(a): time in active phases",
+            "active fraction of run time",
+            [("jobs", result.series["active_fraction_cdf"])],
+        )
+    }
+    cov_series = [
+        ("idle intervals", result.series.get("idle_cov_cdf")),
+        ("active intervals", result.series.get("active_cov_cdf")),
+    ]
+    if any(dist is not None for _, dist in cov_series):
+        charts["interval_cov"] = _cdf_chart(
+            "Fig 6(b): CoV of phase interval lengths", "CoV", cov_series
+        )
+    return charts
+
+
+def _fig07(result: FigureResult) -> dict[str, Figure]:
+    covs = result.series["covs"]
+    bottlenecks = result.series["bottlenecks"]
+    charts = {}
+    named = [(name, dist) for name, dist in covs.items() if dist is not None]
+    if named:
+        charts["within_run_cov"] = _cdf_chart(
+            "Fig 7(a): within-run utilization CoV", "CoV", named
+        )
+    charts["bottlenecks"] = Figure(
+        title="Fig 7(b): jobs bottlenecked per resource", y_label="fraction of jobs"
+    ).add(BarSeries("bottlenecked", list(bottlenecks), list(bottlenecks.values())))
+    return charts
+
+
+def _fig08(result: FigureResult) -> dict[str, Figure]:
+    single = result.series["single"]
+    pairs = result.series["pairs"]
+    top_pairs = sorted(pairs.items(), key=lambda kv: -kv[1])[:6]
+    return {
+        "single": Figure(
+            title="Fig 8(a): single-resource bottlenecks", y_label="fraction of jobs"
+        ).add(BarSeries("single", list(single), list(single.values()))),
+        "pairs": Figure(
+            title="Fig 8(b): pairwise bottlenecks (top 6)", y_label="fraction of jobs"
+        ).add(
+            BarSeries(
+                "pairs",
+                [f"{a}+{b}" for (a, b), _ in top_pairs],
+                [v for _, v in top_pairs],
+            )
+        ),
+    }
+
+
+def _fig09(result: FigureResult) -> dict[str, Figure]:
+    impacts = result.series["cap_impacts"]
+    return {
+        "power": _cdf_chart(
+            "Fig 9(a): GPU power consumption",
+            "power (W)",
+            [("average", result.series["avg_cdf"]), ("maximum", result.series["max_cdf"])],
+        ),
+        "caps": Figure(
+            title="Fig 9(b): jobs unimpacted per cap", y_label="fraction of jobs"
+        ).add(
+            BarSeries(
+                "unimpacted",
+                [f"{impact.cap_w:.0f}W" for impact in impacts],
+                [impact.unimpacted_fraction for impact in impacts],
+            )
+        ),
+    }
+
+
+def _fig10(result: FigureResult) -> dict[str, Figure]:
+    return {
+        "runtime": _cdf_chart(
+            "Fig 10: per-user average run time",
+            "average run time (minutes)",
+            [("users", result.series["runtime"])],
+            x_log=True,
+        ),
+        "utilization": _cdf_chart(
+            "Fig 10: per-user average utilization",
+            "utilization (%)",
+            [
+                ("SM", result.series["sm"]),
+                ("memory BW", result.series["mem_bw"]),
+                ("memory size", result.series["mem_size"]),
+            ],
+        ),
+    }
+
+
+def _fig11(result: FigureResult) -> dict[str, Figure]:
+    named = [
+        ("run time", result.series["runtime"]),
+        ("SM", result.series["sm"]),
+        ("memory BW", result.series["mem_bw"]),
+        ("memory size", result.series["mem_size"]),
+    ]
+    return {
+        "cov": _cdf_chart("Fig 11: within-user CoV of job characteristics", "CoV", named)
+    }
+
+
+def _fig12(result: FigureResult) -> dict[str, Figure]:
+    correlations = result.series["correlations"]
+    rows = list(correlations.iter_rows())
+    njobs = [r for r in rows if r["activity"] == "num_jobs"]
+    hours = [r for r in rows if r["activity"] == "gpu_hours"]
+    categories = [r["behavior"] for r in njobs]
+    chart = Figure(title="Fig 12: Spearman correlations", y_label="rho")
+    chart.add(BarSeries("num_jobs", categories, [r["rho"] for r in njobs]))
+    chart.add(BarSeries("gpu_hours", categories, [r["rho"] for r in hours]))
+    return {"correlations": chart}
+
+
+def _fig13(result: FigureResult) -> dict[str, Figure]:
+    breakdown = result.series["breakdown"]
+    rows = list(breakdown.iter_rows())
+    categories = [r["gpus"] for r in rows]
+    chart = Figure(title="Fig 13: job size mix vs GPU-hour share", y_label="fraction")
+    chart.add(BarSeries("jobs", categories, [r["job_fraction"] for r in rows]))
+    chart.add(BarSeries("GPU hours", categories, [r["gpu_hour_fraction"] for r in rows]))
+    return {"sizes": chart}
+
+
+def _fig14(result: FigureResult) -> dict[str, Figure]:
+    named = [
+        ("all GPUs", result.series.get("cov_all_cdf")),
+        ("active GPUs only", result.series.get("cov_active_cdf")),
+    ]
+    return {
+        "cross_gpu_cov": _cdf_chart(
+            "Fig 14: cross-GPU SM CoV of multi-GPU jobs", "CoV", named
+        )
+    }
+
+
+def _fig15(result: FigureResult) -> dict[str, Figure]:
+    rows = list(result.series["breakdown"].iter_rows())
+    categories = [r["lifecycle_class"] for r in rows]
+    chart = Figure(title="Fig 15: life-cycle mix", y_label="fraction")
+    chart.add(BarSeries("jobs", categories, [r["job_fraction"] for r in rows]))
+    chart.add(BarSeries("GPU hours", categories, [r["gpu_hour_fraction"] for r in rows]))
+    return {"lifecycle": chart}
+
+
+def _fig16(result: FigureResult) -> dict[str, Figure]:
+    boxes = result.series["boxes"]
+    charts = {}
+    for metric, label in (
+        ("sm_mean", "SM"),
+        ("mem_bw_mean", "memory BW"),
+        ("mem_size_mean", "memory size"),
+    ):
+        rows = [r for r in boxes.iter_rows() if r["metric"] == metric]
+        if not rows:
+            continue
+        chart = Figure(title=f"Fig 16: {label} utilization by class", y_label="utilization (%)")
+        chart.add(
+            BoxSeries(
+                label,
+                [r["lifecycle_class"] for r in rows],
+                [(r["p25"], r["median"], r["p75"]) for r in rows],
+            )
+        )
+        charts[metric] = chart
+    return charts
+
+
+def _fig17(result: FigureResult) -> dict[str, Figure]:
+    charts = {}
+    for key, title in (("by_jobs", "jobs"), ("by_gpu_hours", "GPU hours")):
+        table = result.series[key]
+        pct = [float(v) for v in table["user_percentile"]]
+        chart = Figure(
+            title=f"Fig 17: mature share of each user's {title}",
+            x_label="users (percentile, sorted by mature share)",
+            y_label="mature fraction",
+        )
+        chart.add(LineSeries("mature", pct, [float(v) for v in table["mature_fraction"]]))
+        charts[key] = chart
+    return charts
+
+
+def _queue_waits(result: FigureResult) -> dict[str, Figure]:
+    rows = list(result.series["waits"].iter_rows())
+    rows = [r for r in rows if r["num_jobs"] > 0]
+    chart = Figure(title="Median queue wait by job size", y_label="seconds")
+    chart.add(BarSeries("median wait", [r["gpus"] for r in rows], [r["median_wait_s"] for r in rows]))
+    return {"waits": chart}
+
+
+def _pareto(result: FigureResult) -> dict[str, Figure]:
+    users = result.series["users"]
+    counts = sorted((float(v) for v in users["num_jobs"]), reverse=True)
+    total = sum(counts) or 1.0
+    cumulative = []
+    running = 0.0
+    for count in counts:
+        running += count
+        cumulative.append(running / total)
+    pct = [(i + 1) / len(counts) * 100.0 for i in range(len(counts))]
+    chart = Figure(
+        title="User activity concentration",
+        x_label="top users (%)",
+        y_label="cumulative job share",
+    )
+    chart.add(LineSeries("cumulative", pct, cumulative))
+    return {"concentration": chart}
+
+
+def _ext_timeline(result: FigureResult) -> dict[str, Figure]:
+    occupancy = result.series["occupancy"]
+    chart = Figure(
+        title="Concurrent GPU occupancy",
+        x_label="time (days)",
+        y_label="GPUs in use",
+    )
+    days = [float(t) / 86400.0 for t in occupancy.times_s]
+    chart.add(LineSeries("in use", days, [float(v) for v in occupancy.occupancy]))
+    chart.add(
+        LineSeries(
+            "capacity", [days[0], days[-1]], [occupancy.capacity, occupancy.capacity]
+        )
+    )
+    daily = result.series["daily_gpu_hours"]
+    bars = Figure(title="GPU hours per day", y_label="GPU hours")
+    rows = list(daily.iter_rows())
+    step = max(len(rows) // 25, 1)  # keep the category axis readable
+    sampled = rows[::step]
+    bars.add(
+        BarSeries(
+            "per day",
+            [str(r["day"]) for r in sampled],
+            [r["gpu_hours"] for r in sampled],
+        )
+    )
+    return {"occupancy": chart, "daily": bars}
+
+
+def _ext_prediction(result: FigureResult) -> dict[str, Figure]:
+    comparison = result.series["strategy_comparison"]
+    rows = [r for r in comparison.iter_rows() if r["metric"] == "run_time_s"]
+    chart = Figure(
+        title="Next-job runtime prediction error by strategy",
+        y_label="mean |log(pred/actual)|",
+    )
+    chart.add(
+        BarSeries(
+            "runtime",
+            [r["strategy"] for r in rows],
+            [r["mean_log_error"] for r in rows],
+        )
+    )
+    return {"strategies": chart}
+
+
+def _ext_queueing(result: FigureResult) -> dict[str, Figure]:
+    params = result.series["parameters"]
+    chart = Figure(title="Stationary workload parameters", y_label="value")
+    chart.add(
+        BarSeries(
+            "parameters",
+            ["arrivals/hour", "mean service (h)", "service SCV", "offered GPU load"],
+            [
+                params["arrival_rate_per_s"] * 3600.0,
+                params["mean_service_s"] / 3600.0,
+                params["service_scv"],
+                params["offered_gpu_load"],
+            ],
+        )
+    )
+    return {"parameters": chart}
+
+
+_BUILDERS = {
+    "fig03": _fig03,
+    "fig04": _fig04,
+    "fig05": _fig05,
+    "fig06": _fig06,
+    "fig07": _fig07,
+    "fig08": _fig08,
+    "fig09": _fig09,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "fig17": _fig17,
+    "queue_waits": _queue_waits,
+    "pareto": _pareto,
+    "ext_timeline": _ext_timeline,
+    "ext_prediction": _ext_prediction,
+    "ext_queueing": _ext_queueing,
+}

@@ -1,0 +1,32 @@
+"""Table I: system specifications."""
+
+from __future__ import annotations
+
+from repro.dataset import SupercloudDataset
+from repro.figures.base import Comparison, FigureResult
+from repro.frame import Table
+
+
+def run(dataset: SupercloudDataset) -> FigureResult:
+    """Reproduce Table I from the modeled cluster spec.
+
+    At reduced scale the node count shrinks proportionally; the
+    comparisons therefore normalise per node where meaningful.
+    """
+    spec = dataset.spec
+    rows = Table.from_rows(spec.summary_rows())
+    return FigureResult(
+        figure_id="table1",
+        title="System specifications",
+        series={"rows": rows},
+        comparisons=[
+            Comparison("GPUs per node", 2, spec.node.gpus_per_node),
+            Comparison("GPU RAM", 32, spec.node.gpu.memory_gb, " GB"),
+            Comparison("node RAM", 384, spec.node.ram_gb, " GB"),
+            Comparison("cores per node", 40, spec.node.physical_cores),
+            Comparison(
+                "nodes (scaled)", 224 * dataset.config.scale, spec.num_nodes
+            ),
+        ],
+        notes=f"cluster scaled by {dataset.config.scale:g}",
+    )

@@ -1,0 +1,36 @@
+"""A small columnar table library built on numpy.
+
+The paper's analysis pipeline was written against pandas (accelerated
+with Modin).  pandas is not available in this environment, so
+:mod:`repro.frame` provides the subset of columnar operations the
+characterization actually needs: typed columns, boolean filtering,
+sorting, group-by with aggregation, joins, and CSV/JSONL persistence.
+
+The central type is :class:`Table`; :class:`GroupBy` is returned by
+:meth:`Table.group_by`.
+
+Example
+-------
+>>> from repro.frame import Table
+>>> t = Table({"user": ["a", "b", "a"], "runtime_s": [60.0, 120.0, 30.0]})
+>>> t.group_by("user").mean("runtime_s").sort_by("user").column("runtime_s_mean")
+array([ 45., 120.])
+"""
+
+from repro.frame.column import as_column, column_dtype, is_string_column
+from repro.frame.groupby import GroupBy
+from repro.frame.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.frame.table import Table, concat_tables
+
+__all__ = [
+    "Table",
+    "GroupBy",
+    "concat_tables",
+    "as_column",
+    "column_dtype",
+    "is_string_column",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,66 @@
+"""Column coercion helpers for :mod:`repro.frame`.
+
+A column is always stored as a one-dimensional numpy array.  Numeric
+data keeps its numpy dtype; strings are stored as object arrays so that
+missing values (``None``) survive round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import FrameError
+
+
+def as_column(values: Any) -> np.ndarray:
+    """Coerce ``values`` into a 1-D numpy array suitable for a table column.
+
+    Accepts numpy arrays, sequences, and scalars are rejected.  Boolean,
+    integer, and float inputs keep a numeric dtype; anything containing
+    strings or ``None`` becomes an object array.
+    """
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise FrameError(f"columns must be 1-D, got shape {values.shape}")
+        return values
+    if isinstance(values, (str, bytes)):
+        raise FrameError("a single string is not a valid column; wrap it in a list")
+    if not isinstance(values, Iterable):
+        raise FrameError(f"cannot build a column from {type(values).__name__}")
+    material = list(values)
+    if _all_numeric(material):
+        return np.asarray(material)
+    out = np.empty(len(material), dtype=object)
+    out[:] = material
+    return out
+
+
+def _all_numeric(values: Sequence[Any]) -> bool:
+    """Return True when every element is a bool/int/float (no str/None)."""
+    for value in values:
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            continue
+        return False
+    return True
+
+
+def column_dtype(column: np.ndarray) -> str:
+    """Classify a column as ``"numeric"``, ``"string"``, or ``"object"``."""
+    if np.issubdtype(column.dtype, np.number) or column.dtype == bool:
+        return "numeric"
+    if column.dtype.kind in ("U", "S"):
+        return "string"
+    if column.dtype == object:
+        if all(isinstance(v, str) for v in column):
+            return "string"
+        return "object"
+    return "object"
+
+
+def is_string_column(column: np.ndarray) -> bool:
+    """Return True when every value in the column is a string."""
+    return column_dtype(column) == "string"

@@ -1,0 +1,119 @@
+"""Group-by support for :class:`repro.frame.Table`.
+
+The paper's pipeline aggregates jobs by user, by GPU count, by
+interface type, and by life-cycle class.  :class:`GroupBy` supports
+iteration over groups and a vectorised ``aggregate`` that applies named
+reducers to columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame.table import Table, _unwrap
+
+Reducer = Callable[[np.ndarray], Any]
+
+_BUILTIN_REDUCERS: dict[str, Reducer] = {
+    "mean": lambda a: float(np.mean(a.astype(float))),
+    "sum": lambda a: float(np.sum(a.astype(float))),
+    "min": lambda a: float(np.min(a.astype(float))),
+    "max": lambda a: float(np.max(a.astype(float))),
+    "median": lambda a: float(np.median(a.astype(float))),
+    "std": lambda a: float(np.std(a.astype(float), ddof=0)),
+    "count": lambda a: int(len(a)),
+    "first": lambda a: _unwrap(a[0]),
+    "last": lambda a: _unwrap(a[-1]),
+}
+
+
+class GroupBy:
+    """Lazily-evaluated grouping of a table by one or more key columns."""
+
+    def __init__(self, table: Table, keys: Sequence[str]) -> None:
+        if not keys:
+            raise FrameError("group_by requires at least one key column")
+        self._table = table
+        self._keys = tuple(keys)
+        self._index = self._build_index()
+
+    def _build_index(self) -> dict[tuple[Any, ...], np.ndarray]:
+        columns = [self._table.column(k) for k in self._keys]
+        buckets: dict[tuple[Any, ...], list[int]] = {}
+        for i in range(self._table.num_rows):
+            key = tuple(_unwrap(col[i]) for col in columns)
+            buckets.setdefault(key, []).append(i)
+        return {k: np.asarray(v, dtype=np.intp) for k, v in buckets.items()}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> list[tuple[Any, ...]]:
+        """Group keys in first-seen order."""
+        return list(self._index)
+
+    def __iter__(self) -> Iterator[tuple[tuple[Any, ...], Table]]:
+        for key, idx in self._index.items():
+            yield key, self._table.take(idx)
+
+    def group(self, *key: Any) -> Table:
+        """Return the sub-table for one group key."""
+        k = tuple(key)
+        if k not in self._index:
+            raise FrameError(f"no group with key {k!r}")
+        return self._table.take(self._index[k])
+
+    def sizes(self) -> Table:
+        """Return a table of group keys and their row counts."""
+        rows = [dict(zip(self._keys, k), count=len(idx)) for k, idx in self._index.items()]
+        return Table.from_rows(rows)
+
+    # ------------------------------------------------------------------
+    def aggregate(self, spec: Mapping[str, Sequence[str] | str]) -> Table:
+        """Aggregate columns per group.
+
+        ``spec`` maps a column name to one reducer name or a list of
+        reducer names (``mean``/``sum``/``min``/``max``/``median``/
+        ``std``/``count``/``first``/``last``).  The result has one row
+        per group with columns ``{column}_{reducer}``.
+        """
+        normalized: list[tuple[str, str, Reducer]] = []
+        for column, reducers in spec.items():
+            if isinstance(reducers, str):
+                reducers = [reducers]
+            for name in reducers:
+                if name not in _BUILTIN_REDUCERS:
+                    raise FrameError(
+                        f"unknown reducer {name!r}; choose from {sorted(_BUILTIN_REDUCERS)}"
+                    )
+                normalized.append((column, name, _BUILTIN_REDUCERS[name]))
+
+        rows = []
+        for key, idx in self._index.items():
+            row: dict[str, Any] = dict(zip(self._keys, key))
+            for column, name, fn in normalized:
+                row[f"{column}_{name}"] = fn(self._table.column(column)[idx])
+            rows.append(row)
+        return Table.from_rows(rows)
+
+    def apply(self, fn: Callable[[Table], Mapping[str, Any]]) -> Table:
+        """Apply ``fn`` to each group's sub-table; collect dict results."""
+        rows = []
+        for key, idx in self._index.items():
+            row: dict[str, Any] = dict(zip(self._keys, key))
+            row.update(fn(self._table.take(idx)))
+            rows.append(row)
+        return Table.from_rows(rows)
+
+    def mean(self, column: str) -> Table:
+        """Shorthand for ``aggregate({column: "mean"})``."""
+        return self.aggregate({column: "mean"})
+
+    def sum(self, column: str) -> Table:
+        """Shorthand for ``aggregate({column: "sum"})``."""
+        return self.aggregate({column: "sum"})

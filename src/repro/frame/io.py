@@ -1,0 +1,93 @@
+"""CSV and JSONL persistence for :class:`repro.frame.Table`.
+
+The epilog of the monitoring substrate writes per-node files back to a
+central location (mirroring the paper's data collection); these helpers
+are the serialization layer.  CSV readers infer numeric columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import FrameError
+from repro.frame.table import Table, _unwrap
+
+
+def write_csv(table: Table, path: str | Path) -> Path:
+    """Write the table to ``path`` as UTF-8 CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow([_serialize(v) for v in row.values()])
+    return path
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a CSV written by :func:`write_csv`, inferring numeric columns."""
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise FrameError(f"CSV file {path} is empty") from None
+        raw_rows = list(reader)
+    columns: dict[str, list[Any]] = {name: [] for name in header}
+    for raw in raw_rows:
+        if len(raw) != len(header):
+            raise FrameError(f"CSV row has {len(raw)} cells, header has {len(header)}")
+        for name, cell in zip(header, raw):
+            columns[name].append(_parse(cell))
+    return Table(columns)
+
+
+def write_jsonl(table: Table, path: str | Path) -> Path:
+    """Write one JSON object per row and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for row in table.iter_rows():
+            fh.write(json.dumps({k: _unwrap(v) for k, v in row.items()}) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> Table:
+    """Read a JSONL file into a table (union of keys across rows)."""
+    rows = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return Table.from_rows(rows)
+
+
+def _serialize(value: Any) -> Any:
+    if value is None:
+        return ""
+    return value
+
+
+def _parse(cell: str) -> Any:
+    """Best-effort scalar parse: int, then float, then string."""
+    if cell == "":
+        return None
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        pass
+    if cell == "True":
+        return True
+    if cell == "False":
+        return False
+    return cell

@@ -1,0 +1,394 @@
+"""The :class:`Table` columnar container.
+
+A table is an ordered mapping of column names to equal-length numpy
+arrays.  All operations return new tables; columns are shared (not
+copied) wherever the operation permits, so tables are cheap to slice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ColumnMissingError, FrameError, LengthMismatchError
+from repro.frame.column import as_column, column_dtype
+
+
+class Table:
+    """An immutable-by-convention columnar table.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to column values.  Values are coerced via
+        :func:`repro.frame.column.as_column` and must share one length.
+    """
+
+    def __init__(self, columns: Mapping[str, Any] | None = None) -> None:
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, values in (columns or {}).items():
+            array = as_column(values)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise LengthMismatchError(
+                    f"column {name!r} has length {len(array)}, expected {length}"
+                )
+            self._columns[str(name)] = array
+        self._length = length or 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> "Table":
+        """Build a table from an iterable of row dictionaries.
+
+        When ``columns`` is omitted the union of keys (in first-seen
+        order) is used; missing values become ``None``.
+        """
+        rows = list(rows)
+        if columns is None:
+            seen: dict[str, None] = {}
+            for row in rows:
+                for key in row:
+                    seen.setdefault(key, None)
+            columns = list(seen)
+        data = {name: [row.get(name) for row in rows] for name in columns}
+        return cls(data)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Table":
+        """Return a zero-row table with the given column names."""
+        return cls({name: np.empty(0, dtype=object) for name in columns})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.column_names[:8])
+        suffix = ", ..." if self.num_columns > 8 else ""
+        return f"Table({self.num_rows} rows x {self.num_columns} cols: {cols}{suffix})"
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column array (a view, never a copy)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ColumnMissingError(name, self.column_names) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return one row as a plain dictionary (numpy scalars unwrapped)."""
+        if not -self._length <= index < self._length:
+            raise IndexError(f"row {index} out of range for {self._length} rows")
+        return {name: _unwrap(col[index]) for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over rows as dictionaries (slow path, for IO/tests)."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Return a plain ``dict`` of lists (deep copy)."""
+        return {name: [_unwrap(v) for v in col] for name, col in self._columns.items()}
+
+    def dtypes(self) -> dict[str, str]:
+        """Map each column to ``"numeric"``/``"string"``/``"object"``."""
+        return {name: column_dtype(col) for name, col in self._columns.items()}
+
+    # ------------------------------------------------------------------
+    # Column-level transformation
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        """Return a table containing only ``names`` (order preserved)."""
+        return Table({name: self.column(name) for name in names})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Return a table without the given columns."""
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise ColumnMissingError(missing[0], self.column_names)
+        keep = [n for n in self.column_names if n not in set(names)]
+        return self.select(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a table with columns renamed per ``mapping``."""
+        for old in mapping:
+            if old not in self._columns:
+                raise ColumnMissingError(old, self.column_names)
+        return Table({mapping.get(name, name): col for name, col in self._columns.items()})
+
+    def with_column(self, name: str, values: Any) -> "Table":
+        """Return a table with ``name`` added or replaced."""
+        array = as_column(values)
+        if self._columns and len(array) != self._length:
+            raise LengthMismatchError(
+                f"new column {name!r} has length {len(array)}, table has {self._length} rows"
+            )
+        merged = dict(self._columns)
+        merged[name] = array
+        return Table(merged)
+
+    def with_computed(self, name: str, fn: Callable[["Table"], Any]) -> "Table":
+        """Return a table with ``name`` set to ``fn(self)`` (vectorised)."""
+        return self.with_column(name, fn(self))
+
+    # ------------------------------------------------------------------
+    # Row-level transformation
+    # ------------------------------------------------------------------
+    def take(self, indices: Any) -> "Table":
+        """Return the rows at ``indices`` (fancy indexing)."""
+        idx = np.asarray(indices)
+        return Table({name: col[idx] for name, col in self._columns.items()})
+
+    def filter(self, mask: Any) -> "Table":
+        """Return rows where the boolean ``mask`` is True.
+
+        ``mask`` may be a boolean array or a callable applied to the
+        table that returns one.
+        """
+        if callable(mask):
+            mask = mask(self)
+        mask = np.asarray(mask)
+        if mask.dtype != bool:
+            raise FrameError(f"filter mask must be boolean, got dtype {mask.dtype}")
+        if len(mask) != self._length:
+            raise LengthMismatchError(
+                f"mask length {len(mask)} != table length {self._length}"
+            )
+        return self.take(np.nonzero(mask)[0])
+
+    def head(self, n: int = 5) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self._length)))
+
+    def sort_by(self, *names: str, descending: bool = False) -> "Table":
+        """Return the table sorted by the given columns (stable)."""
+        if not names:
+            raise FrameError("sort_by requires at least one column name")
+        keys = [self.column(name) for name in reversed(names)]
+        order = np.lexsort([_sortable(k) for k in keys])
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def unique(self, name: str) -> np.ndarray:
+        """Return the sorted unique values of a column."""
+        return np.unique(_sortable(self.column(name)))
+
+    def value_counts(self, name: str) -> "Table":
+        """Count occurrences of each value, most frequent first."""
+        counts: dict[Any, int] = {}
+        for value in self.column(name):
+            key = _unwrap(value)
+            counts[key] = counts.get(key, 0) + 1
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return Table.from_rows(
+            [{name: value, "count": count} for value, count in ordered]
+        )
+
+    def pivot(
+        self,
+        index: str,
+        columns: str,
+        values: str,
+        reducer: str = "sum",
+    ) -> "Table":
+        """Cross-tabulate: one row per ``index`` value, one column per
+        ``columns`` value, cells reduced from ``values``.
+
+        Missing combinations yield 0 for ``sum``/``count`` and None
+        otherwise.  Column order follows first appearance.
+        """
+        from repro.frame.groupby import _BUILTIN_REDUCERS
+
+        if reducer not in _BUILTIN_REDUCERS:
+            raise FrameError(f"unknown reducer {reducer!r}")
+        fn = _BUILTIN_REDUCERS[reducer]
+        buckets: dict[Any, dict[Any, list]] = {}
+        column_order: dict[Any, None] = {}
+        idx_col = self.column(index)
+        col_col = self.column(columns)
+        val_col = self.column(values)
+        for i in range(self._length):
+            row_key = _unwrap(idx_col[i])
+            col_key = _unwrap(col_col[i])
+            column_order.setdefault(col_key, None)
+            buckets.setdefault(row_key, {}).setdefault(col_key, []).append(val_col[i])
+        fill = 0 if reducer in ("sum", "count") else None
+        rows = []
+        for row_key, cells in buckets.items():
+            row: dict[str, Any] = {index: row_key}
+            for col_key in column_order:
+                bucket = cells.get(col_key)
+                row[str(col_key)] = fn(np.asarray(bucket)) if bucket else fill
+            rows.append(row)
+        return Table.from_rows(rows)
+
+    # ------------------------------------------------------------------
+    # Group-by and join
+    # ------------------------------------------------------------------
+    def group_by(self, *names: str) -> "GroupBy":
+        """Group rows by the given key columns; see :class:`GroupBy`."""
+        from repro.frame.groupby import GroupBy
+
+        return GroupBy(self, names)
+
+    def join(self, other: "Table", on: str, how: str = "inner", suffix: str = "_right") -> "Table":
+        """Join two tables on an equality key.
+
+        Supports ``how="inner"`` and ``how="left"``.  The right table's
+        key must be unique (this mirrors the paper's pipeline, which
+        joins per-job GPU summaries onto Slurm accounting rows by job
+        id).  Overlapping non-key columns from ``other`` get ``suffix``.
+        """
+        if how not in ("inner", "left"):
+            raise FrameError(f"unsupported join type {how!r}")
+        right_keys = other.column(on)
+        lookup: dict[Any, int] = {}
+        for i, key in enumerate(right_keys):
+            key = _unwrap(key)
+            if key in lookup:
+                raise FrameError(f"join key {on!r} is not unique in right table ({key!r})")
+            lookup[key] = i
+
+        left_idx: list[int] = []
+        right_idx: list[int] = []
+        for i, key in enumerate(self.column(on)):
+            j = lookup.get(_unwrap(key))
+            if j is not None:
+                left_idx.append(i)
+                right_idx.append(j)
+            elif how == "left":
+                left_idx.append(i)
+                right_idx.append(-1)
+
+        result = self.take(np.asarray(left_idx, dtype=np.intp))
+        right_rows = np.asarray(right_idx, dtype=np.intp)
+        matched = right_rows >= 0
+        for name in other.column_names:
+            if name == on:
+                continue
+            out_name = name if name not in self._columns else name + suffix
+            source = other.column(name)
+            if matched.all():
+                values = source[right_rows]
+            else:
+                values = np.empty(len(right_rows), dtype=object)
+                values[matched] = source[right_rows[matched]]
+                values[~matched] = None
+            result = result.with_column(out_name, values)
+        return result
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def describe(self, percentiles: Sequence[float] = (25, 50, 75)) -> "Table":
+        """Summarise numeric columns (count/mean/std/min/percentiles/max)."""
+        rows = []
+        for name, col in self._columns.items():
+            if column_dtype(col) != "numeric":
+                continue
+            values = col.astype(float)
+            values = values[np.isfinite(values)]
+            row: dict[str, Any] = {"column": name, "count": int(values.size)}
+            if values.size:
+                row.update(
+                    mean=float(values.mean()),
+                    std=float(values.std(ddof=0)),
+                    min=float(values.min()),
+                    max=float(values.max()),
+                )
+                for p in percentiles:
+                    row[f"p{p:g}"] = float(np.percentile(values, p))
+            rows.append(row)
+        return Table.from_rows(rows)
+
+    def to_string(self, max_rows: int = 20) -> str:
+        """Render the table as aligned text for terminals/logs."""
+        names = list(self.column_names)
+        if not names:
+            return "(empty table)"
+        shown = min(self._length, max_rows)
+        cells = [[_format_cell(self._columns[n][i]) for n in names] for i in range(shown)]
+        widths = [
+            max(len(names[j]), *(len(r[j]) for r in cells)) if cells else len(names[j])
+            for j in range(len(names))
+        ]
+        header = "  ".join(n.ljust(w) for n, w in zip(names, widths))
+        lines = [header, "  ".join("-" * w for w in widths)]
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if shown < self._length:
+            lines.append(f"... ({self._length - shown} more rows)")
+        return "\n".join(lines)
+
+
+def concat_tables(tables: Iterable[Table]) -> Table:
+    """Stack tables with identical column sets vertically."""
+    tables = [t for t in tables if t.num_rows or t.num_columns]
+    if not tables:
+        return Table()
+    names = tables[0].column_names
+    for t in tables[1:]:
+        if t.column_names != names:
+            raise FrameError(
+                f"cannot concat tables with differing columns: {names} vs {t.column_names}"
+            )
+    data = {}
+    for name in names:
+        parts = [t.column(name) for t in tables]
+        if all(np.issubdtype(p.dtype, np.number) or p.dtype == bool for p in parts):
+            data[name] = np.concatenate(parts)
+        else:
+            merged = np.empty(sum(len(p) for p in parts), dtype=object)
+            offset = 0
+            for p in parts:
+                merged[offset : offset + len(p)] = p
+                offset += len(p)
+            data[name] = merged
+    return Table(data)
+
+
+def _sortable(column: np.ndarray) -> np.ndarray:
+    """Return an array usable as a lexsort key (object -> str)."""
+    if column.dtype == object:
+        return np.asarray([str(v) for v in column])
+    return column
+
+
+def _unwrap(value: Any) -> Any:
+    """Convert numpy scalars into native Python values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _format_cell(value: Any) -> str:
+    value = _unwrap(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,222 @@
+"""Interchange with the public MIT Supercloud dataset format.
+
+The authors released an anonymized dataset ("The MIT Supercloud
+Dataset", HPEC 2021; the Datacenter Challenge) with a Slurm accounting
+CSV and per-GPU summary CSVs.  This module maps between that schema
+and this package's tables, in both directions:
+
+* :func:`load_slurm_log` / :func:`load_gpu_summary` — read
+  challenge-style CSVs into our column names, deriving the life-cycle
+  class from the recorded Slurm job state exactly as the paper does;
+* :func:`combine_logs` — join the two on job id and apply the paper's
+  30-second filter, producing a table with the same layout as
+  :attr:`repro.dataset.SupercloudDataset.gpu_jobs`;
+* :func:`export_challenge_format` — write a generated dataset back
+  out in the public schema, so the two pipelines can be diffed.
+
+Column names are configurable through :class:`SlurmLogSchema` /
+:class:`GpuSummarySchema` since the released files have gone through
+several revisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.lifecycle import classify_exit
+from repro.errors import ReproError
+from repro.frame import Table, read_csv, write_csv
+
+#: Slurm job states appearing in the public dataset.
+_STATE_TO_EXIT = {
+    "COMPLETED": "completed",
+    "CANCELLED": "cancelled_by_user",
+    "FAILED": "failed",
+    "TIMEOUT": "timeout",
+    "NODE_FAIL": "node_failure",
+}
+_EXIT_TO_STATE = {v: k for k, v in _STATE_TO_EXIT.items()}
+
+
+@dataclass(frozen=True)
+class SlurmLogSchema:
+    """Column names of the challenge-format Slurm accounting CSV."""
+
+    job_id: str = "id_job"
+    user: str = "id_user"
+    time_submit: str = "time_submit"
+    time_start: str = "time_start"
+    time_end: str = "time_end"
+    state: str = "state"
+    exit_code: str = "exit_code"
+    cpus_req: str = "cpus_req"
+    mem_req_gb: str = "mem_req"
+    gpus_alloc: str = "gres_used"
+    nodes_alloc: str = "nodes_alloc"
+    time_limit_min: str = "timelimit"
+
+
+@dataclass(frozen=True)
+class GpuSummarySchema:
+    """Column names of the challenge-format per-GPU summary CSV."""
+
+    job_id: str = "id_job"
+    gpu_index: str = "gpu_index"
+    #: challenge name -> (our metric, scale); utilization fields are
+    #: percentages, power is watts.
+    metric_map: tuple = (
+        ("utilization_gpu_pct", "sm"),
+        ("utilization_memory_pct", "mem_bw"),
+        ("memory_used_pct", "mem_size"),
+        ("pcie_tx_util_pct", "pcie_tx"),
+        ("pcie_rx_util_pct", "pcie_rx"),
+        ("power_draw_w", "power_w"),
+    )
+
+
+def load_slurm_log(path: str | Path, schema: SlurmLogSchema | None = None) -> Table:
+    """Read a challenge-format Slurm log into accounting columns."""
+    schema = schema or SlurmLogSchema()
+    raw = read_csv(path)
+    for required in (schema.job_id, schema.state, schema.time_submit, schema.time_start, schema.time_end):
+        if required not in raw:
+            raise ReproError(f"Slurm log missing column {required!r}")
+
+    rows = []
+    for row in raw.iter_rows():
+        state = str(row[schema.state]).upper()
+        if state not in _STATE_TO_EXIT:
+            raise ReproError(f"unknown Slurm state {state!r} for job {row[schema.job_id]}")
+        exit_code = int(row.get(schema.exit_code) or 0)
+        lifecycle = classify_exit(
+            exit_code,
+            cancelled_by_user=state == "CANCELLED",
+            timed_out=state == "TIMEOUT",
+        )
+        submit = float(row[schema.time_submit])
+        start = float(row[schema.time_start])
+        end = float(row[schema.time_end])
+        num_gpus = int(row.get(schema.gpus_alloc) or 0)
+        run_time = end - start
+        service = end - submit
+        rows.append(
+            {
+                "job_id": int(row[schema.job_id]),
+                "user": str(row[schema.user]),
+                "num_gpus": num_gpus,
+                "cores": int(row.get(schema.cpus_req) or 1),
+                "memory_gb": float(row.get(schema.mem_req_gb) or 0.0),
+                "submit_time_s": submit,
+                "start_time_s": start,
+                "end_time_s": end,
+                "wait_time_s": start - submit,
+                "run_time_s": run_time,
+                "wait_fraction": (start - submit) / service if service > 0 else 0.0,
+                "num_nodes": int(row.get(schema.nodes_alloc) or 1),
+                "gpu_hours": num_gpus * run_time / 3600.0,
+                "exit_condition": _STATE_TO_EXIT[state],
+                "lifecycle_class": lifecycle,
+                "time_limit_s": float(row.get(schema.time_limit_min) or 0.0) * 60.0,
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def load_gpu_summary(path: str | Path, schema: GpuSummarySchema | None = None) -> Table:
+    """Read a challenge-format per-GPU summary into our metric names."""
+    schema = schema or GpuSummarySchema()
+    raw = read_csv(path)
+    if schema.job_id not in raw:
+        raise ReproError(f"GPU summary missing column {schema.job_id!r}")
+    rows = []
+    for row in raw.iter_rows():
+        out = {
+            "job_id": int(row[schema.job_id]),
+            "gpu_index": int(row.get(schema.gpu_index) or 0),
+        }
+        for public_name, ours in schema.metric_map:
+            for stat in ("min", "mean", "max"):
+                column = f"{public_name}_{stat}"
+                if column not in raw:
+                    raise ReproError(f"GPU summary missing column {column!r}")
+                out[f"{ours}_{stat}"] = float(row[column] or 0.0)
+        rows.append(out)
+    return Table.from_rows(rows)
+
+
+def combine_logs(
+    slurm: Table, per_gpu: Table, short_filter_s: float = 30.0
+) -> Table:
+    """Join accounting and averaged GPU summaries on job id.
+
+    Reproduces the paper's dataset assembly: GPU jobs only, jobs
+    shorter than ``short_filter_s`` dropped, multi-GPU metrics
+    averaged per job (min of mins / max of maxes).
+    """
+    metric_names = ("sm", "mem_bw", "mem_size", "pcie_tx", "pcie_rx", "power_w")
+    spec = {}
+    for name in metric_names:
+        spec[f"{name}_min"] = "min"
+        spec[f"{name}_mean"] = "mean"
+        spec[f"{name}_max"] = "max"
+    per_job = per_gpu.group_by("job_id").aggregate(spec)
+    renames = {}
+    for name in metric_names:
+        renames[f"{name}_min_min"] = f"{name}_min"
+        renames[f"{name}_mean_mean"] = f"{name}_mean"
+        renames[f"{name}_max_max"] = f"{name}_max"
+    per_job = per_job.rename(renames)
+
+    gpu_jobs = slurm.filter(lambda t: np.asarray(t["num_gpus"]) > 0)
+    gpu_jobs = gpu_jobs.filter(
+        lambda t: np.asarray(t["run_time_s"], dtype=float) >= short_filter_s
+    )
+    return gpu_jobs.join(per_job, on="job_id")
+
+
+def export_challenge_format(dataset, directory: str | Path) -> dict[str, Path]:
+    """Write a generated dataset in the public schema.
+
+    Returns the paths of the two CSVs (``slurm-log.csv`` and
+    ``gpu-summary.csv``).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    slurm_schema = SlurmLogSchema()
+    gpu_schema = GpuSummarySchema()
+
+    slurm_rows = []
+    for row in dataset.jobs.iter_rows():
+        slurm_rows.append(
+            {
+                slurm_schema.job_id: row["job_id"],
+                slurm_schema.user: row["user"],
+                slurm_schema.time_submit: row["submit_time_s"],
+                slurm_schema.time_start: row["start_time_s"],
+                slurm_schema.time_end: row["end_time_s"],
+                slurm_schema.state: _EXIT_TO_STATE[row["exit_condition"]],
+                slurm_schema.exit_code: 0 if row["exit_condition"] != "failed" else 1,
+                slurm_schema.cpus_req: row["cores"],
+                slurm_schema.mem_req_gb: row["memory_gb"],
+                slurm_schema.gpus_alloc: row["num_gpus"],
+                slurm_schema.nodes_alloc: row["num_nodes"],
+                slurm_schema.time_limit_min: row["time_limit_s"] / 60.0,
+            }
+        )
+    slurm_path = write_csv(Table.from_rows(slurm_rows), directory / "slurm-log.csv")
+
+    gpu_rows = []
+    for row in dataset.per_gpu.iter_rows():
+        out = {
+            gpu_schema.job_id: row["job_id"],
+            gpu_schema.gpu_index: row["gpu_index"],
+        }
+        for public_name, ours in gpu_schema.metric_map:
+            for stat in ("min", "mean", "max"):
+                out[f"{public_name}_{stat}"] = row[f"{ours}_{stat}"]
+        gpu_rows.append(out)
+    gpu_path = write_csv(Table.from_rows(gpu_rows), directory / "gpu-summary.csv")
+    return {"slurm": slurm_path, "gpu": gpu_path}

@@ -1,0 +1,38 @@
+"""Monitoring substrate: the simulated nvidia-smi / Slurm telemetry path.
+
+Mirrors the paper's data-collection design (Sec. II):
+
+* a prolog starts per-node samplers when a job starts;
+* GPU metrics are sampled at 100 ms, CPU metrics at 10 s;
+* samples land in per-node local buffers (never the shared FS);
+* an epilog stops sampling and copies data to the central store;
+* production jobs keep only min/mean/max summaries; a subset keeps
+  the full time series (the paper's 2,149-job / 42 GB dataset).
+
+The sampler consumes any object implementing the
+:class:`~repro.monitor.nvidia_smi.ActivityModel` protocol — the
+calibrated models live in :mod:`repro.workload.activity`.
+"""
+
+from repro.monitor.codec import compression_ratio, load_store, save_store
+from repro.monitor.collector import MonitoringCollector, MonitoringConfig
+from repro.monitor.cpu_sampler import CpuSampler
+from repro.monitor.nvidia_smi import ActivityModel, NvidiaSmiSampler
+from repro.monitor.overhead import interval_tradeoff, monitoring_volume
+from repro.monitor.timeseries import METRIC_NAMES, GpuTimeSeries, TimeSeriesStore
+
+__all__ = [
+    "METRIC_NAMES",
+    "ActivityModel",
+    "CpuSampler",
+    "GpuTimeSeries",
+    "MonitoringCollector",
+    "MonitoringConfig",
+    "NvidiaSmiSampler",
+    "TimeSeriesStore",
+    "compression_ratio",
+    "interval_tradeoff",
+    "load_store",
+    "monitoring_volume",
+    "save_store",
+]

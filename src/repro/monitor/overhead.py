@@ -1,0 +1,98 @@
+"""Monitoring-overhead accounting (paper Sec. II operational lessons).
+
+The paper warns that "logging tools can easily overload the metadata
+server and shared file system" and reports a 42 GB dense time-series
+dataset for 2,149 jobs.  This model accounts the data volume and
+shared-filesystem load of a monitoring configuration, so the
+interval/coverage trade-off can be designed rather than guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MonitoringError
+from repro.frame import Table
+
+#: Bytes per GPU sample: nvidia-smi CSV row with timestamp + 6 metrics.
+BYTES_PER_GPU_SAMPLE = 96.0
+#: Bytes per CPU sample (Slurm plugin record).
+BYTES_PER_CPU_SAMPLE = 64.0
+
+
+@dataclass(frozen=True)
+class MonitoringVolume:
+    """Data volume produced by one monitoring configuration."""
+
+    gpu_series_gb: float
+    gpu_summary_gb: float
+    cpu_series_gb: float
+    #: files copied back by epilogs (metadata-server operations)
+    epilog_file_count: int
+
+    @property
+    def total_gb(self) -> float:
+        return self.gpu_series_gb + self.gpu_summary_gb + self.cpu_series_gb
+
+
+def monitoring_volume(
+    jobs: Table,
+    gpu_interval_s: float = 0.1,
+    cpu_interval_s: float = 10.0,
+    timeseries_fraction: float = 2149.0 / 47120.0,
+) -> MonitoringVolume:
+    """Estimate telemetry volume for a job population.
+
+    ``jobs`` needs ``run_time_s`` and ``num_gpus`` columns.  Dense GPU
+    series exist for ``timeseries_fraction`` of GPU jobs; every GPU
+    job gets a summary row per GPU, and every job a CPU series.
+    """
+    if gpu_interval_s <= 0 or cpu_interval_s <= 0:
+        raise MonitoringError("sampling intervals must be positive")
+    if not 0.0 <= timeseries_fraction <= 1.0:
+        raise MonitoringError("timeseries_fraction must be in [0, 1]")
+    if jobs.num_rows == 0:
+        raise MonitoringError("no jobs")
+
+    runtimes = np.asarray(jobs["run_time_s"], dtype=float)
+    gpus = np.asarray(jobs["num_gpus"], dtype=float)
+
+    gpu_samples = (runtimes / gpu_interval_s) * gpus
+    dense_bytes = gpu_samples.sum() * timeseries_fraction * BYTES_PER_GPU_SAMPLE
+    summary_bytes = float(gpus.sum()) * 3 * 6 * 16.0  # min/mean/max x 6 metrics
+    cpu_bytes = (runtimes / cpu_interval_s).sum() * BYTES_PER_CPU_SAMPLE
+
+    gpu_jobs = int((gpus > 0).sum())
+    epilog_files = jobs.num_rows + gpu_jobs  # one CPU file + one GPU file
+    return MonitoringVolume(
+        gpu_series_gb=float(dense_bytes / 1e9),
+        gpu_summary_gb=float(summary_bytes / 1e9),
+        cpu_series_gb=float(cpu_bytes / 1e9),
+        epilog_file_count=epilog_files,
+    )
+
+
+def interval_tradeoff(
+    jobs: Table, intervals_s=(0.1, 1.0, 10.0), timeseries_fraction: float = 2149.0 / 47120.0
+) -> Table:
+    """Data volume per candidate GPU sampling interval.
+
+    The paper chose 100 ms "as a compromise between data volume and
+    usability"; this table is the quantitative version of that choice.
+    """
+    rows = []
+    for interval in intervals_s:
+        volume = monitoring_volume(
+            jobs, gpu_interval_s=interval, timeseries_fraction=timeseries_fraction
+        )
+        rows.append(
+            {
+                "gpu_interval_s": interval,
+                "dense_series_gb": volume.gpu_series_gb,
+                "total_gb": volume.total_gb,
+                "epilog_files": volume.epilog_file_count,
+            }
+        )
+    return Table.from_rows(rows)

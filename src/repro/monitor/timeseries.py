@@ -1,0 +1,102 @@
+"""Time-series containers for sampled GPU telemetry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import MonitoringError
+
+#: Metrics reported per GPU sample, in nvidia-smi naming order:
+#: SM utilization (%), memory-bandwidth utilization (%), memory-size
+#: utilization (%), PCIe Tx/Rx bandwidth utilization (%), power (W).
+METRIC_NAMES = ("sm", "mem_bw", "mem_size", "pcie_tx", "pcie_rx", "power_w")
+
+
+@dataclass
+class GpuTimeSeries:
+    """Sampled telemetry for one GPU of one job.
+
+    ``times_s`` are offsets from job start; ``metrics`` maps metric
+    name to an equal-length float array.
+    """
+
+    job_id: int
+    gpu_index: int
+    times_s: np.ndarray
+    metrics: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        n = len(self.times_s)
+        for name in METRIC_NAMES:
+            if name not in self.metrics:
+                raise MonitoringError(f"series for job {self.job_id} missing metric {name!r}")
+            if len(self.metrics[name]) != n:
+                raise MonitoringError(
+                    f"metric {name!r} has {len(self.metrics[name])} samples, expected {n}"
+                )
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.times_s)
+
+    @property
+    def duration_s(self) -> float:
+        if self.num_samples == 0:
+            return 0.0
+        return float(self.times_s[-1] - self.times_s[0])
+
+    def metric(self, name: str) -> np.ndarray:
+        if name not in self.metrics:
+            raise MonitoringError(f"unknown metric {name!r}")
+        return self.metrics[name]
+
+    def summary(self) -> dict[str, float]:
+        """min/mean/max per metric — the paper's production summary."""
+        out: dict[str, float] = {}
+        for name in METRIC_NAMES:
+            values = self.metrics[name]
+            if values.size == 0:
+                out[f"{name}_min"] = out[f"{name}_mean"] = out[f"{name}_max"] = float("nan")
+            else:
+                out[f"{name}_min"] = float(values.min())
+                out[f"{name}_mean"] = float(values.mean())
+                out[f"{name}_max"] = float(values.max())
+        return out
+
+
+class TimeSeriesStore:
+    """Central store of full-resolution series, keyed by (job, gpu)."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[int, int], GpuTimeSeries] = {}
+
+    def add(self, series: GpuTimeSeries) -> None:
+        key = (series.job_id, series.gpu_index)
+        if key in self._series:
+            raise MonitoringError(f"duplicate series for job {key[0]} GPU {key[1]}")
+        self._series[key] = series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def job_ids(self) -> list[int]:
+        """Distinct job ids with at least one stored series."""
+        return sorted({job_id for job_id, _ in self._series})
+
+    def series_for_job(self, job_id: int) -> list[GpuTimeSeries]:
+        return [s for (jid, _), s in sorted(self._series.items()) if jid == job_id]
+
+    def get(self, job_id: int, gpu_index: int) -> GpuTimeSeries:
+        key = (job_id, gpu_index)
+        if key not in self._series:
+            raise MonitoringError(f"no series for job {job_id} GPU {gpu_index}")
+        return self._series[key]
+
+    def __iter__(self) -> Iterator[GpuTimeSeries]:
+        return iter(self._series.values())
+
+    def total_samples(self) -> int:
+        return sum(s.num_samples for s in self._series.values())

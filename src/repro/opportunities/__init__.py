@@ -1,0 +1,35 @@
+"""Opportunity models from the paper's takeaways (Sec. III, VI, VIII).
+
+The paper stops at identifying opportunities; these modules quantify
+them on the reproduced dataset:
+
+* :mod:`repro.opportunities.colocation` — share GPUs between jobs with
+  complementary idle phases and non-contending resources.
+* :mod:`repro.opportunities.tiering` — a two-tier GPU fleet with slower
+  cheaper devices for exploratory/development/IDE jobs.
+* :mod:`repro.opportunities.powercap` — power-cap the fleet and spend
+  the head-room on extra GPUs at iso-power.
+* :mod:`repro.opportunities.checkpoint` — checkpoint/restart support
+  for the state lost by development/IDE timeouts.
+* :mod:`repro.opportunities.mig` — static MIG partitioning of the
+  fleet (Sec. VIII's Multi-Instance GPU discussion).
+"""
+
+from repro.opportunities.checkpoint import CheckpointModel, checkpoint_study
+from repro.opportunities.colocation import ColocationSimulator, colocation_study
+from repro.opportunities.mig import best_partition, mig_study, partition_sweep
+from repro.opportunities.powercap import powercap_study
+from repro.opportunities.tiering import TierSpec, tiering_study
+
+__all__ = [
+    "CheckpointModel",
+    "ColocationSimulator",
+    "TierSpec",
+    "best_partition",
+    "checkpoint_study",
+    "colocation_study",
+    "mig_study",
+    "partition_sweep",
+    "powercap_study",
+    "tiering_study",
+]

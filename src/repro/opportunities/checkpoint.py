@@ -1,0 +1,123 @@
+"""Checkpoint/restart cost model (paper Sec. VI takeaway).
+
+"A considerable number of jobs ... are development or IDE jobs that
+run until they encounter a failure or timeout.  To ensure that these
+jobs do not lose their state, there is a growing need for ...
+low-overhead checkpoint/restart mechanisms."
+
+Model: a job checkpoints every ``interval_s``; one checkpoint costs
+``model_size_gb / write_bandwidth``.  A job killed by timeout/failure
+loses the work since its last checkpoint.  The classic Young/Daly
+interval minimises (overhead + expected loss) given the mean time to
+interruption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+#: Exit conditions that destroy in-memory state.
+LOSSY_EXITS = ("timeout", "failed", "node_failure")
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Cost parameters of one checkpointing configuration."""
+
+    model_size_gb: float = 5.0
+    write_bandwidth_gbps: float = 2.0  # shared SSD, GB/s
+    interval_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.model_size_gb <= 0 or self.write_bandwidth_gbps <= 0 or self.interval_s <= 0:
+            raise AnalysisError("checkpoint parameters must be positive")
+
+    @property
+    def checkpoint_cost_s(self) -> float:
+        return self.model_size_gb / self.write_bandwidth_gbps
+
+    def young_daly_interval(self, mtti_s: float) -> float:
+        """Optimal interval sqrt(2 * C * MTTI) (Young's formula)."""
+        if mtti_s <= 0:
+            raise AnalysisError("mean time to interruption must be positive")
+        return math.sqrt(2.0 * self.checkpoint_cost_s * mtti_s)
+
+    def overhead_fraction(self, runtime_s: float) -> float:
+        """Fraction of wall time spent writing checkpoints."""
+        checkpoints = max(int(runtime_s / self.interval_s), 0)
+        return checkpoints * self.checkpoint_cost_s / max(runtime_s, 1e-9)
+
+    def expected_loss_s(self) -> float:
+        """Expected lost work at an interruption: half an interval."""
+        return self.interval_s / 2.0
+
+
+@dataclass(frozen=True)
+class CheckpointStudy:
+    """Fleet-level accounting of lost vs protected work."""
+
+    lossy_job_fraction: float
+    lost_gpu_hours_without: float
+    lost_gpu_hours_with: float
+    overhead_gpu_hours: float
+    model: CheckpointModel
+
+    @property
+    def net_saving_gpu_hours(self) -> float:
+        return self.lost_gpu_hours_without - self.lost_gpu_hours_with - self.overhead_gpu_hours
+
+
+def checkpoint_study(gpu_jobs: Table, model: CheckpointModel | None = None) -> CheckpointStudy:
+    """Account the GPU hours lost by state-destroying exits.
+
+    Without checkpointing, a timed-out or crashed job loses its whole
+    run (the paper's IDE jobs "lose their state" at the timeout
+    limit).  With checkpointing it loses half an interval, at the cost
+    of periodic writes across *all* jobs.
+    """
+    model = model or CheckpointModel()
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    exits = np.asarray(list(gpu_jobs["exit_condition"]))
+    runtimes = np.asarray(gpu_jobs["run_time_s"], dtype=float)
+    gpus = np.asarray(gpu_jobs["num_gpus"], dtype=float)
+
+    lossy = np.isin(exits, LOSSY_EXITS)
+    lost_without = float((runtimes[lossy] * gpus[lossy]).sum() / 3600.0)
+    lost_with = float((np.minimum(model.expected_loss_s(), runtimes[lossy]) * gpus[lossy]).sum() / 3600.0)
+    overhead = float(
+        sum(
+            model.overhead_fraction(rt) * rt * g
+            for rt, g in zip(runtimes, gpus)
+        )
+        / 3600.0
+    )
+    return CheckpointStudy(
+        lossy_job_fraction=float(lossy.mean()),
+        lost_gpu_hours_without=lost_without,
+        lost_gpu_hours_with=lost_with,
+        overhead_gpu_hours=overhead,
+        model=model,
+    )
+
+
+def interval_sweep(gpu_jobs: Table, intervals_s=(120.0, 300.0, 600.0, 1800.0, 3600.0)) -> Table:
+    """Net saving per checkpoint interval; one row per interval."""
+    rows = []
+    for interval in intervals_s:
+        study = checkpoint_study(gpu_jobs, CheckpointModel(interval_s=interval))
+        rows.append(
+            {
+                "interval_s": interval,
+                "net_saving_gpu_hours": study.net_saving_gpu_hours,
+                "overhead_gpu_hours": study.overhead_gpu_hours,
+                "lost_with_gpu_hours": study.lost_gpu_hours_with,
+            }
+        )
+    return Table.from_rows(rows)

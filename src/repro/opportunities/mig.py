@@ -1,0 +1,196 @@
+"""Multi-Instance GPU (MIG) partitioning what-if (paper Sec. VIII).
+
+The paper calls MIG "a useful step toward mitigating the
+low-utilization challenge via co-location" but notes that
+repartitioning requires idle GPUs, takes seconds, and needs manual
+trials.  This model quantifies the upside of *static* partitions on
+the reproduced workload:
+
+* a GPU splits into slices following an A100-style profile set (1g =
+  1/7 of the device ... 7g = the whole device);
+* a job needs the smallest slice covering its utilization footprint
+  (peak-based sizing by default — bursts must fit the slice);
+* jobs that fit no slice of the partition spill to dedicated whole
+  GPUs;
+* first-fit-decreasing packing yields the devices needed to run a job
+  population concurrently, hence the capacity multiplier over
+  exclusive per-job GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+#: Compute fraction per profile (A100 MIG geometry).
+MIG_PROFILES = {
+    "1g": 1.0 / 7.0,
+    "2g": 2.0 / 7.0,
+    "3g": 3.0 / 7.0,
+    "4g": 4.0 / 7.0,
+    "7g": 1.0,
+}
+
+#: Valid slice mixes for one GPU (subset of the A100 partition table).
+VALID_PARTITIONS = (
+    ("7g",),
+    ("4g", "3g"),
+    ("3g", "3g", "1g"),
+    ("3g", "2g", "2g"),
+    ("4g", "2g", "1g"),
+    ("2g", "2g", "2g", "1g"),
+    ("3g", "2g", "1g", "1g"),
+    ("1g",) * 7,
+)
+
+
+def _check_partition(partition: tuple[str, ...]) -> None:
+    if not partition:
+        raise AnalysisError("empty MIG partition")
+    unknown = [p for p in partition if p not in MIG_PROFILES]
+    if unknown:
+        raise AnalysisError(f"unknown MIG profiles: {unknown}")
+    total = sum(MIG_PROFILES[p] for p in partition)
+    if total > 1.0 + 1e-9:
+        raise AnalysisError(f"partition {partition} exceeds one device ({total:.2f})")
+
+
+def required_fraction(sm: np.ndarray, mem_size: np.ndarray) -> np.ndarray:
+    """Device fraction each job needs (compute and memory must fit)."""
+    return np.clip(np.maximum(sm, mem_size) / 100.0, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class MigStudy:
+    """Outcome of one static partition on a job population."""
+
+    partition: tuple[str, ...]
+    num_jobs: int
+    fraction_fitting: float
+    spilled_jobs: int
+    gpus_needed: int
+    #: exclusive-GPU baseline / MIG devices needed
+    capacity_multiplier: float
+    mean_slice_headroom: float
+
+
+def pack_jobs(
+    requirements: np.ndarray, partition: tuple[str, ...]
+) -> tuple[int, int, float]:
+    """First-fit-decreasing packing of jobs into partitioned GPUs.
+
+    Returns ``(gpus_needed, spilled_jobs, mean_headroom)`` where
+    headroom is the unused fraction of each used slice.
+    """
+    _check_partition(partition)
+    slice_sizes = sorted((MIG_PROFILES[p] for p in partition), reverse=True)
+    largest = slice_sizes[0]
+
+    spilled = int(np.sum(requirements > largest + 1e-9))
+    placeable = np.sort(requirements[requirements <= largest + 1e-9])[::-1]
+
+    open_gpus: list[list[float]] = []  # free slice sizes per GPU
+    headrooms: list[float] = []
+    for requirement in placeable:
+        placed = False
+        for slices in open_gpus:
+            # smallest free slice that fits
+            candidates = [s for s in slices if s + 1e-9 >= requirement]
+            if candidates:
+                chosen = min(candidates)
+                slices.remove(chosen)
+                headrooms.append(chosen - requirement)
+                placed = True
+                break
+        if not placed:
+            slices = list(slice_sizes)
+            chosen = min(s for s in slices if s + 1e-9 >= requirement)
+            slices.remove(chosen)
+            open_gpus.append(slices)
+            headrooms.append(chosen - requirement)
+    gpus_needed = len(open_gpus) + spilled
+    mean_headroom = float(np.mean(headrooms)) if headrooms else 0.0
+    return gpus_needed, spilled, mean_headroom
+
+
+def mig_study(
+    gpu_jobs: Table,
+    partition: tuple[str, ...],
+    sizing: str = "peak",
+) -> MigStudy:
+    """Evaluate one static partition on the job population.
+
+    ``sizing="peak"`` sizes each job by its maximum utilization
+    (bursts never throttle); ``"mean"`` sizes by the average
+    (optimistic — bursts queue inside the slice).
+    """
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    if sizing not in ("peak", "mean"):
+        raise AnalysisError(f"sizing must be 'peak' or 'mean', got {sizing!r}")
+    suffix = "max" if sizing == "peak" else "mean"
+    sm = np.asarray(gpu_jobs[f"sm_{suffix}"], dtype=float)
+    mem = np.asarray(gpu_jobs[f"mem_size_{suffix}"], dtype=float)
+    requirements = required_fraction(sm, mem)
+
+    gpus_needed, spilled, headroom = pack_jobs(requirements, partition)
+    largest = max(MIG_PROFILES[p] for p in partition)
+    return MigStudy(
+        partition=partition,
+        num_jobs=gpu_jobs.num_rows,
+        fraction_fitting=float(np.mean(requirements <= largest + 1e-9)),
+        spilled_jobs=spilled,
+        gpus_needed=gpus_needed,
+        capacity_multiplier=gpu_jobs.num_rows / max(gpus_needed, 1),
+        mean_slice_headroom=headroom,
+    )
+
+
+def partition_sweep(gpu_jobs: Table, sizing: str = "peak") -> Table:
+    """Evaluate every valid partition; one row each."""
+    rows = []
+    for partition in VALID_PARTITIONS:
+        study = mig_study(gpu_jobs, partition, sizing)
+        rows.append(
+            {
+                "partition": "+".join(partition),
+                "capacity_multiplier": study.capacity_multiplier,
+                "fraction_fitting": study.fraction_fitting,
+                "gpus_needed": study.gpus_needed,
+                "mean_slice_headroom": study.mean_slice_headroom,
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def best_partition(gpu_jobs: Table, sizing: str = "peak") -> MigStudy:
+    """The partition with the highest capacity multiplier."""
+    best: MigStudy | None = None
+    for partition in VALID_PARTITIONS:
+        study = mig_study(gpu_jobs, partition, sizing)
+        if best is None or study.capacity_multiplier > best.capacity_multiplier:
+            best = study
+    assert best is not None
+    return best
+
+
+def repartition_overhead_fraction(
+    reconfigure_s: float,
+    jobs_per_gpu_per_day: float,
+    repartition_every_n_jobs: float = 10.0,
+) -> float:
+    """Fraction of GPU time lost to MIG reconfiguration.
+
+    The paper complains that "resetting MIG configurations require
+    GPUs to be idle and takes [up to a] few seconds with user
+    intervention"; this converts that cost into a utilization tax for
+    a given churn rate.
+    """
+    if reconfigure_s < 0 or jobs_per_gpu_per_day < 0 or repartition_every_n_jobs <= 0:
+        raise AnalysisError("overhead parameters must be non-negative (period positive)")
+    reconfigs_per_day = jobs_per_gpu_per_day / repartition_every_n_jobs
+    return min(reconfigs_per_day * reconfigure_s / 86400.0, 1.0)

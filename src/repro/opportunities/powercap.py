@@ -1,0 +1,102 @@
+"""Power-cap over-provisioning what-if (paper Sec. III, Fig 9b).
+
+"An effective way to use this power is to over-provision the system
+with more GPUs ... but this would require capping the power
+consumption of the GPUs."  The model:
+
+* the facility budget equals ``num_gpus x board_power``;
+* capping every GPU at ``L`` watts supports ``budget / L`` devices;
+* a job slows only while it would have drawn more than the cap;
+  slowdown is approximated by the clipped-power ratio during peaks
+  (DVFS throttling is roughly power-proportional near the top of the
+  V100 curve);
+* fleet throughput = devices x mean per-job speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+
+@dataclass(frozen=True)
+class PowerCapDesign:
+    """Outcome of one cap level."""
+
+    cap_w: float
+    num_gpus: int
+    impacted_job_fraction: float
+    mean_job_speed: float
+    relative_throughput: float
+
+
+def _job_speed(avg_w: np.ndarray, peak_w: np.ndarray, cap_w: float) -> np.ndarray:
+    """Per-job speed under a cap (1.0 = unthrottled).
+
+    Jobs whose peak stays under the cap are untouched.  For the rest,
+    throttling bites only during high-power phases; we approximate the
+    time spent there by how far the *average* sits toward the peak,
+    and the depth of throttling by ``cap / peak``.
+    """
+    speed = np.ones_like(avg_w)
+    over = peak_w > cap_w
+    if over.any():
+        # Fraction of time near the peak: 0 when avg << peak, 1 when
+        # avg == peak.
+        denom = np.maximum(peak_w[over], 1e-9)
+        near_peak = np.clip(avg_w[over] / denom, 0.0, 1.0)
+        throttle = cap_w / denom
+        speed[over] = (1.0 - near_peak) + near_peak * throttle
+    return speed
+
+
+def powercap_study(
+    gpu_jobs: Table,
+    base_gpus: int = 448,
+    board_power_w: float = 300.0,
+    caps_w=(300.0, 250.0, 200.0, 150.0),
+) -> Table:
+    """Sweep cap levels; one row per design point.
+
+    ``relative_throughput`` is normalised to the uncapped fleet: values
+    above 1.0 mean the extra devices more than pay for the throttling.
+    """
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    avg = np.asarray(gpu_jobs["power_w_mean"], dtype=float)
+    peak = np.asarray(gpu_jobs["power_w_max"], dtype=float)
+    budget = base_gpus * board_power_w
+
+    rows = []
+    for cap in caps_w:
+        if cap <= 0:
+            raise AnalysisError(f"cap must be positive, got {cap}")
+        num_gpus = int(budget // cap)
+        speed = _job_speed(avg, peak, cap)
+        throughput = num_gpus * float(speed.mean())
+        rows.append(
+            {
+                "cap_w": float(cap),
+                "num_gpus": num_gpus,
+                "impacted_job_fraction": float((peak > cap).mean()),
+                "mean_job_speed": float(speed.mean()),
+                "relative_throughput": throughput / base_gpus,
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def best_design(study: Table) -> PowerCapDesign:
+    """The cap level with the highest relative throughput."""
+    best = max(study.iter_rows(), key=lambda row: row["relative_throughput"])
+    return PowerCapDesign(
+        cap_w=best["cap_w"],
+        num_gpus=best["num_gpus"],
+        impacted_job_fraction=best["impacted_job_fraction"],
+        mean_job_speed=best["mean_job_speed"],
+        relative_throughput=best["relative_throughput"],
+    )

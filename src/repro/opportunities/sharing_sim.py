@@ -1,0 +1,214 @@
+"""Cluster-level GPU-sharing simulation.
+
+:mod:`repro.opportunities.colocation` scores *pairs* of jobs; this
+module answers the operator's actual question: **if the fleet allowed
+two jobs per GPU (below a demand headroom), how much smaller could it
+be for the same queueing behavior?**
+
+A compact event-driven queue simulation: jobs arrive with a duration
+and a mean GPU demand, each device hosts up to ``max_jobs_per_gpu``
+residents as long as the summed demand stays under ``headroom`` — an
+empty device accepts any job (exclusive fallback for hot jobs).  FCFS
+with no preemption; runtimes are not stretched (the headroom bound is
+what keeps interference negligible, per the pair-level study).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SharingConfig:
+    """Sharing policy of the simulated fleet."""
+
+    headroom: float = 60.0
+    max_jobs_per_gpu: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.headroom <= 100.0:
+            raise AnalysisError("headroom must be in (0, 100]")
+        if self.max_jobs_per_gpu < 1:
+            raise AnalysisError("max_jobs_per_gpu must be >= 1")
+
+
+@dataclass(frozen=True)
+class QueueOutcome:
+    """Waiting behavior of one simulated configuration."""
+
+    num_gpus: int
+    sharing: bool
+    mean_wait_s: float
+    median_wait_s: float
+    p95_wait_s: float
+    max_queue_length: int
+
+
+@dataclass(frozen=True)
+class SharingJob:
+    """One single-GPU job offered to the simulated fleet."""
+
+    arrival_s: float
+    duration_s: float
+    demand: float  # mean SM demand, percent
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise AnalysisError("job duration must be positive")
+        if not 0.0 <= self.demand <= 100.0:
+            raise AnalysisError("demand must be a percentage")
+
+
+class GpuSharingSimulator:
+    """Simulates an FCFS queue over a (possibly shared) GPU fleet."""
+
+    def __init__(self, config: SharingConfig | None = None) -> None:
+        self.config = config or SharingConfig()
+
+    def run(self, jobs: list[SharingJob], num_gpus: int, sharing: bool) -> QueueOutcome:
+        """Simulate the job list on ``num_gpus`` devices."""
+        if num_gpus < 1:
+            raise AnalysisError("need at least one GPU")
+        if not jobs:
+            raise AnalysisError("no jobs")
+        ordered = sorted(jobs, key=lambda j: j.arrival_s)
+
+        residents: list[list[float]] = [[] for _ in range(num_gpus)]
+        finish_heap: list[tuple[float, int, int, float]] = []  # (time, seq, gpu, demand)
+        pending: list[SharingJob] = []
+        waits: list[float] = []
+        max_queue = 0
+        seq = 0
+
+        def try_place(job: SharingJob, now: float) -> bool:
+            nonlocal seq
+            slot = self._find_slot(residents, job.demand, sharing)
+            if slot is None:
+                return False
+            residents[slot].append(job.demand)
+            heapq.heappush(finish_heap, (now + job.duration_s, seq, slot, job.demand))
+            seq += 1
+            waits.append(now - job.arrival_s)
+            return True
+
+        def drain_finishes(until: float) -> None:
+            while finish_heap and finish_heap[0][0] <= until:
+                finish_time, _, gpu, demand = heapq.heappop(finish_heap)
+                residents[gpu].remove(demand)
+                # finished capacity may admit pending jobs right away
+                still_pending = []
+                for job in pending:
+                    if not try_place(job, finish_time):
+                        still_pending.append(job)
+                pending[:] = still_pending
+
+        for job in ordered:
+            drain_finishes(job.arrival_s)
+            if not try_place(job, job.arrival_s):
+                pending.append(job)
+                max_queue = max(max_queue, len(pending))
+        drain_finishes(float("inf"))
+
+        if pending:
+            raise AnalysisError(f"{len(pending)} jobs never placed (internal error)")
+        wait_arr = np.asarray(waits)
+        return QueueOutcome(
+            num_gpus=num_gpus,
+            sharing=sharing,
+            mean_wait_s=float(wait_arr.mean()),
+            median_wait_s=float(np.median(wait_arr)),
+            p95_wait_s=float(np.percentile(wait_arr, 95)),
+            max_queue_length=max_queue,
+        )
+
+    def _find_slot(self, residents: list[list[float]], demand: float, sharing: bool) -> int | None:
+        """Best device for a job: an empty one, else (sharing only) the
+        fullest device that still has headroom."""
+        empty = next((i for i, r in enumerate(residents) if not r), None)
+        if not sharing:
+            return empty
+        best = None
+        best_load = -1.0
+        for index, loads in enumerate(residents):
+            if not loads:
+                continue
+            if len(loads) >= self.config.max_jobs_per_gpu:
+                continue
+            total = sum(loads)
+            if total + demand <= self.config.headroom and total > best_load:
+                best, best_load = index, total
+        if best is not None:
+            return best
+        return empty
+
+    # ------------------------------------------------------------------
+    def right_size(
+        self,
+        jobs: list[SharingJob],
+        target_median_wait_s: float,
+        max_gpus: int,
+    ) -> dict[str, int]:
+        """Smallest fleet meeting a wait target, with and without sharing.
+
+        Binary search over the fleet size (queue waits are monotone in
+        capacity for FCFS).
+        """
+        out = {}
+        for label, sharing in (("exclusive", False), ("shared", True)):
+            lo, hi = 1, max_gpus
+            best = None
+            while lo <= hi:
+                mid = (lo + hi) // 2
+                outcome = self.run(jobs, mid, sharing)
+                if outcome.median_wait_s <= target_median_wait_s:
+                    best = mid
+                    hi = mid - 1
+                else:
+                    lo = mid + 1
+            if best is None:
+                raise AnalysisError(
+                    f"{label}: even {max_gpus} GPUs miss the wait target"
+                )
+            out[label] = best
+        return out
+
+
+def jobs_from_dataset(dataset, max_jobs: int = 2000) -> list[SharingJob]:
+    """Extract single-GPU jobs (arrival, duration, mean SM demand)."""
+    jobs = []
+    for row in dataset.gpu_jobs.iter_rows():
+        if row["num_gpus"] != 1:
+            continue
+        jobs.append(
+            SharingJob(
+                arrival_s=float(row["submit_time_s"]),
+                duration_s=float(row["run_time_s"]),
+                demand=float(row["sm_mean"]),
+            )
+        )
+        if len(jobs) >= max_jobs:
+            break
+    if not jobs:
+        raise AnalysisError("dataset has no single-GPU jobs")
+    return jobs
+
+
+def sharing_study(dataset, num_gpus: int | None = None, max_jobs: int = 2000):
+    """Compare shared vs exclusive queue behavior on a dataset.
+
+    ``num_gpus`` defaults to a deliberately tight fleet (1/40 of the
+    job count) so queueing differences are visible.
+    """
+    jobs = jobs_from_dataset(dataset, max_jobs)
+    if num_gpus is None:
+        num_gpus = max(len(jobs) // 40, 2)
+    simulator = GpuSharingSimulator()
+    return (
+        simulator.run(jobs, num_gpus, sharing=False),
+        simulator.run(jobs, num_gpus, sharing=True),
+    )

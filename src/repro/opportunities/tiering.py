@@ -1,0 +1,119 @@
+"""Two-tier GPU fleet what-if (paper Sec. VI / VIII).
+
+Recommendation II to system operators: "Instead of buying only the
+latest-and-fastest GPUs, it might be more cost-effective to mix them
+with some less-expensive, less-powerful ... GPUs for exploratory and
+IDE jobs."  This model prices that proposal:
+
+* the fleet is split into a fast tier (V100-class, price 1.0) and a
+  slow tier (``relative_speed`` < 1 at ``relative_price`` < 1);
+* a routing policy sends selected life-cycle classes to the slow tier;
+* compute-bound work slows by ``1/relative_speed``; development and
+  IDE jobs barely use the device (Fig 16) so their wall time is
+  assumed unchanged;
+* output: GPU-hour cost per tier, total cost saving, and the added
+  wall-clock time experienced by rerouted jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+#: Classes whose jobs barely touch the GPU; routing them to a slower
+#: device does not slow them down (Fig 16: median SM = 0).
+INSENSITIVE_CLASSES = ("development", "ide")
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One device tier."""
+
+    name: str
+    relative_speed: float = 1.0
+    relative_price: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.relative_speed <= 1.5:
+            raise AnalysisError(f"implausible relative speed {self.relative_speed}")
+        if self.relative_price <= 0:
+            raise AnalysisError("price must be positive")
+
+
+@dataclass(frozen=True)
+class TieringOutcome:
+    """Cost/latency outcome of one routing policy."""
+
+    routed_classes: tuple[str, ...]
+    baseline_cost: float
+    tiered_cost: float
+    routed_job_fraction: float
+    routed_hour_fraction: float
+    mean_slowdown_routed: float
+
+    @property
+    def cost_saving_fraction(self) -> float:
+        if self.baseline_cost == 0:
+            return 0.0
+        return 1.0 - self.tiered_cost / self.baseline_cost
+
+
+def tiering_study(
+    gpu_jobs: Table,
+    slow_tier: TierSpec = TierSpec("slow", relative_speed=0.5, relative_price=0.35),
+    routed_classes: tuple[str, ...] = ("exploratory", "development", "ide"),
+) -> TieringOutcome:
+    """Evaluate routing the given classes to the slow tier.
+
+    Cost unit: fast-tier GPU hours.  A routed compute-bound job
+    stretches by ``1/speed`` but each of its hours costs
+    ``relative_price``; insensitive classes keep their wall time.
+    """
+    if gpu_jobs.num_rows == 0:
+        raise AnalysisError("no jobs")
+    classes = np.asarray(list(gpu_jobs["lifecycle_class"]))
+    hours = np.asarray(gpu_jobs["gpu_hours"], dtype=float)
+    baseline_cost = float(hours.sum())
+
+    routed = np.isin(classes, routed_classes)
+    insensitive = np.isin(classes, INSENSITIVE_CLASSES)
+    stretch = np.where(routed & ~insensitive, 1.0 / slow_tier.relative_speed, 1.0)
+    stretch = np.where(routed & insensitive, 1.0, stretch)
+
+    tiered_hours = hours * stretch
+    cost = np.where(routed, tiered_hours * slow_tier.relative_price, hours)
+    slowdowns = stretch[routed]
+    return TieringOutcome(
+        routed_classes=tuple(routed_classes),
+        baseline_cost=baseline_cost,
+        tiered_cost=float(cost.sum()),
+        routed_job_fraction=float(routed.mean()),
+        routed_hour_fraction=float(hours[routed].sum() / hours.sum()),
+        mean_slowdown_routed=float(slowdowns.mean()) if slowdowns.size else 1.0,
+    )
+
+
+def tiering_sweep(
+    gpu_jobs: Table,
+    speeds=(0.3, 0.5, 0.7),
+    prices=(0.2, 0.35, 0.5),
+) -> Table:
+    """Sweep slow-tier design points; one row per (speed, price)."""
+    rows = []
+    for speed in speeds:
+        for price in prices:
+            outcome = tiering_study(gpu_jobs, TierSpec("slow", speed, price))
+            rows.append(
+                {
+                    "relative_speed": speed,
+                    "relative_price": price,
+                    "cost_saving_fraction": outcome.cost_saving_fraction,
+                    "mean_slowdown_routed": outcome.mean_slowdown_routed,
+                    "routed_hour_fraction": outcome.routed_hour_fraction,
+                }
+            )
+    return Table.from_rows(rows)

@@ -1,0 +1,27 @@
+"""A small dependency-free SVG plotting library.
+
+matplotlib is not available in every deployment of this package, so
+the figure harness renders its CDFs, bar charts, and box plots through
+this module instead.  The API is deliberately tiny:
+
+>>> from repro.plot import Figure, LineSeries
+>>> fig = Figure(title="runtimes", x_label="minutes", x_log=True)
+>>> _ = fig.add(LineSeries("gpu", [1, 10, 100], [0.1, 0.5, 1.0]))
+>>> fig.render().startswith("<svg")
+True
+
+:mod:`repro.plot.ascii` additionally renders CDFs as terminal text for
+the CLI.
+"""
+
+from repro.plot.ascii import ascii_cdf, ascii_histogram
+from repro.plot.svg import BarSeries, BoxSeries, Figure, LineSeries
+
+__all__ = [
+    "BarSeries",
+    "BoxSeries",
+    "Figure",
+    "LineSeries",
+    "ascii_cdf",
+    "ascii_histogram",
+]

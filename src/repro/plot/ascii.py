@@ -1,0 +1,84 @@
+"""Terminal rendering of distributions for the CLI.
+
+``ascii_cdf`` draws an empirical CDF as a fixed-size character grid;
+``ascii_histogram`` draws horizontal count bars.  Both are intentional
+low-fi companions to :mod:`repro.plot.svg`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def ascii_cdf(
+    values,
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """Render the ECDF of ``values`` as text."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ReproError("no finite values to plot")
+    if log_x:
+        arr = arr[arr > 0]
+        if arr.size == 0:
+            raise ReproError("log x axis needs positive values")
+
+    lo, hi = float(arr[0]), float(arr[-1])
+    if lo == hi:
+        hi = lo + 1.0
+
+    def x_of(column: int) -> float:
+        t = column / max(width - 1, 1)
+        if log_x:
+            return 10 ** (math.log10(lo) + t * (math.log10(hi) - math.log10(lo)))
+        return lo + t * (hi - lo)
+
+    grid = [[" "] * width for _ in range(height)]
+    for column in range(width):
+        p = float(np.searchsorted(arr, x_of(column), side="right")) / arr.size
+        row = min(int((1.0 - p) * (height - 1)), height - 1)
+        grid[row][column] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        p = 1.0 - i / (height - 1)
+        lines.append(f"{p:4.2f} |" + "".join(row))
+    lo_label = _fmt(lo)
+    hi_label = _fmt(hi)
+    axis = " " * 6 + lo_label + " " * max(width - len(lo_label) - len(hi_label), 1) + hi_label
+    lines.append(" " * 5 + "+" + "-" * width)
+    lines.append(axis + ("  (log x)" if log_x else ""))
+    return "\n".join(lines)
+
+
+def ascii_histogram(labels, counts, width: int = 40, title: str = "") -> str:
+    """Render horizontal bars of ``counts`` keyed by ``labels``."""
+    labels = [str(label) for label in labels]
+    counts = [float(c) for c in counts]
+    if len(labels) != len(counts):
+        raise ReproError("labels and counts differ in length")
+    if not labels:
+        raise ReproError("nothing to plot")
+    peak = max(counts) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, count in zip(labels, counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{label.rjust(label_width)} | {bar} {_fmt(count)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"

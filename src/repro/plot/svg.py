@@ -1,0 +1,349 @@
+"""Minimal SVG chart renderer.
+
+Supports line series (ECDFs), grouped bars, and box plots on a shared
+axes system with linear or log-10 x scales.  Output is a plain SVG
+string — no external dependencies, viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ReproError
+
+#: Categorical palette (colorblind-safe Okabe-Ito subset).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9")
+
+
+@dataclass
+class LineSeries:
+    """A polyline, e.g. one empirical CDF."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ReproError(f"series {self.label!r}: x and y lengths differ")
+        if len(self.x) < 2:
+            raise ReproError(f"series {self.label!r}: need at least two points")
+
+
+@dataclass
+class BarSeries:
+    """Labeled bars (categorical x axis)."""
+
+    label: str
+    categories: Sequence[str]
+    values: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.categories) != len(self.values):
+            raise ReproError(f"bars {self.label!r}: categories and values differ")
+        if not self.categories:
+            raise ReproError(f"bars {self.label!r}: empty")
+
+
+@dataclass
+class BoxSeries:
+    """Box plots: one (p25, median, p75) triple per category."""
+
+    label: str
+    categories: Sequence[str]
+    boxes: Sequence[tuple[float, float, float]]
+
+    def __post_init__(self) -> None:
+        if len(self.categories) != len(self.boxes):
+            raise ReproError(f"boxes {self.label!r}: categories and boxes differ")
+        for low, mid, high in self.boxes:
+            if not low <= mid <= high:
+                raise ReproError(f"boxes {self.label!r}: p25 <= median <= p75 violated")
+
+
+@dataclass
+class Figure:
+    """One chart; add series then :meth:`render` to SVG text."""
+
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    x_log: bool = False
+    width: int = 640
+    height: int = 400
+    series: list = field(default_factory=list)
+
+    MARGIN_LEFT = 64
+    MARGIN_RIGHT = 20
+    MARGIN_TOP = 36
+    MARGIN_BOTTOM = 52
+
+    def add(self, series) -> "Figure":
+        """Add a series (fluent)."""
+        self.series.append(series)
+        return self
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    @property
+    def _plot_box(self) -> tuple[float, float, float, float]:
+        return (
+            self.MARGIN_LEFT,
+            self.MARGIN_TOP,
+            self.width - self.MARGIN_RIGHT,
+            self.height - self.MARGIN_BOTTOM,
+        )
+
+    def _numeric_series(self) -> list[LineSeries]:
+        return [s for s in self.series if isinstance(s, LineSeries)]
+
+    def _category_series(self) -> list:
+        return [s for s in self.series if isinstance(s, (BarSeries, BoxSeries))]
+
+    def _x_range(self) -> tuple[float, float]:
+        xs = [v for s in self._numeric_series() for v in s.x]
+        if self.x_log:
+            xs = [v for v in xs if v > 0]
+            if not xs:
+                raise ReproError("log x axis needs positive values")
+        lo, hi = min(xs), max(xs)
+        if lo == hi:
+            pad = abs(lo) * 0.1 or 1.0
+            return lo - pad, hi + pad
+        return lo, hi
+
+    def _y_range(self) -> tuple[float, float]:
+        ys: list[float] = []
+        for s in self.series:
+            if isinstance(s, LineSeries):
+                ys.extend(s.y)
+            elif isinstance(s, BarSeries):
+                ys.extend(s.values)
+                ys.append(0.0)
+            else:
+                for low, _, high in s.boxes:
+                    ys.extend((low, high))
+        lo, hi = min(ys), max(ys)
+        if lo == hi:
+            pad = abs(lo) * 0.1 or 1.0
+            return lo - pad, hi + pad
+        pad = (hi - lo) * 0.05
+        return lo - pad if lo != 0.0 else 0.0, hi + pad
+
+    def _x_pos(self, value: float, lo: float, hi: float) -> float:
+        left, _, right, _ = self._plot_box
+        if self.x_log:
+            value, lo, hi = math.log10(max(value, 1e-12)), math.log10(lo), math.log10(hi)
+        if hi == lo:
+            return (left + right) / 2.0
+        return left + (value - lo) / (hi - lo) * (right - left)
+
+    def _y_pos(self, value: float, lo: float, hi: float) -> float:
+        _, top, _, bottom = self._plot_box
+        if hi == lo:
+            return (top + bottom) / 2.0
+        return bottom - (value - lo) / (hi - lo) * (bottom - top)
+
+    # ------------------------------------------------------------------
+    # Ticks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
+        if hi <= lo:
+            return [lo]
+        raw_step = (hi - lo) / target
+        magnitude = 10.0 ** math.floor(math.log10(raw_step))
+        for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+            step = multiple * magnitude
+            if raw_step <= step:
+                break
+        first = math.ceil(lo / step) * step
+        ticks = []
+        value = first
+        while value <= hi + 1e-9 * step:
+            ticks.append(round(value, 10))
+            value += step
+        return ticks
+
+    @staticmethod
+    def _log_ticks(lo: float, hi: float) -> list[float]:
+        lo_exp = math.floor(math.log10(lo))
+        hi_exp = math.ceil(math.log10(hi))
+        return [10.0**e for e in range(lo_exp, hi_exp + 1) if lo <= 10.0**e <= hi]
+
+    @staticmethod
+    def _format_tick(value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.01:
+            return f"{value:.0e}"
+        if value == int(value):
+            return str(int(value))
+        return f"{value:g}"
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render the figure to an SVG string."""
+        if not self.series:
+            raise ReproError("figure has no series")
+        has_lines = bool(self._numeric_series())
+        has_categories = bool(self._category_series())
+        if has_lines and has_categories:
+            raise ReproError("cannot mix numeric and categorical series in one figure")
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            'font-family="Helvetica, Arial, sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        left, top, right, bottom = self._plot_box
+        parts.append(
+            f'<rect x="{left}" y="{top}" width="{right - left}" '
+            f'height="{bottom - top}" fill="none" stroke="#444" stroke-width="1"/>'
+        )
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2}" y="{self.MARGIN_TOP - 14}" '
+                f'text-anchor="middle" font-size="14">{_escape(self.title)}</text>'
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{(left + right) / 2}" y="{self.height - 10}" '
+                f'text-anchor="middle" font-size="12">{_escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="14" y="{(top + bottom) / 2}" text-anchor="middle" '
+                f'font-size="12" transform="rotate(-90 14 {(top + bottom) / 2})">'
+                f"{_escape(self.y_label)}</text>"
+            )
+
+        y_lo, y_hi = self._y_range()
+        parts.extend(self._render_y_axis(y_lo, y_hi))
+        if has_lines:
+            x_lo, x_hi = self._x_range()
+            parts.extend(self._render_x_axis(x_lo, x_hi))
+            parts.extend(self._render_lines(x_lo, x_hi, y_lo, y_hi))
+        else:
+            parts.extend(self._render_categorical(y_lo, y_hi))
+        parts.extend(self._render_legend())
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def _render_y_axis(self, lo: float, hi: float) -> list[str]:
+        left, _, right, _ = self._plot_box
+        parts = []
+        for tick in self._nice_ticks(lo, hi):
+            y = self._y_pos(tick, lo, hi)
+            parts.append(
+                f'<line x1="{left}" y1="{y:.1f}" x2="{right}" y2="{y:.1f}" '
+                'stroke="#ddd" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<text x="{left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+                f'font-size="10">{self._format_tick(tick)}</text>'
+            )
+        return parts
+
+    def _render_x_axis(self, lo: float, hi: float) -> list[str]:
+        _, top, _, bottom = self._plot_box
+        ticks = self._log_ticks(lo, hi) if self.x_log else self._nice_ticks(lo, hi)
+        parts = []
+        for tick in ticks:
+            x = self._x_pos(tick, lo, hi)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" y2="{bottom}" '
+                'stroke="#ddd" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{bottom + 14}" text-anchor="middle" '
+                f'font-size="10">{self._format_tick(tick)}</text>'
+            )
+        return parts
+
+    def _render_lines(self, x_lo, x_hi, y_lo, y_hi) -> list[str]:
+        parts = []
+        for index, series in enumerate(self._numeric_series()):
+            color = PALETTE[index % len(PALETTE)]
+            points = " ".join(
+                f"{self._x_pos(x, x_lo, x_hi):.1f},{self._y_pos(y, y_lo, y_hi):.1f}"
+                for x, y in zip(series.x, series.y)
+                if (not self.x_log) or x > 0
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}" '
+                'stroke-width="1.8"/>'
+            )
+        return parts
+
+    def _render_categorical(self, y_lo, y_hi) -> list[str]:
+        left, top, right, bottom = self._plot_box
+        groups = self._category_series()
+        categories = list(groups[0].categories)
+        for series in groups[1:]:
+            if list(series.categories) != categories:
+                raise ReproError("all categorical series must share categories")
+        slot = (right - left) / max(len(categories), 1)
+        parts = []
+        for c_index, category in enumerate(categories):
+            center = left + (c_index + 0.5) * slot
+            parts.append(
+                f'<text x="{center:.1f}" y="{bottom + 14}" text-anchor="middle" '
+                f'font-size="10">{_escape(str(category))}</text>'
+            )
+            band = slot * 0.7
+            each = band / len(groups)
+            for s_index, series in enumerate(groups):
+                color = PALETTE[s_index % len(PALETTE)]
+                x0 = center - band / 2 + s_index * each
+                if isinstance(series, BarSeries):
+                    value = series.values[c_index]
+                    y = self._y_pos(value, y_lo, y_hi)
+                    base = self._y_pos(max(y_lo, 0.0), y_lo, y_hi)
+                    top_y = min(y, base)
+                    parts.append(
+                        f'<rect x="{x0:.1f}" y="{top_y:.1f}" width="{each * 0.9:.1f}" '
+                        f'height="{abs(base - y):.1f}" fill="{color}"/>'
+                    )
+                else:
+                    low, mid, high = series.boxes[c_index]
+                    y_low = self._y_pos(low, y_lo, y_hi)
+                    y_mid = self._y_pos(mid, y_lo, y_hi)
+                    y_high = self._y_pos(high, y_lo, y_hi)
+                    parts.append(
+                        f'<rect x="{x0:.1f}" y="{y_high:.1f}" width="{each * 0.9:.1f}" '
+                        f'height="{max(y_low - y_high, 1.0):.1f}" fill="{color}" '
+                        'fill-opacity="0.35" stroke="{0}"/>'.format(color)
+                    )
+                    parts.append(
+                        f'<line x1="{x0:.1f}" y1="{y_mid:.1f}" '
+                        f'x2="{x0 + each * 0.9:.1f}" y2="{y_mid:.1f}" '
+                        f'stroke="{color}" stroke-width="2"/>'
+                    )
+        return parts
+
+    def _render_legend(self) -> list[str]:
+        if len(self.series) < 2:
+            return []
+        left, top, right, _ = self._plot_box
+        parts = []
+        for index, series in enumerate(self.series):
+            color = PALETTE[index % len(PALETTE)]
+            y = top + 14 + index * 14
+            parts.append(
+                f'<rect x="{right - 120}" y="{y - 8}" width="10" height="10" fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{right - 106}" y="{y}" font-size="10">{_escape(series.label)}</text>'
+            )
+        return parts
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

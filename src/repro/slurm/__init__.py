@@ -1,0 +1,34 @@
+"""Event-driven Slurm-like scheduler simulator.
+
+The paper's queue-wait results (Fig. 3b, Sec. V) emerge from running
+the calibrated workload through this simulator on the modeled cluster:
+
+* :mod:`repro.slurm.job` — job requests, states, exit conditions.
+* :mod:`repro.slurm.events` — the discrete-event loop.
+* :mod:`repro.slurm.queue` — FCFS queue with bounded backfill.
+* :mod:`repro.slurm.placement` — topology-aware placement (dense
+  multi-GPU placement, CPU-node co-location of GPU jobs).
+* :mod:`repro.slurm.scheduler` — the simulator tying it together.
+* :mod:`repro.slurm.accounting` — sacct-style log as a frame Table.
+"""
+
+from repro.slurm.accounting import accounting_table
+from repro.slurm.events import Event, EventLoop
+from repro.slurm.job import ExitCondition, JobRecord, JobRequest, JobState
+from repro.slurm.placement import PlacementPolicy
+from repro.slurm.queue import JobQueue
+from repro.slurm.scheduler import SchedulerConfig, SlurmSimulator
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "ExitCondition",
+    "JobQueue",
+    "JobRecord",
+    "JobRequest",
+    "JobState",
+    "PlacementPolicy",
+    "SchedulerConfig",
+    "SlurmSimulator",
+    "accounting_table",
+]

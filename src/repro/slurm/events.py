@@ -1,0 +1,71 @@
+"""A minimal discrete-event loop.
+
+Events carry a timestamp, a kind, and a payload.  Ties are broken by a
+monotonically increasing sequence number so the simulation is fully
+deterministic for a given input (same-timestamp events fire in
+insertion order).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchedulerError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence; ordering is (time, sequence)."""
+
+    time_s: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventLoop:
+    """Priority-queue event loop with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def schedule(self, time_s: float, kind: str, payload: Any = None) -> Event:
+        """Enqueue an event; scheduling into the past is an error."""
+        if time_s < self._now - 1e-9:
+            raise SchedulerError(
+                f"cannot schedule {kind!r} at t={time_s} before now={self._now}"
+            )
+        event = Event(time_s, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise SchedulerError("event loop is empty")
+        event = heapq.heappop(self._heap)
+        self._now = event.time_s
+        self._processed += 1
+        return event
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,161 @@
+"""Job requests, lifecycle states, and exit conditions.
+
+The paper classifies jobs along two independent axes:
+
+* **Interface** — how the job was submitted: ``map-reduce``, ``batch``,
+  ``interactive``, or ``other`` (the general Slurm interface used by
+  most deep-learning jobs).  Fig. 5 conditions utilization on this.
+* **Life-cycle class** — where the job sits in the algorithm
+  development cycle (Sec. VI): ``ide`` (design), ``development``
+  (debugging), ``exploratory`` (hyper-parameter tuning, killed by the
+  user), ``mature`` (completes with exit code 0).
+
+The life-cycle class is *derived from how the job ends*, exactly as in
+the paper: mature = zero exit code, exploratory = cancelled by user,
+development = non-zero exit (crash while debugging), IDE = interactive
+session that hits its timeout limit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+
+#: Interface types with the paper's observed job shares (Fig. 5).
+INTERFACE_TYPES = ("map-reduce", "batch", "interactive", "other")
+
+#: Life-cycle classes with the paper's observed job shares (Fig. 15a).
+LIFECYCLE_CLASSES = ("mature", "exploratory", "development", "ide")
+
+
+class JobState(enum.Enum):
+    """Scheduler-visible job lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+class ExitCondition(enum.Enum):
+    """How a job left the system; maps 1:1 onto life-cycle classes."""
+
+    COMPLETED = "completed"
+    CANCELLED_BY_USER = "cancelled_by_user"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    NODE_FAILURE = "node_failure"
+
+    @property
+    def lifecycle_class(self) -> str:
+        """The paper's life-cycle classification of this exit (Sec. VI).
+
+        Hardware failures (<0.5% of jobs per the paper) are folded into
+        ``development`` since they manifest as non-zero exits.
+        """
+        return {
+            ExitCondition.COMPLETED: "mature",
+            ExitCondition.CANCELLED_BY_USER: "exploratory",
+            ExitCondition.FAILED: "development",
+            ExitCondition.TIMEOUT: "ide",
+            ExitCondition.NODE_FAILURE: "development",
+        }[self]
+
+
+#: Exit condition that realises each intended life-cycle class.
+EXIT_FOR_CLASS = {
+    "mature": ExitCondition.COMPLETED,
+    "exploratory": ExitCondition.CANCELLED_BY_USER,
+    "development": ExitCondition.FAILED,
+    "ide": ExitCondition.TIMEOUT,
+}
+
+
+@dataclass
+class JobRequest:
+    """Everything known about a job at submission time.
+
+    ``runtime_s`` is the job's *intrinsic* runtime; the simulator may
+    truncate it at ``time_limit_s`` (producing a TIMEOUT exit).
+    """
+
+    job_id: int
+    user: str
+    submit_time_s: float
+    runtime_s: float
+    num_gpus: int
+    cores: int
+    memory_gb: float
+    interface: str = "other"
+    intended_class: str = "mature"
+    time_limit_s: float = 24 * 3600.0
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.runtime_s < 0:
+            raise SchedulerError(f"job {self.job_id}: negative runtime {self.runtime_s}")
+        if self.num_gpus < 0 or self.cores <= 0 or self.memory_gb < 0:
+            raise SchedulerError(f"job {self.job_id}: invalid resource request")
+        if self.interface not in INTERFACE_TYPES:
+            raise SchedulerError(
+                f"job {self.job_id}: unknown interface {self.interface!r}"
+            )
+        if self.intended_class not in LIFECYCLE_CLASSES:
+            raise SchedulerError(
+                f"job {self.job_id}: unknown life-cycle class {self.intended_class!r}"
+            )
+        if self.time_limit_s <= 0:
+            raise SchedulerError(f"job {self.job_id}: non-positive time limit")
+
+    @property
+    def is_gpu_job(self) -> bool:
+        return self.num_gpus > 0
+
+
+@dataclass
+class JobRecord:
+    """The outcome of one job after simulation (sacct-style row)."""
+
+    request: JobRequest
+    start_time_s: float
+    end_time_s: float
+    nodes: tuple[int, ...]
+    exit_condition: ExitCondition
+
+    @property
+    def wait_time_s(self) -> float:
+        return self.start_time_s - self.request.submit_time_s
+
+    @property
+    def run_time_s(self) -> float:
+        return self.end_time_s - self.start_time_s
+
+    @property
+    def service_time_s(self) -> float:
+        return self.end_time_s - self.request.submit_time_s
+
+    @property
+    def wait_fraction(self) -> float:
+        """Queue wait as a fraction of service time (paper Fig. 3b)."""
+        service = self.service_time_s
+        if service <= 0:
+            return 0.0
+        return self.wait_time_s / service
+
+    @property
+    def gpu_hours(self) -> float:
+        return self.request.num_gpus * self.run_time_s / 3600.0
+
+    @property
+    def lifecycle_class(self) -> str:
+        return self.exit_condition.lifecycle_class
+
+    def validate(self) -> None:
+        """Sanity checks used by tests: causality and resource sanity."""
+        if self.start_time_s < self.request.submit_time_s - 1e-9:
+            raise SchedulerError(f"job {self.request.job_id} started before submission")
+        if self.end_time_s < self.start_time_s - 1e-9:
+            raise SchedulerError(f"job {self.request.job_id} ended before starting")
+        if self.request.is_gpu_job and not self.nodes:
+            raise SchedulerError(f"GPU job {self.request.job_id} ran on no nodes")

@@ -1,0 +1,166 @@
+"""Topology-aware job placement.
+
+Placement policy follows the paper's description:
+
+* GPU jobs request few CPU cores, so several GPU jobs are co-located on
+  one CPU node (this is why GPU jobs see short queues, Sec. III).
+* Multi-GPU jobs are "placed as densely as possible, either on the same
+  node or on neighboring nodes on the network interconnect" (Sec. V).
+* CPU-only jobs "usually request all cores and full memory of the
+  nodes", so they occupy whole nodes and queue longer.
+* Jobs never share a GPU.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Cluster
+from repro.cluster.topology import FatTreeTopology
+from repro.errors import PlacementError
+from repro.slurm.job import JobRequest
+
+
+class PlacementPolicy:
+    """Chooses nodes (and per-node resource slices) for a request."""
+
+    def __init__(self, cluster: Cluster, topology: FatTreeTopology | None = None) -> None:
+        self.cluster = cluster
+        self.topology = topology or FatTreeTopology(cluster.spec.num_nodes)
+        # Negative-result cache: request shapes known not to fit in the
+        # cluster's *current* state.  The scheduler invalidates it on
+        # every allocation change.  Without it, a long queue of
+        # identical jobs (CPU campaigns) makes each dispatch round scan
+        # the whole cluster once per queued job.
+        self._failed_shapes: set[tuple[int, int, int]] = set()
+
+    def invalidate(self) -> None:
+        """Forget cached placement failures (cluster state changed)."""
+        self._failed_shapes.clear()
+
+    @staticmethod
+    def _shape(request: JobRequest) -> tuple[int, int, int]:
+        return (request.num_gpus, request.cores, int(-(-request.memory_gb // 1)))
+
+    # ------------------------------------------------------------------
+    def check_feasible(self, request: JobRequest) -> None:
+        """Raise PlacementError if the job can never run on this cluster."""
+        node_spec = self.cluster.spec.node
+        if request.num_gpus == 0:
+            if request.cores > node_spec.physical_cores or request.memory_gb > node_spec.ram_gb:
+                raise PlacementError(
+                    f"job {request.job_id} requests more than one node provides"
+                )
+            return
+        full_nodes, remainder = divmod(request.num_gpus, node_spec.gpus_per_node)
+        nodes_needed = full_nodes + (1 if remainder else 0)
+        if nodes_needed > self.cluster.spec.num_nodes:
+            raise PlacementError(
+                f"job {request.job_id} requests {request.num_gpus} GPUs; the "
+                f"cluster has {self.cluster.spec.total_gpus}"
+            )
+        per_node_cores = self._per_node_cores(request, nodes_needed)
+        if per_node_cores > node_spec.physical_cores:
+            raise PlacementError(
+                f"job {request.job_id} needs {per_node_cores} cores per node"
+            )
+
+    @staticmethod
+    def _per_node_cores(request: JobRequest, nodes_needed: int) -> int:
+        return max(1, -(-request.cores // max(nodes_needed, 1)))
+
+    # ------------------------------------------------------------------
+    def find_placement(self, request: JobRequest) -> list[tuple[int, int, float, int]] | None:
+        """Return ``[(node_index, cores, memory_gb, gpus), ...]`` or None.
+
+        The returned plan covers the full request; None means the job
+        cannot start right now (but may later).
+        """
+        shape = self._shape(request)
+        if shape in self._failed_shapes:
+            return None
+        if request.num_gpus == 0:
+            plan = self._place_cpu_job(request)
+        else:
+            plan = self._place_gpu_job(request)
+        if plan is None:
+            self._failed_shapes.add(shape)
+        return plan
+
+    def _place_cpu_job(self, request: JobRequest) -> list[tuple[int, int, float, int]] | None:
+        for node in self.cluster.nodes:
+            if node.can_fit(request.cores, request.memory_gb, 0):
+                return [(node.index, request.cores, request.memory_gb, 0)]
+        return None
+
+    def _place_gpu_job(self, request: JobRequest) -> list[tuple[int, int, float, int]] | None:
+        gpus_per_node = self.cluster.spec.node.gpus_per_node
+        nodes_needed = -(-request.num_gpus // gpus_per_node)
+        per_node_cores = self._per_node_cores(request, nodes_needed)
+        per_node_mem = request.memory_gb / max(nodes_needed, 1)
+
+        if nodes_needed == 1:
+            node = self._best_single_node(request.num_gpus, per_node_cores, per_node_mem)
+            if node is None:
+                return None
+            return [(node, per_node_cores, per_node_mem, request.num_gpus)]
+        return self._dense_multi_node(request, nodes_needed, per_node_cores, per_node_mem)
+
+    def _best_single_node(self, gpus: int, cores: int, memory_gb: float) -> int | None:
+        """Pick the feasible node with the fewest free GPUs (best fit),
+        packing GPU jobs densely and leaving whole nodes for CPU jobs."""
+        best: tuple[int, int] | None = None
+        for node in self.cluster.nodes:
+            if node.can_fit(cores, memory_gb, gpus):
+                key = (node.free_gpus, node.index)
+                if best is None or key < best:
+                    best = key
+        return None if best is None else best[1]
+
+    def _dense_multi_node(
+        self,
+        request: JobRequest,
+        nodes_needed: int,
+        per_node_cores: int,
+        per_node_mem: float,
+    ) -> list[tuple[int, int, float, int]] | None:
+        """Grow a placement from each candidate anchor in topology order
+        and keep the one with the smallest network span."""
+        gpus_per_node = self.cluster.spec.node.gpus_per_node
+
+        def fits(node_index: int) -> bool:
+            node = self.cluster.nodes[node_index]
+            return node.can_fit(per_node_cores, per_node_mem, gpus_per_node)
+
+        candidates = [n.index for n in self.cluster.nodes if fits(n.index)]
+        if len(candidates) < nodes_needed:
+            return None
+
+        best_group: list[int] | None = None
+        best_span = None
+        for anchor in candidates:
+            group = [anchor]
+            for neighbor in self.topology.neighbors_by_distance(anchor):
+                if len(group) == nodes_needed:
+                    break
+                if neighbor in set(candidates):
+                    group.append(neighbor)
+            if len(group) < nodes_needed:
+                continue
+            span = self.topology.group_span(group)
+            if best_span is None or span < best_span:
+                best_group, best_span = group, span
+                if span == 0:
+                    break
+
+        if best_group is None:
+            return None
+        plan = []
+        remaining_gpus = request.num_gpus
+        for node_index in best_group:
+            take = min(gpus_per_node, remaining_gpus)
+            plan.append((node_index, per_node_cores, per_node_mem, take))
+            remaining_gpus -= take
+        if remaining_gpus != 0:
+            raise PlacementError(
+                f"internal error: {remaining_gpus} GPUs left unplaced for job {request.job_id}"
+            )
+        return plan

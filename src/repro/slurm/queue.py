@@ -1,0 +1,76 @@
+"""The pending-job queue: FCFS order with bounded backfill.
+
+At the time of the study Supercloud ran a single queue for all jobs
+regardless of function or size (Sec. II, "System Operations Details").
+Multi-GPU jobs are "scheduled quickly with a high priority" (Sec. V),
+which we model as a priority boost.  Backfill lets small jobs jump past
+a stuck head-of-line job, bounded by a scan depth as in real Slurm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import SchedulerError
+from repro.slurm.job import JobRequest
+
+
+class JobQueue:
+    """Pending jobs ordered by (priority desc, submit time, job id)."""
+
+    def __init__(self, backfill_depth: int = 64) -> None:
+        if backfill_depth < 1:
+            raise SchedulerError("backfill depth must be >= 1")
+        self._jobs: list[tuple[float, JobRequest]] = []
+        self._backfill_depth = backfill_depth
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def push(self, request: JobRequest, priority: float = 0.0) -> None:
+        """Insert a job with the given priority (higher runs earlier)."""
+        self._jobs.append((priority, request))
+        # Stable sort keeps FCFS order within a priority level.
+        self._jobs.sort(key=lambda item: (-item[0], item[1].submit_time_s, item[1].job_id))
+
+    def scan(self) -> Iterator[JobRequest]:
+        """Jobs in dispatch order, limited to the backfill window."""
+        for _, request in self._jobs[: self._backfill_depth]:
+            yield request
+
+    def remove(self, job_id: int) -> JobRequest:
+        """Remove and return the job with ``job_id``."""
+        for i, (_, request) in enumerate(self._jobs):
+            if request.job_id == job_id:
+                del self._jobs[i]
+                return request
+        raise SchedulerError(f"job {job_id} not in queue")
+
+    def pop_first_placeable(
+        self, can_place: Callable[[JobRequest], bool]
+    ) -> JobRequest | None:
+        """Dequeue the first job (within the backfill window) that fits.
+
+        Returns None when nothing in the window can be placed.
+        """
+        for request in self.scan():
+            if can_place(request):
+                return self.remove(request.job_id)
+        return None
+
+    def reprioritize(self, priority_fn: Callable[[JobRequest], float]) -> None:
+        """Recompute every queued job's priority (stateful policies).
+
+        Mirrors Slurm's periodic priority recalculation: fair-share
+        weights drift as users consume resources, so queued jobs must
+        be re-ranked, not just ranked at submit time.
+        """
+        self._jobs = [(priority_fn(request), request) for _, request in self._jobs]
+        self._jobs.sort(key=lambda item: (-item[0], item[1].submit_time_s, item[1].job_id))
+
+    def snapshot(self) -> list[int]:
+        """Pending job ids in dispatch order (diagnostics/tests)."""
+        return [request.job_id for _, request in self._jobs]

@@ -1,0 +1,39 @@
+"""Calibrated synthetic workload generator.
+
+The production Supercloud traces are not redistributable, so this
+package regenerates a workload whose *distributions* are anchored on
+every statistic the paper reports (see
+:mod:`repro.workload.calibration` for the full list with paper
+references).  The pieces:
+
+* :mod:`repro.workload.calibration` — paper targets + generator knobs.
+* :mod:`repro.workload.users` — the user population (Pareto activity,
+  per-user behavioral profiles).
+* :mod:`repro.workload.activity` — ground-truth GPU activity models
+  (active/idle phase schedules, utilization processes, bursts).
+* :mod:`repro.workload.generator` — assembles user profiles, arrival
+  processes, and activity models into scheduler-ready job requests.
+"""
+
+from repro.workload.activity import JobActivityModel, PhaseSchedule
+from repro.workload.calibration import GeneratorKnobs, PaperTargets, PAPER_TARGETS
+from repro.workload.campaigns import CampaignGenerator, CampaignSpec
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.scenarios import SCENARIOS, make_scenario
+from repro.workload.users import UserPopulation, UserProfile
+
+__all__ = [
+    "CampaignGenerator",
+    "CampaignSpec",
+    "GeneratorKnobs",
+    "JobActivityModel",
+    "PAPER_TARGETS",
+    "PaperTargets",
+    "PhaseSchedule",
+    "SCENARIOS",
+    "UserPopulation",
+    "UserProfile",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "make_scenario",
+]

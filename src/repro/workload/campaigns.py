@@ -1,0 +1,179 @@
+"""Structured campaign generator (paper Fig 2's workflow, executable).
+
+The calibrated generator treats each job independently; this module
+produces *workflow-shaped* job sequences for targeted studies: an IDE
+design session, a few crashing development runs, a hyper-parameter
+sweep with user-killed losers, and a final mature training run —
+exactly the life cycle the paper describes.  Used by examples and by
+tests of the transition-mining analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.slurm.job import JobRequest
+from repro.workload.activity import (
+    JobActivityModel,
+    PhaseSchedule,
+    PowerModel,
+    build_metric_process,
+)
+
+HOUR = 3600.0
+
+_POWER = PowerModel(idle_w=25.0, per_sm=1.25, per_mem=0.4, per_pcie=0.03, per_size=0.2)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Shape of one development campaign."""
+
+    ide_sessions: int = 1
+    ide_limit_s: float = 12.0 * HOUR
+    debug_runs: int = 3
+    debug_runtime_range_s: tuple = (120.0, 900.0)
+    sweep_trials: int = 12
+    sweep_winners: int = 1
+    trial_runtime_range_s: tuple = (0.5 * HOUR, 3.0 * HOUR)
+    winner_runtime_s: float = 6.0 * HOUR
+    final_runtime_s: float = 10.0 * HOUR
+    final_gpus: int = 2
+    think_time_s: float = 300.0
+    sweep_sm_range: tuple = (25.0, 60.0)
+
+    def __post_init__(self) -> None:
+        if self.sweep_winners > self.sweep_trials:
+            raise WorkloadError("cannot have more winners than trials")
+        if self.think_time_s < 0:
+            raise WorkloadError("think time must be non-negative")
+
+
+class CampaignGenerator:
+    """Builds scheduler-ready requests for workflow campaigns."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._next_job_id = 0
+
+    def _activity(self, duration_s, sm_level, active_fraction, num_gpus=1):
+        rng = self._rng
+        schedule = PhaseSchedule.generate(
+            rng, duration_s, active_fraction,
+            mean_active_s=120.0, active_cov=1.7, idle_cov=1.3,
+        )
+        processes = {
+            name: build_metric_process(
+                rng, level=level, noise_cov=0.12,
+                burst_level=min(level * 1.6, 97.0),
+                schedule=schedule, num_bursts=2,
+            )
+            for name, level in {
+                "sm": sm_level,
+                "mem_bw": sm_level * 0.1,
+                "mem_size": sm_level * 0.6,
+                "pcie_tx": 12.0,
+                "pcie_rx": 20.0,
+            }.items()
+        }
+        return JobActivityModel(
+            job_id=-1, num_gpus=num_gpus, duration_s=duration_s,
+            schedule=schedule, processes=processes,
+            gpu_scale=np.ones(num_gpus), power_model=_POWER,
+        )
+
+    def _request(self, user, submit, runtime, intended_class, sm_level,
+                 active_fraction, num_gpus=1, time_limit=96.0 * HOUR,
+                 interface="other"):
+        request = JobRequest(
+            job_id=self._next_job_id,
+            user=user,
+            submit_time_s=submit,
+            runtime_s=runtime,
+            num_gpus=num_gpus,
+            cores=4 * num_gpus,
+            memory_gb=40.0,
+            interface=interface,
+            intended_class=intended_class,
+            time_limit_s=time_limit,
+        )
+        self._next_job_id += 1
+        effective = min(runtime, time_limit)
+        request.tags["activity"] = self._activity(
+            effective, sm_level, active_fraction, num_gpus
+        )
+        request.tags["campaign_stage"] = intended_class
+        return request
+
+    def build(self, user: str, start_s: float, spec: CampaignSpec | None = None) -> list[JobRequest]:
+        """Generate one campaign's requests in submission order."""
+        spec = spec or CampaignSpec()
+        rng = self._rng
+        requests: list[JobRequest] = []
+        clock = start_s
+
+        for _ in range(spec.ide_sessions):
+            requests.append(
+                self._request(
+                    user, clock, spec.ide_limit_s * 1.01, "ide",
+                    sm_level=0.0, active_fraction=0.02,
+                    time_limit=spec.ide_limit_s, interface="interactive",
+                )
+            )
+            clock += spec.think_time_s
+
+        for _ in range(spec.debug_runs):
+            runtime = float(rng.uniform(*spec.debug_runtime_range_s))
+            requests.append(
+                self._request(
+                    user, clock, runtime, "development",
+                    sm_level=3.0, active_fraction=0.2,
+                )
+            )
+            clock += spec.think_time_s
+
+        winners = set(
+            rng.choice(spec.sweep_trials, size=spec.sweep_winners, replace=False)
+        ) if spec.sweep_trials else set()
+        for trial in range(spec.sweep_trials):
+            win = trial in winners
+            runtime = (
+                spec.winner_runtime_s
+                if win
+                else float(rng.uniform(*spec.trial_runtime_range_s))
+            )
+            requests.append(
+                self._request(
+                    user, clock, runtime,
+                    "mature" if win else "exploratory",
+                    sm_level=float(rng.uniform(*spec.sweep_sm_range)),
+                    active_fraction=0.9,
+                )
+            )
+            clock += spec.think_time_s / 4.0
+
+        requests.append(
+            self._request(
+                user, clock, spec.final_runtime_s, "mature",
+                sm_level=55.0, active_fraction=0.95, num_gpus=spec.final_gpus,
+            )
+        )
+        return requests
+
+    def build_population(
+        self, num_users: int, horizon_s: float, spec: CampaignSpec | None = None
+    ) -> list[JobRequest]:
+        """One campaign per user, starts spread over the horizon."""
+        if num_users < 1:
+            raise WorkloadError("need at least one user")
+        requests: list[JobRequest] = []
+        starts = np.sort(self._rng.uniform(0.0, horizon_s, num_users))
+        for index, start in enumerate(starts):
+            requests.extend(self.build(f"wf_user_{index:03d}", float(start), spec))
+        requests.sort(key=lambda r: r.submit_time_s)
+        for job_id, request in enumerate(requests):
+            request.job_id = job_id
+        return requests

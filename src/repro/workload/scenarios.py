@@ -1,0 +1,98 @@
+"""Named what-if workload scenarios.
+
+The paper closes by predicting how AI-centric workloads will keep
+shifting.  These presets make that shift explorable: each returns a
+:class:`~repro.workload.generator.WorkloadConfig` whose knobs deviate
+from the calibrated paper workload in one interpretable direction, so
+any figure, opportunity study, or capacity plan can be re-run under
+the alternative future.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import WorkloadError
+from repro.workload.calibration import GeneratorKnobs
+from repro.workload.generator import WorkloadConfig
+
+
+def _knobs(**overrides) -> GeneratorKnobs:
+    return dataclasses.replace(GeneratorKnobs(), **overrides)
+
+
+def paper_scenario(scale: float = 0.1, seed: int = 20220214) -> WorkloadConfig:
+    """The calibrated reproduction of the paper's workload."""
+    return WorkloadConfig(scale=scale, seed=seed)
+
+
+def training_heavy_scenario(scale: float = 0.1, seed: int = 20220214) -> WorkloadConfig:
+    """Production training farm: mature long runs, more multi-GPU.
+
+    Models a site whose users graduated from exploration: mature jobs
+    dominate, jobs run longer, and distributed training is routine.
+    """
+    knobs = _knobs(
+        class_given_interface={
+            "interactive": {"mature": 0.25, "exploratory": 0.05, "development": 0.30, "ide": 0.40},
+            "map-reduce": {"mature": 0.80, "exploratory": 0.0005, "development": 0.1990, "ide": 0.0005},
+            "batch": {"mature": 0.80, "exploratory": 0.08, "development": 0.11, "ide": 0.01},
+            "other": {"mature": 0.80, "exploratory": 0.10, "development": 0.09, "ide": 0.01},
+        },
+        user_runtime_scale_median_s=420.0 * 60.0,
+        gpu_count_by_category={
+            "single": {1: 1.0},
+            "dual": {1: 0.70, 2: 0.30},
+            "medium": {1: 0.55, 2: 0.30, 4: 0.10, 6: 0.03, 8: 0.02},
+            "large": {1: 0.45, 2: 0.25, 4: 0.12, 8: 0.10, 10: 0.04, 12: 0.02, 16: 0.02},
+        },
+    )
+    return WorkloadConfig(scale=scale, seed=seed, knobs=knobs)
+
+
+def exploration_surge_scenario(scale: float = 0.1, seed: int = 20220214) -> WorkloadConfig:
+    """A hyper-parameter-search boom: exploratory jobs dominate.
+
+    The direction the paper's Sec. VI warns about — non-mature work
+    swallowing the machine.
+    """
+    knobs = _knobs(
+        class_given_interface={
+            "interactive": {"mature": 0.05, "exploratory": 0.10, "development": 0.25, "ide": 0.60},
+            "map-reduce": {"mature": 0.60, "exploratory": 0.0005, "development": 0.3990, "ide": 0.0005},
+            "batch": {"mature": 0.35, "exploratory": 0.40, "development": 0.23, "ide": 0.02},
+            "other": {"mature": 0.35, "exploratory": 0.45, "development": 0.18, "ide": 0.02},
+        },
+        deadline_windows=((10.0, 20.0, 2.5), (50.0, 60.0, 2.5), (90.0, 100.0, 2.5)),
+    )
+    return WorkloadConfig(scale=scale, seed=seed, knobs=knobs)
+
+
+def interactive_campus_scenario(scale: float = 0.1, seed: int = 20220214) -> WorkloadConfig:
+    """A teaching/novice-heavy site: notebooks everywhere.
+
+    Interactive sessions triple; the IDE GPU-hour sink the paper
+    highlights grows accordingly — the stress case for the
+    checkpoint/state-saving recommendation.
+    """
+    knobs = _knobs(
+        global_interface_shares=(0.01, 0.24, 0.17, 0.58),
+        quick_job_fraction=0.30,
+    )
+    return WorkloadConfig(scale=scale, seed=seed, knobs=knobs)
+
+
+#: Registry of scenario factories.
+SCENARIOS = {
+    "paper": paper_scenario,
+    "training_heavy": training_heavy_scenario,
+    "exploration_surge": exploration_surge_scenario,
+    "interactive_campus": interactive_campus_scenario,
+}
+
+
+def make_scenario(name: str, scale: float = 0.1, seed: int = 20220214) -> WorkloadConfig:
+    """Build a scenario config by name."""
+    if name not in SCENARIOS:
+        raise WorkloadError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    return SCENARIOS[name](scale=scale, seed=seed)

@@ -1,0 +1,93 @@
+"""Tests for bottleneck detection."""
+
+import pytest
+
+from repro.analysis.bottleneck import (
+    analyse,
+    pairwise_bottlenecks,
+    single_bottlenecks,
+)
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+
+def jobs_table(rows):
+    defaults = {
+        "sm_max": 10.0,
+        "mem_bw_max": 10.0,
+        "mem_size_max": 10.0,
+        "pcie_tx_max": 10.0,
+        "pcie_rx_max": 10.0,
+    }
+    return Table.from_rows([{**defaults, **row} for row in rows])
+
+
+class TestSingle:
+    def test_counts_saturated_jobs(self):
+        jobs = jobs_table([{"sm_max": 100.0}, {"sm_max": 50.0}, {"sm_max": 99.5}])
+        out = single_bottlenecks(jobs)
+        assert out["sm"] == pytest.approx(2.0 / 3.0)
+        assert out["mem_bw"] == 0.0
+
+    def test_threshold_configurable(self):
+        jobs = jobs_table([{"sm_max": 95.0}])
+        assert single_bottlenecks(jobs)["sm"] == 0.0
+        assert single_bottlenecks(jobs, threshold=90.0)["sm"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            single_bottlenecks(jobs_table([]))
+
+
+class TestPairwise:
+    def test_joint_saturation_counted(self):
+        jobs = jobs_table(
+            [
+                {"sm_max": 100.0, "pcie_rx_max": 100.0},
+                {"sm_max": 100.0},
+                {"pcie_rx_max": 100.0},
+            ]
+        )
+        pairs = pairwise_bottlenecks(jobs)
+        assert pairs[("pcie_rx", "sm")] == pytest.approx(1.0 / 3.0)
+        assert pairs[("mem_bw", "sm")] == 0.0
+
+    def test_all_pairs_present(self):
+        pairs = pairwise_bottlenecks(jobs_table([{}]))
+        assert len(pairs) == 10  # C(5, 2)
+
+
+class TestAnalysis:
+    def test_dataclass_accessors(self):
+        jobs = jobs_table([{"sm_max": 100.0, "mem_size_max": 100.0}])
+        result = analyse(jobs)
+        assert result.fraction("sm") == 1.0
+        assert result.pair_fraction("mem_size", "sm") == 1.0
+        assert result.pair_fraction("sm", "mem_size") == 1.0  # order-free
+        assert result.max_pair_fraction == 1.0
+        assert result.num_jobs == 1
+
+    def test_unknown_resource_rejected(self):
+        result = analyse(jobs_table([{}]))
+        with pytest.raises(AnalysisError):
+            result.fraction("nvlink")
+        with pytest.raises(AnalysisError):
+            result.pair_fraction("sm", "nvlink")
+
+
+class TestOnGeneratedData:
+    def test_sm_is_dominant_bottleneck(self, gpu_jobs):
+        out = single_bottlenecks(gpu_jobs)
+        assert out["sm"] == max(out.values())
+
+    def test_mem_bw_bottleneck_rare(self, gpu_jobs):
+        out = single_bottlenecks(gpu_jobs)
+        assert out["mem_bw"] < 0.02
+
+    def test_pairs_below_singles(self, gpu_jobs):
+        result = analyse(gpu_jobs)
+        assert result.max_pair_fraction <= max(result.single.values())
+
+    def test_any_pair_below_ten_percent(self, gpu_jobs):
+        result = analyse(gpu_jobs)
+        assert result.max_pair_fraction < 0.15  # paper: < 0.10

@@ -1,0 +1,90 @@
+"""Tests for user-behavior correlations (Fig 12)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import user_behavior_correlations
+from repro.analysis.users import user_table
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+
+def synthetic_users(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    njobs = rng.pareto(1.0, n) * 20 + 1
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                "user": f"u{i}",
+                "num_jobs": float(njobs[i]),
+                "gpu_hours": float(njobs[i] * rng.uniform(0.5, 2.0)),
+                # avg utilization rises with activity (expert users)
+                "avg_runtime": float(rng.uniform(60, 600)),
+                "avg_sm": float(np.log1p(njobs[i]) * 5 + rng.normal(0, 2)),
+                "avg_mem_bw": float(np.log1p(njobs[i]) + rng.normal(0, 0.5)),
+                # CoV unrelated to activity
+                "cov_runtime": float(rng.uniform(0.5, 3.0)),
+                "cov_sm": float(rng.uniform(0.5, 3.0)),
+                "cov_mem_bw": float(rng.uniform(0.5, 3.0)),
+            }
+        )
+    return Table.from_rows(rows)
+
+
+class TestCorrelations:
+    def test_output_shape(self):
+        out = user_behavior_correlations(synthetic_users())
+        assert out.num_rows == 12  # 2 activities x 6 behaviors
+        assert set(out.column_names) == {"activity", "behavior", "rho", "p_value"}
+
+    def test_engineered_positive_correlation_detected(self):
+        out = user_behavior_correlations(synthetic_users())
+        row = [
+            r
+            for r in out.iter_rows()
+            if r["activity"] == "num_jobs" and r["behavior"] == "avg_sm"
+        ][0]
+        assert row["rho"] > 0.7
+        assert row["p_value"] < 0.01
+
+    def test_engineered_null_correlation_low(self):
+        out = user_behavior_correlations(synthetic_users())
+        row = [
+            r
+            for r in out.iter_rows()
+            if r["activity"] == "num_jobs" and r["behavior"] == "cov_sm"
+        ][0]
+        assert abs(row["rho"]) < 0.4
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(AnalysisError):
+            user_behavior_correlations(synthetic_users(n=2))
+
+
+class TestOnGeneratedData:
+    @pytest.fixture(scope="class")
+    def correlations(self, gpu_jobs):
+        users = user_table(gpu_jobs).filter(
+            lambda t: np.asarray(t["num_jobs"], dtype=float) >= 3
+        )
+        return user_behavior_correlations(users)
+
+    def _rho(self, correlations, activity, behavior):
+        for row in correlations.iter_rows():
+            if row["activity"] == activity and row["behavior"] == behavior:
+                return row["rho"]
+        raise KeyError((activity, behavior))
+
+    def test_experts_use_gpus_better(self, correlations):
+        assert self._rho(correlations, "num_jobs", "avg_sm") > 0.3
+
+    def test_experts_not_more_predictable(self, correlations):
+        # the paper's key negative result: activity does not predict
+        # lower variability
+        assert self._rho(correlations, "num_jobs", "cov_sm") < 0.5
+
+    def test_avg_beats_cov_correlation(self, correlations):
+        avg = self._rho(correlations, "num_jobs", "avg_sm")
+        cov = self._rho(correlations, "num_jobs", "cov_sm")
+        assert avg > cov

@@ -1,0 +1,108 @@
+"""Tests for series features and idle-phase prediction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import (
+    IdlePhasePredictor,
+    evaluate_predictor,
+    predictor_study,
+    series_features,
+)
+from repro.errors import AnalysisError
+from tests.analysis.test_phases import series_from_sm
+
+
+class TestSeriesFeatures:
+    def test_idle_fraction(self):
+        features = series_features(series_from_sm([0.0] * 50 + [20.0] * 50))
+        assert features.idle_fraction == pytest.approx(0.5)
+
+    def test_transitions_counted(self):
+        sm = ([20.0] * 10 + [0.0] * 10) * 3
+        features = series_features(series_from_sm(sm))
+        assert features.num_transitions == 5
+
+    def test_periodic_signal_detected(self):
+        t = np.arange(512)
+        sm = 30.0 + 20.0 * np.sin(2 * np.pi * t / 64.0)
+        features = series_features(series_from_sm(sm, step=1.0))
+        assert features.dominant_period_s == pytest.approx(64.0, rel=0.1)
+
+    def test_smooth_signal_high_autocorrelation(self):
+        t = np.arange(200)
+        sm = 30.0 + 20.0 * np.sin(2 * np.pi * t / 100.0)
+        features = series_features(series_from_sm(sm))
+        assert features.lag1_autocorrelation > 0.9
+
+    def test_regular_runs_negative_burstiness(self):
+        sm = ([20.0] * 10 + [0.0] * 10) * 5
+        features = series_features(series_from_sm(sm))
+        assert features.burstiness < 0.0  # equal-length runs: sigma ~ 0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AnalysisError):
+            series_features(series_from_sm([1.0]))
+
+
+class TestIdlePhasePredictor:
+    def test_invalid_params(self):
+        with pytest.raises(AnalysisError):
+            IdlePhasePredictor(window_s=0.0)
+        with pytest.raises(AnalysisError):
+            IdlePhasePredictor(persistence_weight=1.5)
+
+    def test_persistent_idle_predicts_idle(self):
+        series = series_from_sm([0.0] * 100)
+        mask = np.zeros(100, dtype=bool)
+        predictor = IdlePhasePredictor()
+        assert predictor.idle_probability(series.times_s, mask, 50) == 1.0
+
+    def test_persistent_active_predicts_active(self):
+        series = series_from_sm([50.0] * 100)
+        mask = np.ones(100, dtype=bool)
+        predictor = IdlePhasePredictor()
+        assert predictor.idle_probability(series.times_s, mask, 50) == 0.0
+
+
+class TestEvaluatePredictor:
+    def test_constant_series_perfect(self):
+        score = evaluate_predictor(series_from_sm([50.0] * 200), horizon_s=10.0)
+        assert score.accuracy == 1.0
+        assert score.skill == 0.0  # baseline is also perfect
+
+    def test_long_phases_high_accuracy(self):
+        sm = [50.0] * 300 + [0.0] * 300
+        score = evaluate_predictor(series_from_sm(sm), horizon_s=5.0)
+        assert score.accuracy > 0.9
+
+    def test_fast_alternation_defeats_persistence(self):
+        # phases shorter than the horizon: persistence mispredicts
+        sm = ([50.0] * 3 + [0.0] * 3) * 60
+        score = evaluate_predictor(series_from_sm(sm), horizon_s=3.0)
+        assert score.accuracy < 0.6
+
+    def test_short_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            evaluate_predictor(series_from_sm([1.0, 2.0]), horizon_s=100.0)
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(AnalysisError):
+            evaluate_predictor(series_from_sm([1.0] * 50), horizon_s=0.0)
+
+
+class TestPredictorStudy:
+    def test_on_generated_data(self, medium_dataset):
+        scores, accuracy, skill = predictor_study(
+            medium_dataset.timeseries, horizon_s=60.0, max_jobs=60
+        )
+        assert len(scores) > 10
+        # phases mostly outlast a 60 s horizon, so prediction works --
+        # the quantitative basis for the paper's co-location claim
+        assert accuracy > 0.8
+
+    def test_empty_store_rejected(self):
+        from repro.monitor.timeseries import TimeSeriesStore
+
+        with pytest.raises(AnalysisError):
+            predictor_study(TimeSeriesStore())

@@ -1,0 +1,130 @@
+"""Tests for life-cycle classification and breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifecycle import (
+    class_utilization_boxes,
+    classify_exit,
+    lifecycle_breakdown,
+    user_lifecycle_composition,
+)
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+
+class TestClassifyExit:
+    def test_zero_exit_is_mature(self):
+        assert classify_exit(0, cancelled_by_user=False, timed_out=False) == "mature"
+
+    def test_cancel_is_exploratory(self):
+        assert classify_exit(0, cancelled_by_user=True, timed_out=False) == "exploratory"
+
+    def test_nonzero_exit_is_development(self):
+        assert classify_exit(1, cancelled_by_user=False, timed_out=False) == "development"
+
+    def test_timeout_is_ide(self):
+        assert classify_exit(0, cancelled_by_user=False, timed_out=True) == "ide"
+
+    def test_timeout_takes_precedence(self):
+        assert classify_exit(1, cancelled_by_user=True, timed_out=True) == "ide"
+
+
+def class_jobs(spec):
+    """spec: [(class, runtime_s, gpu_hours, user, sm), ...]"""
+    rows = []
+    for cls, runtime, hours, user, sm in spec:
+        rows.append(
+            {
+                "lifecycle_class": cls,
+                "run_time_s": runtime,
+                "gpu_hours": hours,
+                "user": user,
+                "sm_mean": sm,
+                "mem_bw_mean": sm / 10.0,
+                "mem_size_mean": sm / 2.0,
+            }
+        )
+    return Table.from_rows(rows)
+
+
+class TestBreakdown:
+    def test_shares_and_medians(self):
+        jobs = class_jobs(
+            [
+                ("mature", 600.0, 1.0, "a", 20.0),
+                ("mature", 1200.0, 2.0, "a", 25.0),
+                ("ide", 43200.0, 12.0, "b", 0.0),
+                ("exploratory", 3600.0, 1.0, "a", 15.0),
+            ]
+        )
+        table = lifecycle_breakdown(jobs)
+        by_class = {r["lifecycle_class"]: r for r in table.iter_rows()}
+        assert by_class["mature"]["job_fraction"] == 0.5
+        assert by_class["ide"]["gpu_hour_fraction"] == pytest.approx(12.0 / 16.0)
+        assert by_class["mature"]["median_runtime_min"] == pytest.approx(15.0)
+        assert np.isnan(by_class["development"]["median_runtime_min"])
+
+    def test_hour_fractions_sum_to_one(self, gpu_jobs):
+        table = lifecycle_breakdown(gpu_jobs)
+        assert sum(table["gpu_hour_fraction"]) == pytest.approx(1.0)
+        assert sum(table["job_fraction"]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            lifecycle_breakdown(Table.empty(["lifecycle_class"]))
+
+
+class TestUtilizationBoxes:
+    def test_box_statistics(self):
+        jobs = class_jobs(
+            [("mature", 1.0, 1.0, "a", v) for v in (10.0, 20.0, 30.0, 40.0, 50.0)]
+        )
+        boxes = class_utilization_boxes(jobs)
+        sm_row = [r for r in boxes.iter_rows() if r["metric"] == "sm_mean"][0]
+        assert sm_row["median"] == 30.0
+        assert sm_row["p25"] == 20.0
+        assert sm_row["p75"] == 40.0
+
+    def test_absent_class_skipped(self):
+        jobs = class_jobs([("mature", 1.0, 1.0, "a", 5.0)])
+        boxes = class_utilization_boxes(jobs)
+        assert set(boxes["lifecycle_class"]) == {"mature"}
+
+
+class TestUserComposition:
+    def test_fractions_per_user_sum_to_one(self):
+        jobs = class_jobs(
+            [
+                ("mature", 1.0, 1.0, "a", 1.0),
+                ("ide", 1.0, 3.0, "a", 0.0),
+                ("development", 1.0, 1.0, "b", 0.0),
+            ]
+        )
+        table = user_lifecycle_composition(jobs, by="jobs")
+        for row in table.iter_rows():
+            total = sum(row[f"{c}_fraction"] for c in ("mature", "exploratory", "development", "ide"))
+            assert total == pytest.approx(1.0)
+
+    def test_by_hours_weights_differently(self):
+        jobs = class_jobs(
+            [("mature", 1.0, 1.0, "a", 1.0), ("ide", 1.0, 3.0, "a", 0.0)]
+        )
+        by_jobs = user_lifecycle_composition(jobs, by="jobs")
+        by_hours = user_lifecycle_composition(jobs, by="gpu_hours")
+        assert by_jobs.row(0)["mature_fraction"] == 0.5
+        assert by_hours.row(0)["mature_fraction"] == 0.25
+
+    def test_sorted_by_mature_fraction(self, gpu_jobs):
+        table = user_lifecycle_composition(gpu_jobs)
+        fractions = np.asarray(table["mature_fraction"], dtype=float)
+        assert (np.diff(fractions) <= 1e-9).all()
+
+    def test_percentile_column_spans_0_100(self, gpu_jobs):
+        table = user_lifecycle_composition(gpu_jobs)
+        pct = np.asarray(table["user_percentile"], dtype=float)
+        assert 0.0 < pct[0] < pct[-1] < 100.0
+
+    def test_invalid_by_rejected(self, gpu_jobs):
+        with pytest.raises(AnalysisError):
+            user_lifecycle_composition(gpu_jobs, by="minutes")

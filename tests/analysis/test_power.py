@@ -1,0 +1,66 @@
+"""Tests for power-cap impact analysis."""
+
+import pytest
+
+from repro.analysis.power import PowerCapImpact, power_cap_impact, power_headroom
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+
+def power_table(rows):
+    return Table.from_rows(
+        [{"power_w_mean": avg, "power_w_max": peak} for avg, peak in rows]
+    )
+
+
+class TestPowerCapImpact:
+    def test_partition_of_jobs(self):
+        jobs = power_table([(40.0, 80.0), (100.0, 200.0), (180.0, 290.0)])
+        impacts = power_cap_impact(jobs, caps_w=(150.0,))
+        impact = impacts[0]
+        assert impact.unimpacted_fraction == pytest.approx(1.0 / 3.0)
+        assert impact.max_impacted_fraction == pytest.approx(2.0 / 3.0)
+        assert impact.avg_impacted_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_cap_at_board_power_unimpacts_everyone(self):
+        jobs = power_table([(40.0, 299.0), (10.0, 50.0)])
+        impact = power_cap_impact(jobs, caps_w=(300.0,))[0]
+        assert impact.unimpacted_fraction == 1.0
+
+    def test_multiple_caps_ordered_output(self):
+        jobs = power_table([(40.0, 160.0)])
+        impacts = power_cap_impact(jobs, caps_w=(150.0, 200.0))
+        assert [i.cap_w for i in impacts] == [150.0, 200.0]
+        assert impacts[0].unimpacted_fraction < impacts[1].unimpacted_fraction
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(AnalysisError):
+            power_cap_impact(power_table([(1.0, 2.0)]), caps_w=(0.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            power_cap_impact(power_table([]))
+
+    def test_inconsistent_partition_rejected(self):
+        with pytest.raises(AnalysisError):
+            PowerCapImpact(150.0, 0.5, 0.2, 0.1)
+
+
+class TestHeadroom:
+    def test_medians_reported(self):
+        jobs = power_table([(40.0, 80.0), (60.0, 100.0), (50.0, 90.0)])
+        headroom = power_headroom(jobs)
+        assert headroom.median_avg_power_w == 50.0
+        assert headroom.median_max_power_w == 90.0
+        assert headroom.overprovision_factor_at_half_cap == 2.0
+
+    def test_on_generated_data(self, gpu_jobs):
+        headroom = power_headroom(gpu_jobs)
+        # the paper's core claim: most provisioned power goes unused
+        assert headroom.median_avg_power_w < 0.5 * headroom.board_power_w
+        assert headroom.median_max_power_w < headroom.board_power_w
+
+    def test_impact_monotone_in_cap(self, gpu_jobs):
+        impacts = power_cap_impact(gpu_jobs, caps_w=(150.0, 200.0, 250.0))
+        unimpacted = [i.unimpacted_fraction for i in impacts]
+        assert unimpacted == sorted(unimpacted)

@@ -1,0 +1,125 @@
+"""Tests for the analytic queueing models, including a cross-check of
+the GPU-sharing simulator against Erlang C."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import (
+    erlang_c,
+    mgc_mean_wait,
+    mmc_mean_wait,
+    required_gpus_for_wait,
+    workload_parameters,
+)
+from repro.errors import AnalysisError
+from repro.opportunities.sharing_sim import GpuSharingSimulator, SharingJob
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # M/M/1: P(wait) = rho
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_saturated_always_waits(self):
+        assert erlang_c(2, 2.0) == 1.0
+        assert erlang_c(2, 5.0) == 1.0
+
+    def test_zero_load_never_waits(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_known_value(self):
+        # textbook: c=2, a=1 -> C = 1/3
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(8, a) for a in (1.0, 3.0, 5.0, 7.0)]
+        assert values == sorted(values)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            erlang_c(0, 1.0)
+        with pytest.raises(AnalysisError):
+            erlang_c(2, -1.0)
+
+
+class TestMeanWaits:
+    def test_mm1_formula(self):
+        # M/M/1: Wq = rho/(mu - lambda); lambda=0.5, mu=1 -> Wq = 1
+        assert mmc_mean_wait(0.5, 1.0, 1) == pytest.approx(1.0)
+
+    def test_unstable_infinite(self):
+        assert np.isinf(mmc_mean_wait(2.0, 1.0, 1))
+
+    def test_mgc_reduces_to_mmc_at_scv_one(self):
+        assert mgc_mean_wait(0.5, 1.0, 1.0, 1) == pytest.approx(
+            mmc_mean_wait(0.5, 1.0, 1)
+        )
+
+    def test_heavy_tail_waits_longer(self):
+        light = mgc_mean_wait(0.5, 1.0, 1.0, 1)
+        heavy = mgc_mean_wait(0.5, 1.0, 8.0, 1)
+        assert heavy == pytest.approx(4.5 * light)
+
+    def test_deterministic_service_halves_wait(self):
+        assert mgc_mean_wait(0.5, 1.0, 0.0, 1) == pytest.approx(
+            0.5 * mmc_mean_wait(0.5, 1.0, 1)
+        )
+
+
+class TestSimulatorCrossCheck:
+    def test_sharing_sim_matches_erlang_c(self):
+        """The exclusive-mode sharing simulator IS an M/M/c queue when
+        fed Poisson arrivals and exponential services; its mean wait
+        must match the closed form."""
+        rng = np.random.default_rng(42)
+        arrival_rate, mean_service, servers = 0.08, 50.0, 5
+        n = 6000
+        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, n))
+        services = rng.exponential(mean_service, n)
+        jobs = [
+            SharingJob(float(a), float(max(s, 1e-6)), demand=100.0)
+            for a, s in zip(arrivals, services)
+        ]
+        outcome = GpuSharingSimulator().run(jobs, num_gpus=servers, sharing=False)
+        analytic = mmc_mean_wait(arrival_rate, mean_service, servers)
+        assert outcome.mean_wait_s == pytest.approx(analytic, rel=0.25)
+
+
+class TestWorkloadParameters:
+    def test_on_generated_data(self, gpu_jobs):
+        params = workload_parameters(gpu_jobs)
+        assert params["arrival_rate_per_s"] > 0
+        assert params["mean_service_s"] > 60.0
+        # heavy-tailed runtimes: SCV far above exponential
+        assert params["service_scv"] > 1.5
+        assert params["offered_gpu_load"] > 0
+
+    def test_offered_load_below_capacity(self, medium_dataset):
+        """The paper's provisioning claim in queueing terms: offered
+        GPU-Erlangs sit well below the installed GPU count."""
+        params = workload_parameters(medium_dataset.gpu_jobs)
+        assert params["offered_gpu_load"] < 0.8 * medium_dataset.spec.total_gpus
+
+    def test_degenerate_inputs_rejected(self):
+        from repro.frame import Table
+
+        with pytest.raises(AnalysisError):
+            workload_parameters(
+                Table({"submit_time_s": [1.0], "run_time_s": [1.0], "num_gpus": [1]})
+            )
+
+
+class TestRequiredGpus:
+    def test_more_servers_for_tighter_target(self):
+        loose = required_gpus_for_wait(0.1, 100.0, 4.0, target_wait_s=300.0)
+        tight = required_gpus_for_wait(0.1, 100.0, 4.0, target_wait_s=1.0)
+        assert tight >= loose
+
+    def test_at_least_offered_load(self):
+        servers = required_gpus_for_wait(1.0, 10.0, 1.0, target_wait_s=60.0)
+        assert servers >= 10
+
+    def test_unreachable_rejected(self):
+        with pytest.raises(AnalysisError):
+            required_gpus_for_wait(1.0, 10.0, 1.0, target_wait_s=0.0, max_servers=11)

@@ -1,0 +1,112 @@
+"""Tests for life-cycle transition mining."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.transitions import (
+    campaign_stats,
+    segment_campaigns,
+    self_transition_rates,
+    transition_matrix,
+)
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+
+def stream(spec):
+    """spec: [(user, submit, class), ...]"""
+    return Table.from_rows(
+        [
+            {"user": user, "submit_time_s": submit, "lifecycle_class": cls}
+            for user, submit, cls in spec
+        ]
+    )
+
+
+class TestTransitionMatrix:
+    def test_rows_are_distributions(self):
+        jobs = stream(
+            [("a", 0.0, "ide"), ("a", 1.0, "development"), ("a", 2.0, "exploratory"),
+             ("a", 3.0, "mature")]
+        )
+        matrix = transition_matrix(jobs)
+        for row in matrix.iter_rows():
+            total = sum(row[c] for c in ("mature", "exploratory", "development", "ide"))
+            assert total in (0.0, pytest.approx(1.0))
+
+    def test_deterministic_chain(self):
+        jobs = stream([("a", float(i), "development" if i % 2 == 0 else "mature") for i in range(10)])
+        matrix = transition_matrix(jobs)
+        dev_row = [r for r in matrix.iter_rows() if r["from_class"] == "development"][0]
+        assert dev_row["mature"] == pytest.approx(1.0)
+
+    def test_transitions_do_not_cross_users(self):
+        jobs = stream([("a", 0.0, "ide"), ("b", 1.0, "mature")])
+        matrix = transition_matrix(jobs)
+        ide_row = [r for r in matrix.iter_rows() if r["from_class"] == "ide"][0]
+        assert ide_row["num_transitions"] == 0
+
+    def test_self_transition_rates(self):
+        jobs = stream([("a", float(i), "mature") for i in range(5)])
+        rates = self_transition_rates(transition_matrix(jobs))
+        assert rates["mature"] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            transition_matrix(stream([]))
+
+
+class TestCampaigns:
+    def test_gap_splits_campaigns(self):
+        jobs = stream(
+            [("a", 0.0, "development"), ("a", 60.0, "mature"), ("a", 100000.0, "ide")]
+        )
+        campaigns = segment_campaigns(jobs, gap_s=3600.0)
+        assert len(campaigns) == 2
+        assert campaigns[0]["classes"] == ["development", "mature"]
+
+    def test_span_computed(self):
+        jobs = stream([("a", 0.0, "mature"), ("a", 500.0, "mature")])
+        campaigns = segment_campaigns(jobs, gap_s=3600.0)
+        assert campaigns[0]["span_s"] == 500.0
+
+    def test_stats(self):
+        jobs = stream(
+            [
+                ("a", 0.0, "development"), ("a", 10.0, "exploratory"), ("a", 20.0, "mature"),
+                ("b", 0.0, "ide"),
+            ]
+        )
+        stats = campaign_stats(segment_campaigns(jobs, gap_s=3600.0))
+        assert stats.num_campaigns == 2
+        assert stats.fraction_ending_mature == 0.5
+        assert stats.fraction_with_exploration == 1.0  # the only multi-job campaign
+
+    def test_invalid_gap_rejected(self):
+        with pytest.raises(AnalysisError):
+            segment_campaigns(stream([("a", 0.0, "mature")]), gap_s=0.0)
+
+    def test_empty_campaign_list_rejected(self):
+        with pytest.raises(AnalysisError):
+            campaign_stats([])
+
+
+class TestOnGeneratedData:
+    def test_matrix_well_formed(self, gpu_jobs):
+        matrix = transition_matrix(gpu_jobs)
+        assert matrix.num_rows == 4
+        total = sum(r["num_transitions"] for r in matrix.iter_rows())
+        assert total > gpu_jobs.num_rows * 0.8  # nearly every job has a successor
+
+    def test_mature_is_sticky(self, gpu_jobs):
+        """Users in the mature state tend to stay there (the dominant
+        class dominates its own successor distribution)."""
+        rates = self_transition_rates(transition_matrix(gpu_jobs))
+        assert rates["mature"] > 0.4
+
+    def test_campaign_structure_present(self, gpu_jobs):
+        stats = campaign_stats(segment_campaigns(gpu_jobs))
+        # the generator submits jobs in sessions: campaigns exist and
+        # most multi-job bursts contain several jobs
+        assert stats.num_campaigns > 50
+        assert stats.median_campaign_jobs >= 1.0

@@ -1,0 +1,102 @@
+"""Tests for per-user aggregation and Pareto statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.users import pareto_stats, user_table
+from repro.errors import AnalysisError
+from repro.frame import Table
+
+
+def jobs_for_users(spec):
+    """spec: {user: [(runtime, sm), ...]}"""
+    rows = []
+    for user, jobs in spec.items():
+        for runtime, sm in jobs:
+            rows.append(
+                {
+                    "user": user,
+                    "run_time_s": runtime,
+                    "sm_mean": sm,
+                    "mem_bw_mean": sm / 10.0,
+                    "mem_size_mean": sm / 2.0,
+                    "gpu_hours": runtime / 3600.0,
+                }
+            )
+    return Table.from_rows(rows)
+
+
+class TestUserTable:
+    def test_one_row_per_user(self):
+        users = user_table(jobs_for_users({"a": [(60, 10)], "b": [(120, 20), (240, 30)]}))
+        assert users.num_rows == 2
+
+    def test_averages(self):
+        users = user_table(jobs_for_users({"a": [(60, 10), (180, 30)]}))
+        row = users.row(0)
+        assert row["avg_runtime"] == pytest.approx(120.0)
+        assert row["avg_sm"] == pytest.approx(20.0)
+        assert row["num_jobs"] == 2
+        assert row["gpu_hours"] == pytest.approx(240.0 / 3600.0)
+
+    def test_cov_columns(self):
+        users = user_table(jobs_for_users({"a": [(60, 10), (180, 30)]}))
+        row = users.row(0)
+        assert row["cov_runtime"] == pytest.approx(0.5)
+        assert row["cov_sm"] == pytest.approx(0.5)
+
+    def test_single_job_user_zero_cov(self):
+        users = user_table(jobs_for_users({"a": [(60, 10)]}))
+        assert users.row(0)["cov_runtime"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            user_table(Table.empty(["user"]))
+
+
+class TestParetoStats:
+    def test_known_distribution(self):
+        users = user_table(
+            jobs_for_users(
+                {
+                    "heavy": [(60, 1)] * 80,
+                    **{f"light{i}": [(60, 1)] for i in range(19)},
+                }
+            )
+        )
+        stats = pareto_stats(users)
+        assert stats.num_users == 20
+        assert stats.top5pct_job_share == pytest.approx(80.0 / 99.0)
+        assert stats.median_jobs_per_user == 1.0
+        assert stats.gini_coefficient > 0.5
+
+    def test_uniform_distribution(self):
+        users = user_table(jobs_for_users({f"u{i}": [(60, 1)] for i in range(10)}))
+        stats = pareto_stats(users)
+        assert stats.gini_coefficient == pytest.approx(0.0, abs=1e-9)
+        assert stats.top20pct_job_share == pytest.approx(0.2)
+
+    def test_on_generated_data(self, gpu_jobs):
+        stats = pareto_stats(user_table(gpu_jobs))
+        # the paper's Pareto principle, with generous bands
+        assert 0.25 <= stats.top5pct_job_share <= 0.65
+        assert 0.6 <= stats.top20pct_job_share <= 0.95
+        assert stats.top20pct_job_share > stats.top5pct_job_share
+
+
+class TestGeneratedUserBehavior:
+    def test_user_runtime_variability_high(self, gpu_jobs):
+        users = user_table(gpu_jobs).filter(
+            lambda t: np.asarray(t["num_jobs"], dtype=float) >= 3
+        )
+        covs = np.asarray(users["cov_runtime"], dtype=float)
+        covs = covs[np.isfinite(covs)]
+        assert np.median(covs) > 0.8  # paper: 1.55
+
+    def test_user_sm_variability_high(self, gpu_jobs):
+        users = user_table(gpu_jobs).filter(
+            lambda t: np.asarray(t["num_jobs"], dtype=float) >= 3
+        )
+        covs = np.asarray(users["cov_sm"], dtype=float)
+        covs = covs[np.isfinite(covs)]
+        assert np.median(covs) > 0.6  # paper: 1.21

@@ -1,0 +1,123 @@
+"""Tests for runtime node/GPU allocation accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import Cluster, GpuDevice, Node
+from repro.cluster.spec import NodeSpec, supercloud_spec
+from repro.errors import SchedulerError
+
+
+@pytest.fixture
+def node():
+    return Node(0, NodeSpec())
+
+
+class TestGpuDevice:
+    def test_acquire_release(self):
+        gpu = GpuDevice(0, 0)
+        gpu.acquire(7)
+        assert not gpu.is_free
+        gpu.release(7)
+        assert gpu.is_free
+
+    def test_double_acquire_rejected(self):
+        gpu = GpuDevice(0, 0)
+        gpu.acquire(1)
+        with pytest.raises(SchedulerError, match="already owned"):
+            gpu.acquire(2)
+
+    def test_release_by_non_owner_rejected(self):
+        gpu = GpuDevice(0, 0)
+        gpu.acquire(1)
+        with pytest.raises(SchedulerError, match="does not own"):
+            gpu.release(2)
+
+
+class TestNodeAllocation:
+    def test_allocate_reduces_free(self, node):
+        node.allocate(1, cores=8, memory_gb=64.0, gpus=1)
+        assert node.free_cores == 32
+        assert node.free_memory_gb == 320.0
+        assert node.free_gpus == 1
+
+    def test_release_restores(self, node):
+        node.allocate(1, 8, 64.0, 2)
+        node.release(1)
+        assert node.free_cores == 40
+        assert node.free_gpus == 2
+
+    def test_multiple_jobs_colocate(self, node):
+        node.allocate(1, 8, 64.0, 1)
+        node.allocate(2, 8, 64.0, 1)
+        assert node.used_gpus == 2
+        assert len(node.allocations) == 2
+
+    def test_gpu_exclusivity(self, node):
+        node.allocate(1, 4, 10.0, 2)
+        assert not node.can_fit(1, 1.0, 1)
+
+    def test_overcommit_rejected(self, node):
+        with pytest.raises(SchedulerError, match="cannot fit"):
+            node.allocate(1, cores=41, memory_gb=1.0, gpus=0)
+
+    def test_duplicate_allocation_rejected(self, node):
+        node.allocate(1, 1, 1.0, 0)
+        with pytest.raises(SchedulerError, match="already allocated"):
+            node.allocate(1, 1, 1.0, 0)
+
+    def test_release_unknown_job_rejected(self, node):
+        with pytest.raises(SchedulerError, match="holds nothing"):
+            node.release(99)
+
+    def test_allocation_records_gpu_indices(self, node):
+        allocation = node.allocate(1, 1, 1.0, 2)
+        assert allocation.gpu_indices == (0, 1)
+
+    def test_invariants_pass_after_churn(self, node):
+        node.allocate(1, 8, 64.0, 1)
+        node.allocate(2, 8, 64.0, 1)
+        node.release(1)
+        node.allocate(3, 16, 100.0, 1)
+        node.check_invariants()
+
+
+class TestCluster:
+    def test_totals(self):
+        cluster = Cluster(supercloud_spec(4))
+        assert cluster.free_gpus == 8
+        assert cluster.free_cores == 160
+
+    def test_utilization_fractions(self):
+        cluster = Cluster(supercloud_spec(2))
+        cluster.nodes[0].allocate(1, 20, 192.0, 2)
+        util = cluster.utilization()
+        assert util["gpu"] == pytest.approx(0.5)
+        assert util["cores"] == pytest.approx(0.25)
+        assert util["memory"] == pytest.approx(0.25)
+
+    def test_check_invariants_delegates(self):
+        cluster = Cluster(supercloud_spec(2))
+        cluster.nodes[1].allocate(5, 4, 16.0, 1)
+        cluster.check_invariants()
+
+
+@given(st.lists(st.tuples(st.integers(1, 8), st.integers(0, 2)), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_allocate_release_conserves_resources(requests):
+    """Property: after allocating whatever fits and releasing it all,
+    the node is back to pristine state; invariants hold throughout."""
+    node = Node(0, NodeSpec())
+    live = []
+    for job_id, (cores, gpus) in enumerate(requests):
+        if node.can_fit(cores, 1.0, gpus):
+            node.allocate(job_id, cores, 1.0, gpus)
+            live.append(job_id)
+        node.check_invariants()
+    for job_id in live:
+        node.release(job_id)
+        node.check_invariants()
+    assert node.free_cores == node.spec.physical_cores
+    assert node.free_gpus == node.spec.gpus_per_node
+    assert node.free_memory_gb == node.spec.ram_gb

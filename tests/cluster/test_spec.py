@@ -1,0 +1,59 @@
+"""Tests for the hardware specification model (paper Table I)."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec, GpuSpec, NodeSpec, supercloud_spec
+from repro.errors import ReproError
+
+
+class TestGpuSpec:
+    def test_v100_defaults(self):
+        gpu = GpuSpec()
+        assert gpu.memory_gb == 32.0
+        assert gpu.max_power_w == 300.0
+        assert "V100" in gpu.model
+
+    def test_invalid_envelope_rejected(self):
+        with pytest.raises(ReproError):
+            GpuSpec(memory_gb=0)
+
+    def test_idle_above_max_rejected(self):
+        with pytest.raises(ReproError):
+            GpuSpec(idle_power_w=350.0)
+
+
+class TestNodeSpec:
+    def test_core_counts(self):
+        node = NodeSpec()
+        assert node.physical_cores == 40
+        assert node.logical_cores == 80
+
+    def test_two_gpus_per_node(self):
+        assert NodeSpec().gpus_per_node == 2
+
+
+class TestClusterSpec:
+    def test_paper_totals(self):
+        spec = supercloud_spec()
+        assert spec.num_nodes == 224
+        assert spec.total_gpus == 448
+        assert spec.total_cores == 8960
+
+    def test_power_budget(self):
+        spec = supercloud_spec()
+        assert spec.total_gpu_power_budget_w == 448 * 300.0
+
+    def test_scaled_down(self):
+        spec = supercloud_spec(10)
+        assert spec.total_gpus == 20
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ReproError):
+            ClusterSpec(num_nodes=0)
+
+    def test_summary_rows_cover_sections(self):
+        rows = supercloud_spec().summary_rows()
+        sections = {row["section"] for row in rows}
+        assert sections == {"node", "gpu", "storage"}
+        items = {row["item"] for row in rows}
+        assert "Number of GPUs" in items

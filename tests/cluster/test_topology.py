@@ -1,0 +1,69 @@
+"""Tests for the fat-tree topology model."""
+
+import pytest
+
+from repro.cluster.topology import FatTreeTopology
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def topo():
+    return FatTreeTopology(num_nodes=70, leaf_radix=32, num_core=2)
+
+
+class TestStructure:
+    def test_leaf_count(self, topo):
+        assert topo.num_leaves == 3  # ceil(70/32)
+
+    def test_leaf_of(self, topo):
+        assert topo.leaf_of(0) == 0
+        assert topo.leaf_of(31) == 0
+        assert topo.leaf_of(32) == 1
+        assert topo.leaf_of(69) == 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            FatTreeTopology(0)
+
+    def test_node_out_of_range(self, topo):
+        with pytest.raises(ReproError):
+            topo.leaf_of(70)
+
+    def test_bisection_links(self, topo):
+        assert topo.bisection_links() == 6
+
+    def test_graph_size(self, topo):
+        # 70 nodes + 3 leaves + 2 cores
+        assert topo.graph.number_of_nodes() == 75
+
+
+class TestDistances:
+    def test_same_node(self, topo):
+        assert topo.hop_distance(5, 5) == 0
+
+    def test_same_leaf(self, topo):
+        assert topo.hop_distance(0, 31) == 2
+
+    def test_cross_leaf(self, topo):
+        assert topo.hop_distance(0, 32) == 4
+
+    def test_symmetry(self, topo):
+        assert topo.hop_distance(3, 40) == topo.hop_distance(40, 3)
+
+    def test_group_span_empty(self, topo):
+        assert topo.group_span([]) == 0
+
+    def test_group_span_same_leaf(self, topo):
+        assert topo.group_span([0, 1, 2]) == 2
+
+    def test_group_span_cross_leaf(self, topo):
+        assert topo.group_span([0, 1, 40]) == 4
+
+    def test_neighbors_ordered_by_distance(self, topo):
+        order = topo.neighbors_by_distance(0)
+        assert order[0] == 1            # same leaf first
+        assert set(order[:31]) == set(range(1, 32))
+        assert len(order) == 69
+
+    def test_neighbors_exclude_self(self, topo):
+        assert 5 not in topo.neighbors_by_distance(5)

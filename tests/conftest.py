@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+Dataset generation dominates test time, so the expensive fixtures are
+session-scoped and shared: ``small_dataset`` for structural tests and
+``medium_dataset`` for the distribution-shape tests that need more
+samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import generate_dataset
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A tiny end-to-end dataset (~750 jobs) for structural tests."""
+    return generate_dataset(WorkloadConfig(scale=0.01, seed=101))
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """A mid-size dataset (~5k GPU jobs) for shape/calibration tests."""
+    return generate_dataset(WorkloadConfig(scale=0.1, seed=202))
+
+
+@pytest.fixture(scope="session")
+def gpu_jobs(medium_dataset):
+    return medium_dataset.gpu_jobs
+
+
+@pytest.fixture(scope="session")
+def cpu_jobs(medium_dataset):
+    return medium_dataset.jobs.filter(
+        lambda t: np.asarray(t["num_gpus"]) == 0
+    )

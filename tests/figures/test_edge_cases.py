@@ -1,0 +1,55 @@
+"""Edge-case behavior of the figure harness on degenerate datasets."""
+
+import pytest
+
+from repro.dataset import generate_dataset
+from repro.errors import AnalysisError
+from repro.figures.registry import run_figure
+from repro.monitor.collector import MonitoringConfig
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def no_timeseries_dataset():
+    return generate_dataset(
+        WorkloadConfig(scale=0.01, seed=404),
+        MonitoringConfig(timeseries_fraction=0.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def gpu_only_dataset():
+    return generate_dataset(
+        WorkloadConfig(scale=0.01, seed=405, include_cpu_jobs=False)
+    )
+
+
+class TestMissingTimeseries:
+    def test_fig06_raises_clearly(self, no_timeseries_dataset):
+        with pytest.raises(AnalysisError, match="time-series"):
+            run_figure("fig06", no_timeseries_dataset)
+
+    def test_fig07_raises_clearly(self, no_timeseries_dataset):
+        with pytest.raises(AnalysisError, match="time-series"):
+            run_figure("fig07", no_timeseries_dataset)
+
+    def test_summary_figures_still_work(self, no_timeseries_dataset):
+        for figure_id in ("fig04", "fig09", "fig15"):
+            result = run_figure(figure_id, no_timeseries_dataset)
+            assert result.comparisons
+
+
+class TestGpuOnlyWorkload:
+    def test_fig03_raises_without_cpu_jobs(self, gpu_only_dataset):
+        with pytest.raises(AnalysisError):
+            run_figure("fig03", gpu_only_dataset)
+
+    def test_gpu_side_figures_work(self, gpu_only_dataset):
+        for figure_id in ("fig04", "fig13", "fig15", "pareto"):
+            result = run_figure(figure_id, gpu_only_dataset)
+            assert result.comparisons
+
+    def test_dataset_has_no_cpu_jobs(self, gpu_only_dataset):
+        import numpy as np
+
+        assert (np.asarray(gpu_only_dataset.jobs["num_gpus"]) > 0).all()

@@ -1,0 +1,53 @@
+"""Tests for the extension figures."""
+
+import pytest
+
+from repro.figures.registry import run_figure
+
+
+@pytest.fixture(scope="module")
+def ext_results(medium_dataset):
+    return {
+        fid: run_figure(fid, medium_dataset)
+        for fid in ("ext_timeline", "ext_prediction", "ext_queueing")
+    }
+
+
+class TestExtTimeline:
+    def test_utilization_bounded(self, ext_results):
+        result = ext_results["ext_timeline"]
+        assert 0.0 < result.get("mean GPU utilization (<0.7)").measured < 0.7
+        assert result.get("peak GPU utilization (<=1)").measured <= 1.0
+
+    def test_surges_visible(self, ext_results):
+        ratio = ext_results["ext_timeline"].get("deadline-window load ratio").measured
+        assert ratio > 1.1
+
+
+class TestExtPrediction:
+    def test_users_unpredictable(self, ext_results):
+        gain = ext_results["ext_prediction"].get(
+            "runtime predictability gain (<0.5)"
+        ).measured
+        assert gain < 0.5
+
+    def test_idle_phases_predictable(self, ext_results):
+        accuracy = ext_results["ext_prediction"].get(
+            "60s idle-phase prediction accuracy"
+        ).measured
+        assert accuracy > 0.75
+
+
+class TestExtQueueing:
+    def test_offered_load_below_capacity(self, ext_results):
+        assert ext_results["ext_queueing"].get(
+            "offered load / capacity (<0.7)"
+        ).measured < 0.7
+
+    def test_heavy_tailed_services(self, ext_results):
+        assert ext_results["ext_queueing"].get("service-time SCV (>>1)").measured > 1.5
+
+    def test_capacity_exceeds_analytic_need(self, ext_results):
+        assert ext_results["ext_queueing"].get(
+            "capacity / analytic need (>1)"
+        ).measured >= 1.0

@@ -1,0 +1,170 @@
+"""Tests for the per-figure reproduction harness.
+
+Each figure runs against the shared medium dataset; assertions check
+the *shape* claims of the paper (orderings, bounds), not exact values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.figures.base import Comparison
+from repro.figures.registry import all_figures, get_figure, run_figure
+
+
+@pytest.fixture(scope="module")
+def results(medium_dataset):
+    return {fid: run_figure(fid, medium_dataset) for fid in all_figures()}
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        ids = all_figures()
+        for n in range(3, 18):
+            assert f"fig{n:02d}" in ids
+        assert "table1" in ids
+        assert "queue_waits" in ids
+        assert "pareto" in ids
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown figure"):
+            get_figure("fig99")
+
+    def test_every_figure_produces_comparisons(self, results):
+        for fid, result in results.items():
+            assert result.comparisons, fid
+            assert result.figure_id == fid
+
+    def test_comparison_table_roundtrip(self, results):
+        table = results["fig04"].comparison_table()
+        assert table.num_rows == len(results["fig04"].comparisons)
+        assert set(table.column_names) == {"figure", "name", "paper", "measured", "unit"}
+
+    def test_to_text_mentions_title(self, results):
+        assert "power" in results["fig09"].to_text().lower()
+
+    def test_get_lookup(self, results):
+        comparison = results["fig04"].get("SM util median")
+        assert comparison.paper == 16.0
+        with pytest.raises(KeyError):
+            results["fig04"].get("nope")
+
+
+class TestComparisonType:
+    def test_ratio(self):
+        assert Comparison("x", 10.0, 5.0).ratio == 0.5
+
+    def test_ratio_zero_paper_nan(self):
+        assert np.isnan(Comparison("x", 0.0, 5.0).ratio)
+
+    def test_formatted(self):
+        text = Comparison("median", 30.0, 28.4, " min").formatted()
+        assert "paper 30 min" in text
+
+
+class TestFig03Shape:
+    def test_gpu_jobs_run_longer_than_cpu(self, results):
+        r = results["fig03"]
+        assert r.get("GPU runtime median").measured > r.get("CPU runtime median").measured
+
+    def test_gpu_jobs_wait_less(self, results):
+        r = results["fig03"]
+        assert (
+            r.get("GPU jobs waiting <2% of service").measured
+            > r.get("CPU jobs waiting <2% of service").measured
+        )
+
+    def test_runtime_medians_in_band(self, results):
+        measured = results["fig03"].get("GPU runtime median").measured
+        assert 10.0 <= measured <= 80.0  # paper: 30 min
+
+
+class TestFig04Shape:
+    def test_resource_ordering(self, results):
+        r = results["fig04"]
+        sm = r.get("SM util median").measured
+        mem = r.get("memory util median").measured
+        assert sm > mem
+
+    def test_low_utilization_headline(self, results):
+        r = results["fig04"]
+        for name in ("jobs with SM util >50%", "jobs with memory util >50%"):
+            assert r.get(name).measured < 0.5
+
+
+class TestFig06Fig07Shape:
+    def test_phases_bimodal(self, results):
+        r = results["fig06"]
+        assert r.get("active-time share p25").measured < 0.5
+        assert r.get("active-time share p75").measured > 0.8
+
+    def test_interval_covs_high(self, results):
+        r = results["fig06"]
+        assert r.get("idle interval CoV median").measured > 0.5
+        assert r.get("active interval CoV median").measured > 0.5
+
+    def test_sm_dominates_bottlenecks(self, results):
+        r = results["fig07"]
+        sm = r.get("sm bottleneck fraction").measured
+        assert sm > r.get("mem_bw bottleneck fraction").measured
+        assert 0.1 <= sm <= 0.35  # paper: 0.22
+
+
+class TestFig09Shape:
+    def test_power_headroom(self, results):
+        r = results["fig09"]
+        assert r.get("average power median").measured < 150.0
+        assert r.get("maximum power median").measured < 300.0
+
+    def test_cap_satisfies_paper_bounds(self, results):
+        r = results["fig09"]
+        assert r.get("unimpacted at 150 W cap").measured > 0.5
+        assert r.get("avg-impacted at 150 W cap").measured < 0.10
+
+
+class TestFig13Fig14Shape:
+    def test_single_gpu_dominates(self, results):
+        assert results["fig13"].get("single-GPU job fraction").measured > 0.7
+
+    def test_multi_gpu_hours_disproportionate(self, results):
+        r = results["fig13"]
+        share = r.get("multi-GPU share of GPU hours").measured
+        jobs = 1.0 - r.get("single-GPU job fraction").measured
+        assert share > jobs
+
+    def test_idle_gpu_pathology(self, results):
+        measured = results["fig14"].get("multi-GPU jobs with idle GPUs (>=half)").measured
+        assert 0.15 <= measured <= 0.6
+
+
+class TestFig15To17Shape:
+    def test_mature_majority_of_jobs_minority_of_hours(self, results):
+        r = results["fig15"]
+        assert r.get("mature job share").measured > 0.45
+        assert (
+            r.get("mature GPU-hour share").measured
+            < r.get("mature job share").measured
+        )
+
+    def test_ide_hours_disproportionate(self, results):
+        r = results["fig15"]
+        assert (
+            r.get("ide GPU-hour share").measured
+            > 2 * r.get("ide job share").measured
+        )
+
+    def test_class_sm_ordering(self, results):
+        r = results["fig16"]
+        assert r.get("mature/expl >> dev/IDE ordering holds").measured == 1.0
+        assert r.get("IDE SM p75 (paper: 0)").measured <= 1.0
+
+    def test_user_composition_varies(self, results):
+        assert results["fig17"].get("users with mature job share <40%").measured > 0.1
+
+
+class TestQueueWaitsShape:
+    def test_multi_gpu_not_slower(self, results):
+        r = results["queue_waits"]
+        single = r.get("median wait, 1 GPU(s)").measured
+        multi = r.get("median wait, 2 GPU(s)").measured
+        assert multi <= single

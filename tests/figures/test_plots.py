@@ -1,0 +1,86 @@
+"""Tests for the figure-to-SVG chart mapping."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.figures.plots import figure_charts, plottable_figures, save_figure_plots
+from repro.figures.registry import all_figures, run_figure
+
+
+@pytest.fixture(scope="module")
+def results(medium_dataset):
+    return {fid: run_figure(fid, medium_dataset) for fid in plottable_figures()}
+
+
+class TestCoverage:
+    def test_every_plottable_figure_in_registry(self):
+        assert set(plottable_figures()) <= set(all_figures())
+
+    def test_every_paper_figure_plottable(self):
+        plottable = set(plottable_figures())
+        for n in range(3, 18):
+            assert f"fig{n:02d}" in plottable
+
+    def test_all_charts_render(self, results):
+        for fid, result in results.items():
+            charts = figure_charts(result)
+            assert charts, fid
+            for name, chart in charts.items():
+                svg = chart.render()
+                assert svg.startswith("<svg"), (fid, name)
+
+    def test_unknown_figure_rejected(self, results):
+        result = results["fig03"]
+        result_copy = type(result)(figure_id="nope", title="", series=result.series)
+        with pytest.raises(AnalysisError):
+            figure_charts(result_copy)
+
+
+class TestSaving:
+    def test_save_writes_svg_files(self, results, tmp_path):
+        paths = save_figure_plots(results["fig04"], tmp_path)
+        assert len(paths) == 2
+        for path in paths:
+            assert path.suffix == ".svg"
+            assert path.read_text().startswith("<svg")
+
+    def test_filenames_prefixed_with_figure_id(self, results, tmp_path):
+        paths = save_figure_plots(results["fig15"], tmp_path)
+        assert all(p.name.startswith("fig15_") for p in paths)
+
+
+class TestExtensionCharts:
+    def test_ext_timeline_charts(self, results):
+        charts = figure_charts(results["ext_timeline"])
+        assert set(charts) == {"occupancy", "daily"}
+        svg = charts["occupancy"].render()
+        assert "capacity" in svg
+
+    def test_ext_prediction_chart(self, results):
+        charts = figure_charts(results["ext_prediction"])
+        svg = charts["strategies"].render()
+        assert "user_mean" in svg and "global_median" in svg
+
+    def test_ext_queueing_chart(self, results):
+        charts = figure_charts(results["ext_queueing"])
+        assert "parameters" in charts
+        assert charts["parameters"].render().startswith("<svg")
+
+
+class TestChartContent:
+    def test_fig03_has_two_charts(self, results):
+        charts = figure_charts(results["fig03"])
+        assert set(charts) == {"runtimes", "wait_fraction"}
+
+    def test_fig03_runtime_chart_is_log(self, results):
+        charts = figure_charts(results["fig03"])
+        assert charts["runtimes"].x_log
+
+    def test_fig13_grouped_bars(self, results):
+        charts = figure_charts(results["fig13"])
+        svg = charts["sizes"].render()
+        assert "jobs" in svg and "GPU hours" in svg
+
+    def test_fig16_box_charts_per_metric(self, results):
+        charts = figure_charts(results["fig16"])
+        assert "sm_mean" in charts

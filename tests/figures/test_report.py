@@ -1,0 +1,24 @@
+"""Tests for the report renderer."""
+
+from repro.figures.report import render_markdown, run_all, write_report
+
+
+class TestReport:
+    def test_run_all_covers_registry(self, small_dataset):
+        from repro.figures.registry import all_figures
+
+        results = run_all(small_dataset)
+        assert len(results) == len(all_figures())
+        assert len(results) >= 21  # 18 paper figures + 3 extensions
+
+    def test_markdown_structure(self, small_dataset):
+        results = run_all(small_dataset)
+        text = render_markdown(small_dataset, results)
+        assert text.startswith("# EXPERIMENTS")
+        assert "## fig04" in text
+        assert "| statistic | paper | measured | ratio |" in text
+
+    def test_write_report(self, small_dataset, tmp_path):
+        path = write_report(small_dataset, tmp_path / "EXPERIMENTS.md")
+        assert path.exists()
+        assert "fig15" in path.read_text()

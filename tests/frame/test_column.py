@@ -1,0 +1,71 @@
+"""Tests for repro.frame.column coercion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frame.column import as_column, column_dtype, is_string_column
+
+
+class TestAsColumn:
+    def test_list_of_ints_is_numeric(self):
+        col = as_column([1, 2, 3])
+        assert np.issubdtype(col.dtype, np.integer)
+
+    def test_list_of_floats_is_numeric(self):
+        col = as_column([1.5, 2.5])
+        assert np.issubdtype(col.dtype, np.floating)
+
+    def test_bools_stay_numeric(self):
+        col = as_column([True, False])
+        assert column_dtype(col) == "numeric"
+
+    def test_strings_become_object(self):
+        col = as_column(["a", "b"])
+        assert col.dtype == object
+
+    def test_mixed_none_becomes_object(self):
+        col = as_column([1, None, 3])
+        assert col.dtype == object
+        assert col[1] is None
+
+    def test_numpy_array_passes_through(self):
+        arr = np.arange(4)
+        assert as_column(arr) is arr
+
+    def test_2d_array_rejected(self):
+        with pytest.raises(FrameError, match="1-D"):
+            as_column(np.zeros((2, 2)))
+
+    def test_bare_string_rejected(self):
+        with pytest.raises(FrameError, match="single string"):
+            as_column("abc")
+
+    def test_scalar_rejected(self):
+        with pytest.raises(FrameError):
+            as_column(42)
+
+    def test_empty_list(self):
+        assert len(as_column([])) == 0
+
+    def test_generator_input(self):
+        col = as_column(x * 2 for x in range(3))
+        assert list(col) == [0, 2, 4]
+
+
+class TestColumnDtype:
+    def test_numeric(self):
+        assert column_dtype(np.asarray([1.0, 2.0])) == "numeric"
+
+    def test_string_object_array(self):
+        assert column_dtype(as_column(["x", "y"])) == "string"
+
+    def test_unicode_array(self):
+        assert column_dtype(np.asarray(["x", "y"])) == "string"
+
+    def test_object_with_none(self):
+        assert column_dtype(as_column(["x", None])) == "object"
+
+    def test_is_string_column(self):
+        assert is_string_column(as_column(["x"]))
+        assert not is_string_column(np.asarray([1, 2]))

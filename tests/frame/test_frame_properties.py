@@ -1,0 +1,101 @@
+"""Property-based tests for the frame substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Table, concat_tables
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@st.composite
+def tables(draw, min_rows=0, max_rows=30):
+    n = draw(st.integers(min_rows, max_rows))
+    num_cols = draw(st.integers(1, 4))
+    data = {}
+    for i in range(num_cols):
+        kind = draw(st.sampled_from(["num", "str"]))
+        if kind == "num":
+            data[f"c{i}"] = draw(
+                st.lists(floats, min_size=n, max_size=n)
+            )
+        else:
+            data[f"c{i}"] = draw(st.lists(names, min_size=n, max_size=n))
+    return Table(data)
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_filter_then_count_matches_mask(t):
+    if t.num_rows == 0:
+        return
+    mask = np.zeros(t.num_rows, dtype=bool)
+    mask[:: max(1, t.num_rows // 3)] = True
+    assert t.filter(mask).num_rows == int(mask.sum())
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=60, deadline=None)
+def test_sort_is_permutation(t):
+    name = t.column_names[0]
+    ordered = t.sort_by(name)
+    assert ordered.num_rows == t.num_rows
+    original = sorted(map(str, t[name]))
+    after = sorted(map(str, ordered[name]))
+    assert original == after
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=60, deadline=None)
+def test_sort_is_monotone(t):
+    name = t.column_names[0]
+    values = [str(v) if t.dtypes()[name] != "numeric" else float(v) for v in t.sort_by(name)[name]]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_concat_with_self_doubles_rows(t):
+    doubled = concat_tables([t, t])
+    assert doubled.num_rows == 2 * t.num_rows
+    assert doubled.column_names == t.column_names
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=60, deadline=None)
+def test_group_sizes_partition_rows(t):
+    name = t.column_names[0]
+    gb = t.group_by(name)
+    assert sum(len(sub) for _, sub in gb) == t.num_rows
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=60, deadline=None)
+def test_take_roundtrip_identity(t):
+    idx = np.arange(t.num_rows)
+    again = t.take(idx)
+    for name in t.column_names:
+        assert list(map(str, again[name])) == list(map(str, t[name]))
+
+
+@given(tables(min_rows=1), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_head_never_exceeds_length(t, n):
+    assert t.head(n).num_rows == min(n, t.num_rows)
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=40, deadline=None)
+def test_csv_roundtrip_preserves_shape(t):
+    import tempfile
+    from pathlib import Path
+
+    from repro.frame import read_csv, write_csv
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.csv"
+        again = read_csv(write_csv(t, path))
+    assert again.num_rows == t.num_rows
+    assert again.column_names == t.column_names

@@ -1,0 +1,96 @@
+"""Tests for repro.frame.GroupBy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "user": ["a", "b", "a", "c", "b", "a"],
+            "cls": ["m", "m", "e", "m", "e", "m"],
+            "hours": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        }
+    )
+
+
+class TestGrouping:
+    def test_num_groups(self, table):
+        assert table.group_by("user").num_groups == 3
+
+    def test_keys_first_seen_order(self, table):
+        assert table.group_by("user").keys() == [("a",), ("b",), ("c",)]
+
+    def test_iteration_yields_subtables(self, table):
+        groups = {key: sub for key, sub in table.group_by("user")}
+        assert groups[("a",)].num_rows == 3
+        assert groups[("c",)].num_rows == 1
+
+    def test_multi_key_grouping(self, table):
+        gb = table.group_by("user", "cls")
+        assert gb.num_groups == 5
+        assert gb.group("a", "m").num_rows == 2
+
+    def test_group_lookup_missing(self, table):
+        with pytest.raises(FrameError, match="no group"):
+            table.group_by("user").group("zzz")
+
+    def test_no_keys_rejected(self, table):
+        with pytest.raises(FrameError):
+            table.group_by()
+
+    def test_sizes(self, table):
+        sizes = table.group_by("user").sizes().sort_by("user")
+        assert list(sizes["count"]) == [3, 2, 1]
+
+
+class TestAggregate:
+    def test_single_reducer(self, table):
+        agg = table.group_by("user").aggregate({"hours": "sum"}).sort_by("user")
+        assert list(agg["hours_sum"]) == [10.0, 7.0, 4.0]
+
+    def test_multiple_reducers(self, table):
+        agg = table.group_by("user").aggregate({"hours": ["min", "max", "count"]})
+        row = agg.sort_by("user").row(0)
+        assert (row["hours_min"], row["hours_max"], row["hours_count"]) == (1.0, 6.0, 3)
+
+    def test_mean_median_std(self, table):
+        agg = table.group_by("cls").aggregate({"hours": ["mean", "median", "std"]})
+        m_row = [r for r in agg.iter_rows() if r["cls"] == "m"][0]
+        assert m_row["hours_mean"] == pytest.approx(13.0 / 4)
+        assert m_row["hours_median"] == pytest.approx(3.0)
+
+    def test_first_last(self, table):
+        agg = table.group_by("user").aggregate({"cls": ["first", "last"]}).sort_by("user")
+        assert agg.row(0)["cls_first"] == "m"
+        assert agg.row(0)["cls_last"] == "m"
+
+    def test_unknown_reducer_rejected(self, table):
+        with pytest.raises(FrameError, match="unknown reducer"):
+            table.group_by("user").aggregate({"hours": "variance"})
+
+    def test_shorthand_mean(self, table):
+        agg = table.group_by("user").mean("hours").sort_by("user")
+        assert agg.row(2)["hours_mean"] == 4.0
+
+    def test_shorthand_sum(self, table):
+        agg = table.group_by("cls").sum("hours")
+        total = sum(agg["hours_sum"])
+        assert total == pytest.approx(21.0)
+
+
+class TestApply:
+    def test_apply_collects_dicts(self, table):
+        result = table.group_by("user").apply(
+            lambda g: {"n": g.num_rows, "top": float(np.max(g["hours"]))}
+        )
+        a_row = [r for r in result.iter_rows() if r["user"] == "a"][0]
+        assert a_row == {"user": "a", "n": 3, "top": 6.0}
+
+    def test_apply_key_columns_present(self, table):
+        result = table.group_by("user", "cls").apply(lambda g: {"n": g.num_rows})
+        assert set(result.column_names) == {"user", "cls", "n"}

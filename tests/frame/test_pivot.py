@@ -1,0 +1,76 @@
+"""Tests for Table.value_counts and Table.pivot."""
+
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "cls": ["mature", "ide", "mature", "dev", "mature", "ide"],
+            "interface": ["other", "interactive", "batch", "other", "other", "interactive"],
+            "hours": [1.0, 12.0, 2.0, 0.5, 3.0, 6.0],
+        }
+    )
+
+
+class TestValueCounts:
+    def test_counts_sorted_descending(self, table):
+        counts = table.value_counts("cls")
+        assert counts.row(0) == {"cls": "mature", "count": 3}
+        assert list(counts["count"]) == [3, 2, 1]
+
+    def test_ties_broken_by_value(self):
+        t = Table({"x": ["b", "a"]})
+        counts = t.value_counts("x")
+        assert list(counts["x"]) == ["a", "b"]
+
+    def test_numeric_column(self):
+        t = Table({"gpus": [1, 2, 1, 1]})
+        counts = t.value_counts("gpus")
+        assert counts.row(0) == {"gpus": 1, "count": 3}
+
+
+class TestPivot:
+    def test_sum_pivot(self, table):
+        pivoted = table.pivot("cls", "interface", "hours", reducer="sum")
+        rows = {r["cls"]: r for r in pivoted.iter_rows()}
+        assert rows["mature"]["other"] == pytest.approx(4.0)
+        assert rows["mature"]["batch"] == pytest.approx(2.0)
+        assert rows["ide"]["interactive"] == pytest.approx(18.0)
+
+    def test_missing_cells_zero_for_sum(self, table):
+        pivoted = table.pivot("cls", "interface", "hours", reducer="sum")
+        rows = {r["cls"]: r for r in pivoted.iter_rows()}
+        assert rows["ide"]["other"] == 0
+
+    def test_missing_cells_none_for_mean(self, table):
+        pivoted = table.pivot("cls", "interface", "hours", reducer="mean")
+        rows = {r["cls"]: r for r in pivoted.iter_rows()}
+        assert rows["ide"]["other"] is None
+        assert rows["mature"]["other"] == pytest.approx(2.0)
+
+    def test_count_pivot(self, table):
+        pivoted = table.pivot("cls", "interface", "hours", reducer="count")
+        rows = {r["cls"]: r for r in pivoted.iter_rows()}
+        assert rows["mature"]["other"] == 2
+
+    def test_column_order_first_seen(self, table):
+        pivoted = table.pivot("cls", "interface", "hours")
+        assert pivoted.column_names == ("cls", "other", "interactive", "batch")
+
+    def test_unknown_reducer_rejected(self, table):
+        with pytest.raises(FrameError):
+            table.pivot("cls", "interface", "hours", reducer="mode")
+
+    def test_pivot_on_generated_data(self, gpu_jobs):
+        pivoted = gpu_jobs.pivot("lifecycle_class", "interface", "gpu_hours", "sum")
+        total = sum(
+            sum(v for k, v in row.items() if k != "lifecycle_class")
+            for row in pivoted.iter_rows()
+        )
+        expected = sum(float(v) for v in gpu_jobs["gpu_hours"])
+        assert total == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,103 @@
+"""Tests for the simulated nvidia-smi sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitor.nvidia_smi import NvidiaSmiSampler
+from repro.monitor.timeseries import METRIC_NAMES
+
+
+class FlatModel:
+    """Constant 40% utilization on every metric, power 100 W."""
+
+    def __init__(self, num_gpus=1):
+        self._num_gpus = num_gpus
+
+    @property
+    def num_gpus(self):
+        return self._num_gpus
+
+    def metrics_at(self, times_s, gpu_index):
+        out = {name: np.full(len(times_s), 40.0) for name in METRIC_NAMES}
+        out["power_w"] = np.full(len(times_s), 100.0)
+        return out
+
+    def analytic_max(self, gpu_index):
+        out = {name: 40.0 for name in METRIC_NAMES}
+        out["power_w"] = 100.0
+        return out
+
+
+class BurstyModel(FlatModel):
+    """Flat 10% with a 100% burst in one narrow window."""
+
+    def metrics_at(self, times_s, gpu_index):
+        out = {name: np.full(len(times_s), 10.0) for name in METRIC_NAMES}
+        burst = (times_s >= 50.0) & (times_s < 50.2)
+        out["sm"] = np.where(burst, 100.0, 10.0)
+        out["power_w"] = np.full(len(times_s), 40.0)
+        return out
+
+    def analytic_max(self, gpu_index):
+        out = {name: 10.0 for name in METRIC_NAMES}
+        out["sm"] = 100.0
+        out["power_w"] = 40.0
+        return out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestSampleSeries:
+    def test_sample_count_matches_interval(self):
+        sampler = NvidiaSmiSampler(interval_s=0.1)
+        series = sampler.sample_series(1, FlatModel(), duration_s=1.0, gpu_index=0)
+        assert series.num_samples == 11
+
+    def test_max_samples_decimates(self):
+        sampler = NvidiaSmiSampler(interval_s=0.1)
+        series = sampler.sample_series(1, FlatModel(), 1000.0, 0, max_samples=50)
+        assert series.num_samples == 50
+        assert series.times_s[-1] == pytest.approx(1000.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(MonitoringError):
+            NvidiaSmiSampler().sample_series(1, FlatModel(), -1.0, 0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(MonitoringError):
+            NvidiaSmiSampler(interval_s=0.0)
+
+
+class TestSummarize:
+    def test_flat_model_summary(self, rng):
+        sampler = NvidiaSmiSampler(summary_samples=64)
+        summary = sampler.summarize(FlatModel(), 100.0, 0, rng)
+        assert summary["sm_mean"] == pytest.approx(40.0)
+        assert summary["sm_min"] == pytest.approx(40.0)
+        assert summary["sm_max"] == pytest.approx(40.0)
+        assert summary["power_w_mean"] == pytest.approx(100.0)
+
+    def test_analytic_max_catches_missed_burst(self, rng):
+        # 64 stratified samples over 1000 s will usually miss a 0.2 s
+        # burst, but the summary max must still report it.
+        sampler = NvidiaSmiSampler(summary_samples=64)
+        summary = sampler.summarize(BurstyModel(), 1000.0, 0, rng)
+        assert summary["sm_max"] == 100.0
+        assert summary["sm_mean"] < 15.0
+
+    def test_short_job_uses_few_samples(self, rng):
+        sampler = NvidiaSmiSampler(interval_s=0.1, summary_samples=512)
+        summary = sampler.summarize(FlatModel(), 0.5, 0, rng)
+        assert summary["sm_mean"] == pytest.approx(40.0)
+
+    def test_too_few_summary_samples_rejected(self):
+        with pytest.raises(MonitoringError):
+            NvidiaSmiSampler(summary_samples=1)
+
+    def test_negative_duration_rejected(self, rng):
+        with pytest.raises(MonitoringError):
+            NvidiaSmiSampler().summarize(FlatModel(), -5.0, 0, rng)

@@ -1,0 +1,64 @@
+"""Tests for monitoring-overhead accounting."""
+
+import pytest
+
+from repro.errors import MonitoringError
+from repro.frame import Table
+from repro.monitor.overhead import interval_tradeoff, monitoring_volume
+
+
+def jobs_table(rows):
+    return Table.from_rows(
+        [{"run_time_s": runtime, "num_gpus": gpus} for runtime, gpus in rows]
+    )
+
+
+class TestMonitoringVolume:
+    def test_known_volume(self):
+        # one 1000 s single-GPU job, dense series kept for all jobs:
+        # 10k samples x 96 B = 0.96 MB
+        jobs = jobs_table([(1000.0, 1)])
+        volume = monitoring_volume(jobs, timeseries_fraction=1.0)
+        assert volume.gpu_series_gb == pytest.approx(10000 * 96 / 1e9)
+
+    def test_multi_gpu_multiplies_samples(self):
+        single = monitoring_volume(jobs_table([(1000.0, 1)]), timeseries_fraction=1.0)
+        dual = monitoring_volume(jobs_table([(1000.0, 2)]), timeseries_fraction=1.0)
+        assert dual.gpu_series_gb == pytest.approx(2 * single.gpu_series_gb)
+
+    def test_cpu_jobs_contribute_cpu_series_only(self):
+        volume = monitoring_volume(jobs_table([(1000.0, 0)]), timeseries_fraction=1.0)
+        assert volume.gpu_series_gb == 0.0
+        assert volume.cpu_series_gb > 0.0
+
+    def test_epilog_file_count(self):
+        volume = monitoring_volume(jobs_table([(10.0, 1), (10.0, 0)]))
+        assert volume.epilog_file_count == 3  # 2 CPU files + 1 GPU file
+
+    def test_invalid_params_rejected(self):
+        jobs = jobs_table([(10.0, 1)])
+        with pytest.raises(MonitoringError):
+            monitoring_volume(jobs, gpu_interval_s=0.0)
+        with pytest.raises(MonitoringError):
+            monitoring_volume(jobs, timeseries_fraction=2.0)
+        with pytest.raises(MonitoringError):
+            monitoring_volume(jobs_table([]))
+
+    def test_paper_scale_volume_ballpark(self, medium_dataset):
+        """Scaled to the paper's size, dense series land near 42 GB."""
+        volume = monitoring_volume(medium_dataset.jobs)
+        full_scale_estimate = volume.gpu_series_gb / medium_dataset.config.scale
+        assert 10.0 <= full_scale_estimate <= 150.0  # paper: 42 GB
+
+
+class TestIntervalTradeoff:
+    def test_volume_inverse_in_interval(self, medium_dataset):
+        table = interval_tradeoff(medium_dataset.jobs, intervals_s=(0.1, 1.0))
+        rows = sorted(table.iter_rows(), key=lambda r: r["gpu_interval_s"])
+        assert rows[0]["dense_series_gb"] == pytest.approx(
+            10 * rows[1]["dense_series_gb"], rel=1e-6
+        )
+
+    def test_one_row_per_interval(self, medium_dataset):
+        table = interval_tradeoff(medium_dataset.jobs, intervals_s=(0.1, 1.0, 10.0))
+        assert table.num_rows == 3

@@ -1,0 +1,93 @@
+"""Tests for GPU time-series containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitor.timeseries import METRIC_NAMES, GpuTimeSeries, TimeSeriesStore
+
+
+def make_series(job_id=1, gpu_index=0, n=10):
+    times = np.arange(n) * 0.1
+    metrics = {name: np.linspace(0.0, 50.0, n) for name in METRIC_NAMES}
+    return GpuTimeSeries(job_id, gpu_index, times, metrics)
+
+
+class TestGpuTimeSeries:
+    def test_properties(self):
+        series = make_series(n=11)
+        assert series.num_samples == 11
+        assert series.duration_s == pytest.approx(1.0)
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(MonitoringError, match="missing metric"):
+            GpuTimeSeries(1, 0, np.arange(3.0), {"sm": np.zeros(3)})
+
+    def test_length_mismatch_rejected(self):
+        metrics = {name: np.zeros(3) for name in METRIC_NAMES}
+        metrics["power_w"] = np.zeros(4)
+        with pytest.raises(MonitoringError, match="samples"):
+            GpuTimeSeries(1, 0, np.arange(3.0), metrics)
+
+    def test_metric_accessor(self):
+        series = make_series()
+        assert series.metric("sm")[0] == 0.0
+        with pytest.raises(MonitoringError, match="unknown metric"):
+            series.metric("temperature")
+
+    def test_summary_has_min_mean_max(self):
+        series = make_series()
+        summary = series.summary()
+        assert summary["sm_min"] == 0.0
+        assert summary["sm_max"] == 50.0
+        assert summary["sm_mean"] == pytest.approx(25.0)
+        assert len(summary) == 3 * len(METRIC_NAMES)
+
+    def test_empty_series_summary_is_nan(self):
+        metrics = {name: np.empty(0) for name in METRIC_NAMES}
+        series = GpuTimeSeries(1, 0, np.empty(0), metrics)
+        assert np.isnan(series.summary()["sm_mean"])
+        assert series.duration_s == 0.0
+
+
+class TestTimeSeriesStore:
+    def test_add_and_get(self):
+        store = TimeSeriesStore()
+        store.add(make_series(job_id=5, gpu_index=1))
+        assert store.get(5, 1).job_id == 5
+        assert len(store) == 1
+
+    def test_duplicate_rejected(self):
+        store = TimeSeriesStore()
+        store.add(make_series())
+        with pytest.raises(MonitoringError, match="duplicate"):
+            store.add(make_series())
+
+    def test_job_ids_distinct_sorted(self):
+        store = TimeSeriesStore()
+        store.add(make_series(job_id=9, gpu_index=0))
+        store.add(make_series(job_id=2, gpu_index=0))
+        store.add(make_series(job_id=9, gpu_index=1))
+        assert store.job_ids() == [2, 9]
+
+    def test_series_for_job(self):
+        store = TimeSeriesStore()
+        store.add(make_series(job_id=9, gpu_index=1))
+        store.add(make_series(job_id=9, gpu_index=0))
+        series = store.series_for_job(9)
+        assert [s.gpu_index for s in series] == [0, 1]
+
+    def test_get_missing_rejected(self):
+        with pytest.raises(MonitoringError, match="no series"):
+            TimeSeriesStore().get(1, 0)
+
+    def test_total_samples(self):
+        store = TimeSeriesStore()
+        store.add(make_series(n=10))
+        store.add(make_series(job_id=2, n=5))
+        assert store.total_samples() == 15
+
+    def test_iteration(self):
+        store = TimeSeriesStore()
+        store.add(make_series())
+        assert sum(1 for _ in store) == 1

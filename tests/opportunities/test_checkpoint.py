@@ -1,0 +1,96 @@
+"""Tests for the checkpoint/restart cost model."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+from repro.opportunities.checkpoint import (
+    CheckpointModel,
+    checkpoint_study,
+    interval_sweep,
+)
+
+
+def exit_jobs(spec):
+    """spec: [(exit_condition, runtime_s, num_gpus), ...]"""
+    return Table.from_rows(
+        [
+            {"exit_condition": exit_condition, "run_time_s": runtime, "num_gpus": gpus}
+            for exit_condition, runtime, gpus in spec
+        ]
+    )
+
+
+class TestModel:
+    def test_checkpoint_cost(self):
+        model = CheckpointModel(model_size_gb=10.0, write_bandwidth_gbps=2.0)
+        assert model.checkpoint_cost_s == 5.0
+
+    def test_young_daly(self):
+        model = CheckpointModel(model_size_gb=2.0, write_bandwidth_gbps=2.0)
+        assert model.young_daly_interval(3600.0) == pytest.approx(math.sqrt(2 * 1.0 * 3600.0))
+
+    def test_young_daly_invalid_mtti(self):
+        with pytest.raises(AnalysisError):
+            CheckpointModel().young_daly_interval(0.0)
+
+    def test_overhead_fraction(self):
+        model = CheckpointModel(model_size_gb=2.0, write_bandwidth_gbps=2.0, interval_s=100.0)
+        # 10 checkpoints of 1 s in a 1000 s run
+        assert model.overhead_fraction(1000.0) == pytest.approx(0.01)
+
+    def test_expected_loss_half_interval(self):
+        assert CheckpointModel(interval_s=600.0).expected_loss_s() == 300.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(AnalysisError):
+            CheckpointModel(model_size_gb=0.0)
+
+
+class TestStudy:
+    def test_lossy_accounting(self):
+        jobs = exit_jobs(
+            [
+                ("completed", 3600.0, 1),
+                ("timeout", 7200.0, 2),
+                ("failed", 3600.0, 1),
+            ]
+        )
+        study = checkpoint_study(jobs, CheckpointModel(interval_s=600.0))
+        assert study.lossy_job_fraction == pytest.approx(2.0 / 3.0)
+        assert study.lost_gpu_hours_without == pytest.approx((7200 * 2 + 3600) / 3600.0)
+        # with checkpoints each lossy job loses <= 300 s
+        assert study.lost_gpu_hours_with == pytest.approx((300 * 2 + 300) / 3600.0)
+
+    def test_net_saving_positive_for_heavy_losses(self):
+        jobs = exit_jobs([("timeout", 43200.0, 1)] * 3 + [("completed", 600.0, 1)])
+        study = checkpoint_study(jobs)
+        assert study.net_saving_gpu_hours > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            checkpoint_study(exit_jobs([]))
+
+    def test_on_generated_data(self, gpu_jobs):
+        study = checkpoint_study(gpu_jobs)
+        # IDE (timeout) + development (failed) jobs lose state
+        assert 0.1 <= study.lossy_job_fraction <= 0.45
+        assert study.net_saving_gpu_hours > 0
+
+
+class TestSweep:
+    def test_one_row_per_interval(self, gpu_jobs):
+        sweep = interval_sweep(gpu_jobs, intervals_s=(300.0, 600.0))
+        assert sweep.num_rows == 2
+
+    def test_overhead_decreases_with_interval(self, gpu_jobs):
+        sweep = interval_sweep(gpu_jobs, intervals_s=(120.0, 3600.0))
+        rows = sorted(sweep.iter_rows(), key=lambda r: r["interval_s"])
+        assert rows[0]["overhead_gpu_hours"] > rows[1]["overhead_gpu_hours"]
+
+    def test_loss_increases_with_interval(self, gpu_jobs):
+        sweep = interval_sweep(gpu_jobs, intervals_s=(120.0, 3600.0))
+        rows = sorted(sweep.iter_rows(), key=lambda r: r["interval_s"])
+        assert rows[0]["lost_with_gpu_hours"] < rows[1]["lost_with_gpu_hours"]

@@ -1,0 +1,138 @@
+"""Tests for the MIG partitioning what-if."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+from repro.opportunities.mig import (
+    MIG_PROFILES,
+    VALID_PARTITIONS,
+    best_partition,
+    mig_study,
+    pack_jobs,
+    partition_sweep,
+    repartition_overhead_fraction,
+    required_fraction,
+)
+
+
+def mig_jobs(rows):
+    """rows: [(sm_mean, sm_max, size_mean, size_max), ...]"""
+    return Table.from_rows(
+        [
+            {
+                "sm_mean": sm_mean,
+                "sm_max": sm_max,
+                "mem_size_mean": size_mean,
+                "mem_size_max": size_max,
+            }
+            for sm_mean, sm_max, size_mean, size_max in rows
+        ]
+    )
+
+
+class TestGeometry:
+    def test_profiles_fractions(self):
+        assert MIG_PROFILES["7g"] == 1.0
+        assert MIG_PROFILES["1g"] == pytest.approx(1.0 / 7.0)
+
+    def test_valid_partitions_fit_a_device(self):
+        for partition in VALID_PARTITIONS:
+            assert sum(MIG_PROFILES[p] for p in partition) <= 1.0 + 1e-9
+
+    def test_required_fraction_takes_max_dimension(self):
+        req = required_fraction(np.asarray([10.0]), np.asarray([40.0]))
+        assert req[0] == pytest.approx(0.4)
+
+
+class TestPacking:
+    def test_two_small_jobs_share_one_gpu(self):
+        gpus, spilled, _ = pack_jobs(np.asarray([0.2, 0.2]), ("4g", "3g"))
+        assert gpus == 1
+        assert spilled == 0
+
+    def test_big_job_spills_without_7g(self):
+        gpus, spilled, _ = pack_jobs(np.asarray([0.9]), ("4g", "3g"))
+        assert spilled == 1
+        assert gpus == 1  # the spilled job still occupies one device
+
+    def test_seven_tiny_jobs_fill_1g_partition(self):
+        gpus, spilled, _ = pack_jobs(np.full(7, 0.1), ("1g",) * 7)
+        assert gpus == 1
+        assert spilled == 0
+
+    def test_headroom_computed(self):
+        _, _, headroom = pack_jobs(np.asarray([1.0 / 7.0]), ("1g",) * 7)
+        assert headroom == pytest.approx(0.0, abs=1e-9)
+
+    def test_exclusive_partition_one_job_per_gpu(self):
+        gpus, _, _ = pack_jobs(np.asarray([0.1, 0.1, 0.1]), ("7g",))
+        assert gpus == 3
+
+    def test_invalid_partition_rejected(self):
+        with pytest.raises(AnalysisError):
+            pack_jobs(np.asarray([0.1]), ())
+        with pytest.raises(AnalysisError):
+            pack_jobs(np.asarray([0.1]), ("9g",))
+        with pytest.raises(AnalysisError):
+            pack_jobs(np.asarray([0.1]), ("7g", "1g"))
+
+
+class TestStudy:
+    def test_capacity_multiplier(self):
+        jobs = mig_jobs([(5.0, 10.0, 5.0, 10.0)] * 6)
+        study = mig_study(jobs, ("1g",) * 7)
+        assert study.gpus_needed == 1
+        assert study.capacity_multiplier == pytest.approx(6.0)
+        assert study.fraction_fitting == 1.0
+
+    def test_peak_sizing_more_conservative(self):
+        jobs = mig_jobs([(10.0, 90.0, 5.0, 10.0)] * 4)
+        peak = mig_study(jobs, ("4g", "3g"), sizing="peak")
+        mean = mig_study(jobs, ("4g", "3g"), sizing="mean")
+        assert mean.capacity_multiplier > peak.capacity_multiplier
+
+    def test_invalid_sizing_rejected(self):
+        with pytest.raises(AnalysisError):
+            mig_study(mig_jobs([(1, 1, 1, 1)]), ("7g",), sizing="p99")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            mig_study(mig_jobs([]), ("7g",))
+
+
+class TestSweepAndBest:
+    def test_sweep_rows(self, gpu_jobs):
+        sweep = partition_sweep(gpu_jobs)
+        assert sweep.num_rows == len(VALID_PARTITIONS)
+
+    def test_exclusive_partition_multiplier_is_one(self, gpu_jobs):
+        sweep = partition_sweep(gpu_jobs)
+        row = [r for r in sweep.iter_rows() if r["partition"] == "7g"][0]
+        assert row["capacity_multiplier"] == pytest.approx(1.0)
+
+    def test_best_beats_exclusive(self, gpu_jobs):
+        best = best_partition(gpu_jobs, sizing="mean")
+        # the paper's low-utilization finding implies sizable MIG gains
+        assert best.capacity_multiplier > 1.5
+
+    def test_peak_sizing_still_gains(self, gpu_jobs):
+        best = best_partition(gpu_jobs, sizing="peak")
+        assert best.capacity_multiplier >= 1.0
+
+
+class TestRepartitionOverhead:
+    def test_formula(self):
+        # 20 jobs/GPU/day, repartition every 10 jobs, 30 s each
+        overhead = repartition_overhead_fraction(30.0, 20.0, 10.0)
+        assert overhead == pytest.approx(2 * 30.0 / 86400.0)
+
+    def test_capped_at_one(self):
+        assert repartition_overhead_fraction(1e9, 100.0, 1.0) == 1.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(AnalysisError):
+            repartition_overhead_fraction(-1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            repartition_overhead_fraction(1.0, 1.0, 0.0)

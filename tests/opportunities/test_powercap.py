@@ -1,0 +1,65 @@
+"""Tests for the power-cap over-provisioning model."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+from repro.opportunities.powercap import best_design, powercap_study
+
+
+def power_jobs(rows):
+    return Table.from_rows(
+        [{"power_w_mean": avg, "power_w_max": peak} for avg, peak in rows]
+    )
+
+
+class TestStudy:
+    def test_device_counts_follow_budget(self):
+        study = powercap_study(power_jobs([(40.0, 80.0)]), base_gpus=100, caps_w=(300.0, 150.0))
+        rows = {r["cap_w"]: r for r in study.iter_rows()}
+        assert rows[300.0]["num_gpus"] == 100
+        assert rows[150.0]["num_gpus"] == 200
+
+    def test_unaffected_jobs_full_speed(self):
+        study = powercap_study(power_jobs([(40.0, 100.0)]), caps_w=(150.0,))
+        assert study.row(0)["mean_job_speed"] == 1.0
+        assert study.row(0)["impacted_job_fraction"] == 0.0
+
+    def test_throttled_jobs_slow_down(self):
+        study = powercap_study(power_jobs([(190.0, 200.0)]), caps_w=(150.0,))
+        row = study.row(0)
+        assert row["impacted_job_fraction"] == 1.0
+        assert row["mean_job_speed"] < 1.0
+
+    def test_throughput_gain_when_jobs_light(self):
+        study = powercap_study(power_jobs([(40.0, 80.0)] * 10), caps_w=(150.0,))
+        assert study.row(0)["relative_throughput"] == pytest.approx(2.0)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(AnalysisError):
+            powercap_study(power_jobs([(1.0, 2.0)]), caps_w=(-5.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            powercap_study(power_jobs([]))
+
+
+class TestBestDesign:
+    def test_picks_highest_throughput(self):
+        study = powercap_study(power_jobs([(40.0, 80.0)]), caps_w=(300.0, 150.0))
+        design = best_design(study)
+        assert design.cap_w == 150.0
+        assert design.relative_throughput == pytest.approx(2.0)
+
+    def test_on_generated_data_capping_wins(self, gpu_jobs):
+        study = powercap_study(gpu_jobs)
+        design = best_design(study)
+        # the paper's claim: low power draw makes aggressive capping a
+        # clear throughput win
+        assert design.cap_w <= 200.0
+        assert design.relative_throughput > 1.3
+
+    def test_speed_monotone_in_cap(self, gpu_jobs):
+        study = powercap_study(gpu_jobs, caps_w=(300.0, 250.0, 200.0, 150.0))
+        speeds = [r["mean_job_speed"] for r in study.iter_rows()]
+        assert speeds == sorted(speeds, reverse=True)

@@ -1,0 +1,130 @@
+"""Tests for the cluster-level GPU-sharing simulation."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.opportunities.sharing_sim import (
+    GpuSharingSimulator,
+    SharingConfig,
+    SharingJob,
+    jobs_from_dataset,
+    sharing_study,
+)
+
+
+def burst(n, duration=100.0, demand=20.0, start=0.0, spacing=0.0):
+    return [
+        SharingJob(arrival_s=start + i * spacing, duration_s=duration, demand=demand)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def sim():
+    return GpuSharingSimulator(SharingConfig(headroom=60.0, max_jobs_per_gpu=2))
+
+
+class TestConfig:
+    def test_invalid_headroom(self):
+        with pytest.raises(AnalysisError):
+            SharingConfig(headroom=0.0)
+        with pytest.raises(AnalysisError):
+            SharingConfig(headroom=120.0)
+
+    def test_invalid_slots(self):
+        with pytest.raises(AnalysisError):
+            SharingConfig(max_jobs_per_gpu=0)
+
+    def test_invalid_job(self):
+        with pytest.raises(AnalysisError):
+            SharingJob(0.0, 0.0, 10.0)
+        with pytest.raises(AnalysisError):
+            SharingJob(0.0, 1.0, 120.0)
+
+
+class TestExclusiveBaseline:
+    def test_serial_queue_on_one_gpu(self, sim):
+        jobs = burst(3, duration=100.0)
+        outcome = sim.run(jobs, num_gpus=1, sharing=False)
+        # second job waits 100 s, third 200 s
+        assert outcome.mean_wait_s == pytest.approx(100.0)
+        assert outcome.max_queue_length == 2
+
+    def test_enough_gpus_no_wait(self, sim):
+        outcome = sim.run(burst(4), num_gpus=4, sharing=False)
+        assert outcome.mean_wait_s == 0.0
+
+
+class TestSharing:
+    def test_two_light_jobs_share_one_gpu(self, sim):
+        outcome = sim.run(burst(2, demand=25.0), num_gpus=1, sharing=True)
+        assert outcome.mean_wait_s == 0.0
+
+    def test_headroom_blocks_third_resident(self, sim):
+        outcome = sim.run(burst(3, demand=25.0), num_gpus=1, sharing=True)
+        # two fit (50 <= 60), the third exceeds slots/headroom and queues
+        assert outcome.max_queue_length == 1
+
+    def test_hot_jobs_fall_back_to_exclusive(self, sim):
+        jobs = burst(2, demand=90.0)
+        outcome = sim.run(jobs, num_gpus=2, sharing=True)
+        assert outcome.mean_wait_s == 0.0  # one hot job per empty device
+
+    def test_hot_job_waits_for_empty_device(self, sim):
+        jobs = burst(1, demand=20.0) + burst(1, demand=90.0, start=1.0)
+        outcome = sim.run(jobs, num_gpus=1, sharing=True)
+        # the hot job cannot join the light resident; waits ~99 s
+        assert outcome.p95_wait_s > 50.0
+
+    def test_sharing_never_hurts_waits(self, sim):
+        jobs = burst(12, demand=25.0, spacing=10.0)
+        exclusive = sim.run(jobs, num_gpus=3, sharing=False)
+        shared = sim.run(jobs, num_gpus=3, sharing=True)
+        assert shared.mean_wait_s <= exclusive.mean_wait_s
+
+    def test_packs_fullest_device_first(self, sim):
+        # three arrivals: 1st on gpu0, 2nd shares gpu0 (fullest), 3rd on gpu1
+        jobs = burst(3, demand=20.0)
+        outcome = sim.run(jobs, num_gpus=2, sharing=True)
+        assert outcome.mean_wait_s == 0.0
+
+    def test_demand_accounting_with_mixed_durations(self, sim):
+        # a long light job + short heavier job share; when the short one
+        # ends its demand (not the long one's) must be released
+        jobs = [
+            SharingJob(0.0, 1000.0, 20.0),
+            SharingJob(1.0, 50.0, 40.0),
+            SharingJob(100.0, 50.0, 40.0),  # fits only if the 40 was freed
+        ]
+        outcome = sim.run(jobs, num_gpus=1, sharing=True)
+        assert outcome.mean_wait_s == pytest.approx(0.0, abs=1e-6)
+
+
+class TestRightSizeAndStudy:
+    def test_right_size_shared_smaller(self, sim):
+        jobs = burst(40, duration=200.0, demand=20.0, spacing=5.0)
+        sizes = sim.right_size(jobs, target_median_wait_s=1.0, max_gpus=40)
+        assert sizes["shared"] <= sizes["exclusive"]
+
+    def test_right_size_unreachable_target(self, sim):
+        jobs = burst(10, duration=1000.0, demand=90.0)
+        with pytest.raises(AnalysisError, match="miss the wait target"):
+            sim.right_size(jobs, target_median_wait_s=0.0, max_gpus=2)
+
+    def test_study_on_dataset(self, medium_dataset):
+        exclusive, shared = sharing_study(medium_dataset, max_jobs=600)
+        # the paper's co-location claim at fleet level: sharing strictly
+        # improves queueing on a tight fleet
+        assert shared.mean_wait_s <= exclusive.mean_wait_s
+        assert shared.num_gpus == exclusive.num_gpus
+
+    def test_jobs_from_dataset_single_gpu_only(self, medium_dataset):
+        jobs = jobs_from_dataset(medium_dataset, max_jobs=100)
+        assert len(jobs) == 100
+        assert all(0 <= j.demand <= 100 for j in jobs)
+
+    def test_empty_inputs_rejected(self, sim):
+        with pytest.raises(AnalysisError):
+            sim.run([], 1, False)
+        with pytest.raises(AnalysisError):
+            sim.run(burst(1), 0, False)

@@ -1,0 +1,81 @@
+"""Tests for the two-tier fleet what-if."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frame import Table
+from repro.opportunities.tiering import TierSpec, tiering_study, tiering_sweep
+
+
+def class_jobs(spec):
+    return Table.from_rows(
+        [{"lifecycle_class": cls, "gpu_hours": hours} for cls, hours in spec]
+    )
+
+
+class TestTierSpec:
+    def test_valid(self):
+        tier = TierSpec("slow", 0.5, 0.35)
+        assert tier.relative_speed == 0.5
+
+    def test_invalid_speed(self):
+        with pytest.raises(AnalysisError):
+            TierSpec("slow", 0.0, 0.5)
+
+    def test_invalid_price(self):
+        with pytest.raises(AnalysisError):
+            TierSpec("slow", 0.5, 0.0)
+
+
+class TestTieringStudy:
+    def test_ide_routing_pure_saving(self):
+        # IDE jobs do not slow down, so cost drops by the price ratio.
+        jobs = class_jobs([("ide", 10.0), ("mature", 10.0)])
+        outcome = tiering_study(
+            jobs, TierSpec("slow", 0.5, 0.4), routed_classes=("ide",)
+        )
+        assert outcome.tiered_cost == pytest.approx(10.0 + 10.0 * 0.4)
+        assert outcome.mean_slowdown_routed == 1.0
+
+    def test_exploratory_routing_stretches(self):
+        jobs = class_jobs([("exploratory", 10.0)])
+        outcome = tiering_study(
+            jobs, TierSpec("slow", 0.5, 0.4), routed_classes=("exploratory",)
+        )
+        # 10 hours -> 20 slow-tier hours at 0.4 price = 8 cost units
+        assert outcome.tiered_cost == pytest.approx(8.0)
+        assert outcome.mean_slowdown_routed == pytest.approx(2.0)
+
+    def test_nothing_routed_no_change(self):
+        jobs = class_jobs([("mature", 10.0)])
+        outcome = tiering_study(jobs, routed_classes=())
+        assert outcome.cost_saving_fraction == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            tiering_study(Table.empty(["lifecycle_class"]))
+
+    def test_on_generated_data_saves_money(self, gpu_jobs):
+        outcome = tiering_study(gpu_jobs)
+        assert outcome.cost_saving_fraction > 0.05
+        assert 0.2 <= outcome.routed_job_fraction <= 0.6
+
+    def test_routed_fractions_consistent(self, gpu_jobs):
+        outcome = tiering_study(gpu_jobs)
+        assert 0.0 <= outcome.routed_hour_fraction <= 1.0
+
+
+class TestSweep:
+    def test_rows_per_design_point(self, gpu_jobs):
+        sweep = tiering_sweep(gpu_jobs, speeds=(0.5,), prices=(0.2, 0.5))
+        assert sweep.num_rows == 2
+
+    def test_cheaper_tier_saves_more(self, gpu_jobs):
+        sweep = tiering_sweep(gpu_jobs, speeds=(0.5,), prices=(0.2, 0.5))
+        rows = sorted(sweep.iter_rows(), key=lambda r: r["relative_price"])
+        assert rows[0]["cost_saving_fraction"] >= rows[1]["cost_saving_fraction"]
+
+    def test_slower_tier_stretches_more(self, gpu_jobs):
+        sweep = tiering_sweep(gpu_jobs, speeds=(0.3, 0.7), prices=(0.35,))
+        rows = sorted(sweep.iter_rows(), key=lambda r: r["relative_speed"])
+        assert rows[0]["mean_slowdown_routed"] >= rows[1]["mean_slowdown_routed"]

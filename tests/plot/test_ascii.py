@@ -1,0 +1,71 @@
+"""Tests for the terminal (ASCII) renderers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.plot import ascii_cdf, ascii_histogram
+
+
+class TestAsciiCdf:
+    def test_basic_shape(self):
+        text = ascii_cdf([1.0, 2.0, 3.0, 4.0], width=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + labels
+        assert "*" in text
+        assert lines[0].startswith("1.00")
+
+    def test_title_included(self):
+        text = ascii_cdf([1.0, 2.0], title="runtimes")
+        assert text.splitlines()[0] == "runtimes"
+
+    def test_log_axis_label(self):
+        text = ascii_cdf([1.0, 10.0, 100.0], log_x=True)
+        assert "(log x)" in text
+
+    def test_log_axis_drops_nonpositive(self):
+        text = ascii_cdf([0.0, 1.0, 10.0], log_x=True)
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_cdf([])
+
+    def test_all_nonpositive_log_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_cdf([0.0, -1.0], log_x=True)
+
+    def test_constant_values(self):
+        text = ascii_cdf([5.0, 5.0, 5.0])
+        assert "*" in text
+
+    def test_monotone_star_positions(self):
+        text = ascii_cdf(list(range(1, 101)), width=30, height=8)
+        rows = [line for line in text.splitlines() if "|" in line and "*" in line]
+        first_cols = [line.index("*") for line in rows]
+        # higher probability rows have stars further right
+        assert first_cols == sorted(first_cols, reverse=True)
+
+
+class TestAsciiHistogram:
+    def test_bars_scaled_to_peak(self):
+        text = ascii_histogram(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        text = ascii_histogram(["x", "long"], [1, 1])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_histogram(["a"], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_histogram([], [])
+
+    def test_zero_counts_no_crash(self):
+        text = ascii_histogram(["a"], [0.0])
+        assert "a" in text

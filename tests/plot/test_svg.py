@@ -1,0 +1,117 @@
+"""Tests for the SVG chart renderer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.plot import BarSeries, BoxSeries, Figure, LineSeries
+
+
+class TestSeriesValidation:
+    def test_line_length_mismatch(self):
+        with pytest.raises(ReproError):
+            LineSeries("x", [1, 2], [1])
+
+    def test_line_needs_two_points(self):
+        with pytest.raises(ReproError):
+            LineSeries("x", [1], [1])
+
+    def test_bar_length_mismatch(self):
+        with pytest.raises(ReproError):
+            BarSeries("x", ["a"], [1, 2])
+
+    def test_bar_empty(self):
+        with pytest.raises(ReproError):
+            BarSeries("x", [], [])
+
+    def test_box_ordering_enforced(self):
+        with pytest.raises(ReproError):
+            BoxSeries("x", ["a"], [(3.0, 2.0, 1.0)])
+
+
+class TestRendering:
+    def test_line_chart_structure(self):
+        fig = Figure(title="t", x_label="xx", y_label="yy")
+        fig.add(LineSeries("s", [0.0, 1.0, 2.0], [0.0, 0.5, 1.0]))
+        svg = fig.render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "polyline" in svg
+        assert ">t<" in svg and ">xx<" in svg and ">yy<" in svg
+
+    def test_log_axis_renders_decade_ticks(self):
+        fig = Figure(x_log=True)
+        fig.add(LineSeries("s", [1.0, 10.0, 1000.0], [0.0, 0.5, 1.0]))
+        svg = fig.render()
+        assert ">10<" in svg
+        assert ">1000<" in svg
+
+    def test_log_axis_rejects_nonpositive(self):
+        fig = Figure(x_log=True)
+        fig.add(LineSeries("s", [0.0, 0.0], [0.0, 1.0]))
+        with pytest.raises(ReproError, match="positive"):
+            fig.render()
+
+    def test_bar_chart_has_rects(self):
+        fig = Figure()
+        fig.add(BarSeries("b", ["a", "b", "c"], [1.0, 2.0, 3.0]))
+        svg = fig.render()
+        assert svg.count("<rect") >= 5  # background + frame + 3 bars
+
+    def test_box_chart_has_median_lines(self):
+        fig = Figure()
+        fig.add(BoxSeries("b", ["m", "e"], [(1.0, 2.0, 3.0), (0.0, 1.0, 2.0)]))
+        svg = fig.render()
+        assert svg.count("stroke-width=\"2\"") >= 2
+
+    def test_legend_rendered_for_multiple_series(self):
+        fig = Figure()
+        fig.add(LineSeries("alpha", [0, 1], [0, 1]))
+        fig.add(LineSeries("beta", [0, 1], [1, 0]))
+        svg = fig.render()
+        assert "alpha" in svg and "beta" in svg
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ReproError, match="no series"):
+            Figure().render()
+
+    def test_mixed_series_rejected(self):
+        fig = Figure()
+        fig.add(LineSeries("l", [0, 1], [0, 1]))
+        fig.add(BarSeries("b", ["a"], [1.0]))
+        with pytest.raises(ReproError, match="mix"):
+            fig.render()
+
+    def test_mismatched_categories_rejected(self):
+        fig = Figure()
+        fig.add(BarSeries("a", ["x"], [1.0]))
+        fig.add(BarSeries("b", ["y"], [1.0]))
+        with pytest.raises(ReproError, match="share categories"):
+            fig.render()
+
+    def test_title_escaped(self):
+        fig = Figure(title="a < b & c")
+        fig.add(LineSeries("s", [0, 1], [0, 1]))
+        svg = fig.render()
+        assert "a &lt; b &amp; c" in svg
+
+    def test_constant_series_renders(self):
+        fig = Figure()
+        fig.add(LineSeries("flat", [1.0, 2.0], [5.0, 5.0]))
+        assert "<polyline" in fig.render()
+
+
+class TestTicks:
+    def test_nice_ticks_cover_range(self):
+        ticks = Figure._nice_ticks(0.0, 1.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 1.0
+        assert len(ticks) >= 3
+
+    def test_nice_ticks_degenerate(self):
+        assert Figure._nice_ticks(5.0, 5.0) == [5.0]
+
+    def test_format_tick(self):
+        assert Figure._format_tick(0.0) == "0"
+        assert Figure._format_tick(3.0) == "3"
+        assert Figure._format_tick(0.001) == "1e-03"
+        assert Figure._format_tick(123456.0) == "1e+05"

@@ -1,0 +1,59 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.slurm.events import EventLoop
+
+
+class TestEventLoop:
+    def test_pops_in_time_order(self):
+        loop = EventLoop()
+        loop.schedule(3.0, "c")
+        loop.schedule(1.0, "a")
+        loop.schedule(2.0, "b")
+        kinds = [loop.pop().kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        loop = EventLoop()
+        loop.schedule(1.0, "first")
+        loop.schedule(1.0, "second")
+        assert loop.pop().kind == "first"
+        assert loop.pop().kind == "second"
+
+    def test_clock_advances(self):
+        loop = EventLoop()
+        loop.schedule(5.0, "x")
+        assert loop.now == 0.0
+        loop.pop()
+        assert loop.now == 5.0
+
+    def test_scheduling_in_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, "x")
+        loop.pop()
+        with pytest.raises(SchedulerError, match="before now"):
+            loop.schedule(4.0, "y")
+
+    def test_scheduling_at_now_allowed(self):
+        loop = EventLoop()
+        loop.schedule(5.0, "x")
+        loop.pop()
+        loop.schedule(5.0, "y")
+        assert loop.pop().kind == "y"
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SchedulerError, match="empty"):
+            EventLoop().pop()
+
+    def test_bool_and_counters(self):
+        loop = EventLoop()
+        assert not loop
+        loop.schedule(1.0, "x", payload=123)
+        assert loop
+        assert loop.pending == 1
+        event = loop.pop()
+        assert event.payload == 123
+        assert loop.processed == 1
+        assert not loop

@@ -1,0 +1,124 @@
+"""Tests for hardware failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import supercloud_spec
+from repro.errors import SchedulerError
+from repro.slurm.failures import SECONDS_PER_YEAR, FailureModel
+from repro.slurm.job import ExitCondition
+from repro.slurm.scheduler import SchedulerConfig, SlurmSimulator
+from tests.slurm.test_job import make_request
+
+
+class TestFailureModel:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SchedulerError):
+            FailureModel(node_mtbf_s=0.0)
+        with pytest.raises(SchedulerError):
+            FailureModel(repair_time_s=-1.0)
+
+    def test_draw_count_near_expectation(self):
+        model = FailureModel(node_mtbf_s=1000.0, repair_time_s=0.0, seed=1)
+        events = model.draw_failure_times(num_nodes=50, horizon_s=10000.0)
+        expected = model.expected_failures(50, 10000.0)
+        assert len(events) == pytest.approx(expected, rel=0.3)
+
+    def test_events_sorted_and_bounded(self):
+        model = FailureModel(node_mtbf_s=500.0, seed=2)
+        events = model.draw_failure_times(10, 5000.0)
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 5000.0 for t in times)
+        assert all(0 <= node < 10 for _, node in events)
+
+    def test_reliable_nodes_rarely_fail(self):
+        model = FailureModel()  # 40 node-years MTBF
+        events = model.draw_failure_times(224, 125 * 86400.0)
+        # 224 nodes x 125 days / 40 years ~ 1.9 failures expected
+        assert len(events) < 12
+
+    def test_deterministic_given_seed(self):
+        a = FailureModel(node_mtbf_s=1000.0, seed=3).draw_failure_times(5, 5000.0)
+        b = FailureModel(node_mtbf_s=1000.0, seed=3).draw_failure_times(5, 5000.0)
+        assert a == b
+
+
+def run_with_failures(requests, mtbf_s, requeue=False, repair_s=100.0, nodes=2, seed=0):
+    config = SchedulerConfig(
+        failure_model=FailureModel(
+            node_mtbf_s=mtbf_s, repair_time_s=repair_s, requeue=requeue, seed=seed
+        )
+    )
+    simulator = SlurmSimulator(supercloud_spec(nodes), config)
+    result = simulator.run(requests)
+    simulator.cluster.check_invariants()
+    return simulator, result
+
+
+class TestFailureInjection:
+    def test_long_job_killed_by_failure(self):
+        # MTBF of minutes guarantees a failure during a day-long job
+        requests = [make_request(job_id=1, runtime_s=86400.0)]
+        _, result = run_with_failures(requests, mtbf_s=600.0)
+        record = result.records[0]
+        assert record.exit_condition is ExitCondition.NODE_FAILURE
+        assert record.lifecycle_class == "development"
+        assert record.run_time_s < 86400.0
+        assert result.jobs_killed_by_failures == 1
+        assert result.node_failures > 0
+
+    def test_no_failures_with_huge_mtbf(self):
+        requests = [make_request(job_id=i, runtime_s=300.0) for i in range(5)]
+        _, result = run_with_failures(requests, mtbf_s=1e12)
+        assert result.node_failures == 0
+        assert all(r.exit_condition is ExitCondition.COMPLETED for r in result.records)
+
+    def test_requeue_reruns_to_completion(self):
+        requests = [make_request(job_id=1, runtime_s=2000.0)]
+        _, result = run_with_failures(
+            requests, mtbf_s=1500.0, requeue=True, repair_s=50.0, seed=4
+        )
+        assert len(result.records) == 1
+        record = result.records[0]
+        assert record.exit_condition is ExitCondition.COMPLETED
+        if record.request.tags.get("requeues"):
+            # the rerun pushed the completion past one clean runtime
+            assert record.service_time_s > 2000.0
+
+    def test_nodes_recover_after_repair(self):
+        # a failure then a later job: the cluster must still serve it
+        requests = [
+            make_request(job_id=1, submit_time_s=0.0, runtime_s=5000.0),
+            make_request(job_id=2, submit_time_s=20000.0, runtime_s=100.0),
+        ]
+        simulator, result = run_with_failures(
+            requests, mtbf_s=3000.0, repair_s=500.0, nodes=1, seed=0
+        )
+        by_id = {r.request.job_id: r for r in result.records}
+        assert by_id[1].exit_condition is ExitCondition.NODE_FAILURE
+        assert by_id[2].exit_condition is ExitCondition.COMPLETED
+        assert all(node.available for node in simulator.cluster.nodes)
+
+    def test_cluster_invariants_after_churn(self):
+        requests = [
+            make_request(job_id=i, submit_time_s=i * 50.0, runtime_s=400.0, num_gpus=1 + i % 2)
+            for i in range(30)
+        ]
+        simulator, result = run_with_failures(requests, mtbf_s=2000.0, repair_s=100.0, seed=6)
+        assert len(result.records) == 30
+        assert simulator.cluster.used_gpus == 0
+
+    def test_failure_rate_matches_paper_scale(self):
+        """With the default MTBF, < 0.5% of jobs die to hardware."""
+        requests = [
+            make_request(job_id=i, submit_time_s=i * 600.0, runtime_s=3000.0)
+            for i in range(100)
+        ]
+        _, result = run_with_failures(
+            requests, mtbf_s=FailureModel().node_mtbf_s, repair_s=3600.0, seed=7
+        )
+        failed = sum(
+            1 for r in result.records if r.exit_condition is ExitCondition.NODE_FAILURE
+        )
+        assert failed / len(result.records) < 0.05

@@ -1,0 +1,118 @@
+"""Tests for job requests, records, and exit classification."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.slurm.job import (
+    EXIT_FOR_CLASS,
+    ExitCondition,
+    JobRecord,
+    JobRequest,
+)
+
+
+def make_request(**overrides):
+    defaults = dict(
+        job_id=1,
+        user="u",
+        submit_time_s=0.0,
+        runtime_s=600.0,
+        num_gpus=1,
+        cores=4,
+        memory_gb=16.0,
+    )
+    defaults.update(overrides)
+    return JobRequest(**defaults)
+
+
+class TestJobRequest:
+    def test_valid_request(self):
+        request = make_request()
+        assert request.is_gpu_job
+
+    def test_cpu_job(self):
+        assert not make_request(num_gpus=0).is_gpu_job
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(SchedulerError, match="negative runtime"):
+            make_request(runtime_s=-1.0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_request(cores=0)
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(SchedulerError, match="interface"):
+            make_request(interface="ssh")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(SchedulerError, match="life-cycle"):
+            make_request(intended_class="misc")
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(SchedulerError, match="time limit"):
+            make_request(time_limit_s=0.0)
+
+
+class TestExitClassification:
+    def test_lifecycle_mapping_is_paper_rule(self):
+        assert ExitCondition.COMPLETED.lifecycle_class == "mature"
+        assert ExitCondition.CANCELLED_BY_USER.lifecycle_class == "exploratory"
+        assert ExitCondition.FAILED.lifecycle_class == "development"
+        assert ExitCondition.TIMEOUT.lifecycle_class == "ide"
+
+    def test_node_failure_folds_into_development(self):
+        assert ExitCondition.NODE_FAILURE.lifecycle_class == "development"
+
+    def test_exit_for_class_is_inverse(self):
+        for cls, exit_condition in EXIT_FOR_CLASS.items():
+            assert exit_condition.lifecycle_class == cls
+
+
+class TestJobRecord:
+    def make_record(self, **overrides):
+        request = make_request()
+        defaults = dict(
+            request=request,
+            start_time_s=10.0,
+            end_time_s=610.0,
+            nodes=(0,),
+            exit_condition=ExitCondition.COMPLETED,
+        )
+        defaults.update(overrides)
+        return JobRecord(**defaults)
+
+    def test_derived_times(self):
+        record = self.make_record()
+        assert record.wait_time_s == 10.0
+        assert record.run_time_s == 600.0
+        assert record.service_time_s == 610.0
+        assert record.wait_fraction == pytest.approx(10.0 / 610.0)
+
+    def test_gpu_hours(self):
+        record = self.make_record()
+        assert record.gpu_hours == pytest.approx(600.0 / 3600.0)
+
+    def test_lifecycle_class(self):
+        record = self.make_record(exit_condition=ExitCondition.TIMEOUT)
+        assert record.lifecycle_class == "ide"
+
+    def test_validate_rejects_time_travel(self):
+        record = self.make_record(start_time_s=-5.0)
+        with pytest.raises(SchedulerError, match="before submission"):
+            record.validate()
+
+    def test_validate_rejects_negative_duration(self):
+        record = self.make_record(end_time_s=5.0)
+        with pytest.raises(SchedulerError, match="ended before"):
+            record.validate()
+
+    def test_validate_rejects_gpu_job_without_nodes(self):
+        record = self.make_record(nodes=())
+        with pytest.raises(SchedulerError, match="no nodes"):
+            record.validate()
+
+    def test_wait_fraction_zero_service(self):
+        request = make_request(runtime_s=0.0)
+        record = JobRecord(request, 0.0, 0.0, (0,), ExitCondition.COMPLETED)
+        assert record.wait_fraction == 0.0

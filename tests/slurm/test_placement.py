@@ -1,0 +1,100 @@
+"""Tests for topology-aware placement."""
+
+import pytest
+
+from repro.cluster.node import Cluster
+from repro.cluster.spec import supercloud_spec
+from repro.errors import PlacementError
+from repro.slurm.placement import PlacementPolicy
+from tests.slurm.test_job import make_request
+
+
+@pytest.fixture
+def policy():
+    return PlacementPolicy(Cluster(supercloud_spec(8)))
+
+
+def apply(policy, request):
+    plan = policy.find_placement(request)
+    assert plan is not None
+    for node_index, cores, mem, gpus in plan:
+        policy.cluster.nodes[node_index].allocate(request.job_id, cores, mem, gpus)
+    policy.invalidate()
+    return plan
+
+
+class TestFeasibility:
+    def test_oversized_gpu_job_rejected(self, policy):
+        with pytest.raises(PlacementError, match="GPUs"):
+            policy.check_feasible(make_request(num_gpus=17))
+
+    def test_oversized_cpu_job_rejected(self, policy):
+        with pytest.raises(PlacementError):
+            policy.check_feasible(make_request(num_gpus=0, cores=80))
+
+    def test_feasible_passes(self, policy):
+        policy.check_feasible(make_request(num_gpus=16, cores=16))
+
+
+class TestSingleNodePlacement:
+    def test_single_gpu_lands_on_one_node(self, policy):
+        plan = apply(policy, make_request(job_id=1, num_gpus=1))
+        assert len(plan) == 1
+
+    def test_best_fit_packs_partial_nodes(self, policy):
+        apply(policy, make_request(job_id=1, num_gpus=1))
+        plan = apply(policy, make_request(job_id=2, num_gpus=1))
+        # second job lands on the node that already has one GPU taken
+        assert plan[0][0] == 0
+
+    def test_two_gpu_job_avoids_partial_node(self, policy):
+        apply(policy, make_request(job_id=1, num_gpus=1))
+        plan = apply(policy, make_request(job_id=2, num_gpus=2))
+        assert plan[0][0] != 0
+
+    def test_cpu_job_takes_free_node(self, policy):
+        plan = apply(policy, make_request(job_id=1, num_gpus=0, cores=40, memory_gb=360.0))
+        assert plan[0][3] == 0  # no GPUs
+
+    def test_whole_node_cpu_job_blocked_by_colocated_gpu_job(self, policy):
+        # a 2-GPU job on every node leaves 36 free cores per node: the
+        # whole-node CPU request cannot start anywhere
+        for node in range(8):
+            apply(policy, make_request(job_id=node, num_gpus=2, cores=4))
+        request = make_request(job_id=100, num_gpus=0, cores=40, memory_gb=300.0)
+        assert policy.find_placement(request) is None
+
+
+class TestMultiNodePlacement:
+    def test_four_gpu_job_spans_two_nodes(self, policy):
+        plan = apply(policy, make_request(job_id=1, num_gpus=4, cores=8))
+        assert len(plan) == 2
+        assert sum(p[3] for p in plan) == 4
+
+    def test_odd_gpu_count_distributes(self, policy):
+        plan = apply(policy, make_request(job_id=1, num_gpus=3, cores=6))
+        assert sorted(p[3] for p in plan) == [1, 2]
+
+    def test_dense_groups_prefer_same_leaf(self):
+        policy = PlacementPolicy(Cluster(supercloud_spec(64)))
+        plan = apply(policy, make_request(job_id=1, num_gpus=8, cores=8))
+        nodes = [p[0] for p in plan]
+        assert policy.topology.group_span(nodes) <= 2
+
+    def test_no_room_returns_none(self, policy):
+        for i in range(8):
+            apply(policy, make_request(job_id=i, num_gpus=2, cores=4))
+        assert policy.find_placement(make_request(job_id=99, num_gpus=2)) is None
+
+
+class TestFailureCache:
+    def test_failed_shape_cached_until_invalidate(self, policy):
+        for i in range(8):
+            apply(policy, make_request(job_id=i, num_gpus=2, cores=4))
+        request = make_request(job_id=50, num_gpus=2)
+        assert policy.find_placement(request) is None
+        # cluster unchanged: the cached failure answers immediately
+        assert policy.find_placement(request) is None
+        policy.cluster.nodes[0].release(0)
+        policy.invalidate()
+        assert policy.find_placement(request) is not None

@@ -1,0 +1,113 @@
+"""Tests for pluggable queue-priority policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import supercloud_spec
+from repro.slurm.policies import (
+    POLICIES,
+    FairSharePolicy,
+    FcfsPolicy,
+    ShortestTimeLimitPolicy,
+    SmallestJobFirstPolicy,
+    make_policy,
+)
+from repro.slurm.scheduler import SchedulerConfig, SlurmSimulator
+from tests.slurm.test_job import make_request
+
+
+class TestPolicyPriorities:
+    def test_fcfs_flat(self):
+        policy = FcfsPolicy()
+        a = policy.priority(make_request(job_id=1))
+        b = policy.priority(make_request(job_id=2, runtime_s=9999.0))
+        assert a == b
+
+    def test_fcfs_keeps_multi_gpu_boost(self):
+        policy = FcfsPolicy()
+        single = policy.priority(make_request(job_id=1, num_gpus=1))
+        multi = policy.priority(make_request(job_id=2, num_gpus=4))
+        assert multi > single
+
+    def test_smallest_first_orders_by_gpus(self):
+        policy = SmallestJobFirstPolicy()
+        small = policy.priority(make_request(job_id=1, num_gpus=1))
+        large = policy.priority(make_request(job_id=2, num_gpus=8))
+        cpu = policy.priority(make_request(job_id=3, num_gpus=0))
+        assert small > large > cpu
+
+    def test_shortest_limit_prefers_tight_walltime(self):
+        policy = ShortestTimeLimitPolicy()
+        tight = policy.priority(make_request(job_id=1, time_limit_s=3600.0))
+        loose = policy.priority(make_request(job_id=2, time_limit_s=90 * 3600.0))
+        assert tight > loose
+
+    def test_fair_share_penalises_consumption(self):
+        policy = FairSharePolicy(half_decay_gpu_hours=10.0)
+        fresh = policy.priority(make_request(job_id=1, user="light"))
+        policy.observe_completion(make_request(job_id=2, user="heavy"), gpu_hours=30.0)
+        heavy = policy.priority(make_request(job_id=3, user="heavy"))
+        assert fresh > heavy
+
+    def test_registry(self):
+        for name in POLICIES:
+            assert make_policy(name) is not None
+        with pytest.raises(KeyError):
+            make_policy("lottery")
+
+
+class TestPoliciesInSimulation:
+    def _congested_requests(self):
+        """Six 2-GPU jobs on a 1-node cluster, then one small job."""
+        requests = [
+            make_request(job_id=i, submit_time_s=float(i), num_gpus=2, runtime_s=600.0)
+            for i in range(6)
+        ]
+        requests.append(
+            make_request(job_id=6, submit_time_s=6.0, num_gpus=1, runtime_s=60.0)
+        )
+        return requests
+
+    def _run(self, policy_name):
+        simulator = SlurmSimulator(
+            supercloud_spec(1), SchedulerConfig(policy=policy_name, backfill_depth=1)
+        )
+        return simulator.run(self._congested_requests())
+
+    def test_smallest_first_promotes_small_job(self):
+        fcfs = self._run("fcfs")
+        sjf = self._run("smallest_first")
+        wait = lambda result: [
+            r.wait_time_s for r in result.records if r.request.job_id == 6
+        ][0]
+        assert wait(sjf) < wait(fcfs)
+
+    def test_fair_share_spreads_service(self):
+        # user "hog" floods the queue; user "guest" submits one job later
+        requests = [
+            make_request(job_id=i, submit_time_s=float(i), num_gpus=2,
+                         runtime_s=600.0, user="hog")
+            for i in range(6)
+        ]
+        requests.append(
+            make_request(job_id=6, submit_time_s=10.0, num_gpus=2,
+                         runtime_s=600.0, user="guest")
+        )
+        fair = SlurmSimulator(
+            supercloud_spec(1),
+            SchedulerConfig(
+                policy=FairSharePolicy(half_decay_gpu_hours=0.2), backfill_depth=1
+            ),
+        ).run(list(requests))
+        fcfs = SlurmSimulator(
+            supercloud_spec(1), SchedulerConfig(policy="fcfs", backfill_depth=1)
+        ).run(list(requests))
+        guest_wait = lambda result: [
+            r.wait_time_s for r in result.records if r.request.user == "guest"
+        ][0]
+        assert guest_wait(fair) < guest_wait(fcfs)
+
+    def test_all_policies_complete_every_job(self):
+        for name in POLICIES:
+            result = self._run(name)
+            assert len(result.records) == 7, name

@@ -1,0 +1,79 @@
+"""Tests for the pending-job queue."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.slurm.queue import JobQueue
+from tests.slurm.test_job import make_request
+
+
+class TestQueueOrdering:
+    def test_fcfs_within_priority(self):
+        queue = JobQueue()
+        queue.push(make_request(job_id=1, submit_time_s=0.0))
+        queue.push(make_request(job_id=2, submit_time_s=1.0))
+        assert queue.snapshot() == [1, 2]
+
+    def test_priority_jumps_ahead(self):
+        queue = JobQueue()
+        queue.push(make_request(job_id=1, submit_time_s=0.0), priority=0.0)
+        queue.push(make_request(job_id=2, submit_time_s=1.0), priority=10.0)
+        assert queue.snapshot() == [2, 1]
+
+    def test_tie_breaks_by_job_id(self):
+        queue = JobQueue()
+        queue.push(make_request(job_id=5, submit_time_s=0.0))
+        queue.push(make_request(job_id=3, submit_time_s=0.0))
+        assert queue.snapshot() == [3, 5]
+
+    def test_len_and_bool(self):
+        queue = JobQueue()
+        assert not queue
+        queue.push(make_request(job_id=1))
+        assert len(queue) == 1 and queue
+
+
+class TestBackfill:
+    def test_scan_limited_to_depth(self):
+        queue = JobQueue(backfill_depth=2)
+        for i in range(5):
+            queue.push(make_request(job_id=i, submit_time_s=float(i)))
+        assert [r.job_id for r in queue.scan()] == [0, 1]
+
+    def test_pop_first_placeable_skips_stuck_head(self):
+        queue = JobQueue()
+        queue.push(make_request(job_id=1, num_gpus=2, submit_time_s=0.0))
+        queue.push(make_request(job_id=2, num_gpus=1, submit_time_s=1.0))
+        popped = queue.pop_first_placeable(lambda r: r.num_gpus == 1)
+        assert popped.job_id == 2
+        assert queue.snapshot() == [1]
+
+    def test_pop_first_placeable_none_when_nothing_fits(self):
+        queue = JobQueue()
+        queue.push(make_request(job_id=1))
+        assert queue.pop_first_placeable(lambda r: False) is None
+        assert len(queue) == 1
+
+    def test_depth_bounds_backfill(self):
+        queue = JobQueue(backfill_depth=1)
+        queue.push(make_request(job_id=1, num_gpus=2, submit_time_s=0.0))
+        queue.push(make_request(job_id=2, num_gpus=1, submit_time_s=1.0))
+        # job 2 would fit, but it is outside the scan window
+        assert queue.pop_first_placeable(lambda r: r.num_gpus == 1) is None
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(SchedulerError):
+            JobQueue(backfill_depth=0)
+
+
+class TestRemoval:
+    def test_remove_returns_request(self):
+        queue = JobQueue()
+        queue.push(make_request(job_id=9))
+        request = queue.remove(9)
+        assert request.job_id == 9
+        assert not queue
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(SchedulerError, match="not in queue"):
+            JobQueue().remove(1)

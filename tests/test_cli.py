@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.scale == 0.1
+        assert args.output == "dataset"
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "fig04", "--scale", "0.05"])
+        assert args.figure_id == "fig04"
+        assert args.scale == 0.05
+
+
+class TestCommands:
+    def test_generate_writes_csvs(self, tmp_path, capsys):
+        rc = main(
+            ["generate", "--scale", "0.01", "--seed", "5", "--output", str(tmp_path)]
+        )
+        assert rc == 0
+        assert (tmp_path / "jobs.csv").exists()
+        assert (tmp_path / "gpu_jobs.csv").exists()
+        assert (tmp_path / "per_gpu.csv").exists()
+        assert "GPU jobs" in capsys.readouterr().out
+
+    def test_figure_prints_comparisons(self, capsys):
+        rc = main(["figure", "fig15", "--scale", "0.01", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mature job share" in out
+
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out_file = tmp_path / "EXP.md"
+        rc = main(
+            ["report", "--scale", "0.01", "--seed", "5", "--output", str(out_file)]
+        )
+        assert rc == 0
+        assert out_file.exists()
+
+    def test_opportunities_prints_studies(self, capsys):
+        rc = main(["opportunities", "--scale", "0.01", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "co-location" in out
+        assert "power capping" in out
+        assert "checkpointing" in out
+
+    def test_unknown_figure_raises(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            main(["figure", "fig99", "--scale", "0.01"])
+
+    def test_plot_writes_svgs(self, tmp_path, capsys):
+        rc = main(
+            ["plot", "fig04", "--scale", "0.01", "--seed", "5", "--output", str(tmp_path)]
+        )
+        assert rc == 0
+        written = list(tmp_path.glob("fig04_*.svg"))
+        assert len(written) == 2
+
+    def test_summary_prints_sections(self, capsys):
+        rc = main(["summary", "--scale", "0.01", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "queue health" in out
+        assert "GPU utilization" in out
+
+    def test_validate_reports_fraction(self, capsys):
+        rc = main(["validate", "--scale", "0.01", "--seed", "5", "--min-pass", "0.0"])
+        assert rc == 0
+        assert "checks passed" in capsys.readouterr().out
+
+    def test_validate_threshold_gate(self, capsys):
+        rc = main(["validate", "--scale", "0.01", "--seed", "5", "--min-pass", "1.01"])
+        assert rc == 1
+
+    def test_scenario_flag(self, capsys):
+        rc = main(
+            ["figure", "fig15", "--scale", "0.01", "--seed", "5",
+             "--scenario", "exploration_surge"]
+        )
+        assert rc == 0
+        assert "exploratory job share" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["figure", "fig15", "--scale", "0.01", "--scenario", "moonbase"])

@@ -1,0 +1,68 @@
+"""Tests for the end-to-end dataset pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import default_dataset, generate_dataset
+from repro.workload.calibration import PAPER_TARGETS
+from repro.workload.generator import WorkloadConfig
+
+
+class TestPipeline:
+    def test_tables_linked_by_job_id(self, small_dataset):
+        gpu_ids = set(small_dataset.gpu_jobs["job_id"])
+        all_ids = set(small_dataset.jobs["job_id"])
+        assert gpu_ids <= all_ids
+
+    def test_gpu_jobs_have_metrics(self, small_dataset):
+        for column in ("sm_mean", "power_w_max", "pcie_rx_mean"):
+            assert column in small_dataset.gpu_jobs
+
+    def test_short_jobs_filtered(self, small_dataset):
+        runtimes = np.asarray(small_dataset.gpu_jobs["run_time_s"], dtype=float)
+        assert runtimes.min() >= PAPER_TARGETS.short_job_filter_s
+
+    def test_jobs_table_keeps_short_and_cpu_jobs(self, small_dataset):
+        assert len(small_dataset.jobs) > len(small_dataset.gpu_jobs)
+
+    def test_per_gpu_row_counts_match_gpu_requests(self, small_dataset):
+        per_gpu = small_dataset.per_gpu
+        counts = {}
+        for row in per_gpu.iter_rows():
+            counts[row["job_id"]] = counts.get(row["job_id"], 0) + 1
+        for row in small_dataset.gpu_jobs.iter_rows():
+            assert counts[row["job_id"]] == row["num_gpus"]
+
+    def test_timeseries_jobs_are_gpu_jobs(self, small_dataset):
+        all_gpu_ids = {
+            row["job_id"]
+            for row in small_dataset.jobs.iter_rows()
+            if row["num_gpus"] > 0
+        }
+        for job_id in small_dataset.timeseries.job_ids():
+            assert job_id in all_gpu_ids
+
+    def test_describe_mentions_counts(self, small_dataset):
+        text = small_dataset.describe()
+        assert "total jobs" in text
+        assert "users" in text
+
+    def test_num_users_bounded_by_config(self, small_dataset):
+        assert small_dataset.num_users <= small_dataset.config.scaled_users
+
+    def test_spec_scaled(self, small_dataset):
+        assert small_dataset.spec.num_nodes == small_dataset.config.scaled_nodes
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = generate_dataset(WorkloadConfig(scale=0.01, seed=77))
+        b = generate_dataset(WorkloadConfig(scale=0.01, seed=77))
+        assert a.jobs.num_rows == b.jobs.num_rows
+        assert list(a.gpu_jobs["sm_mean"]) == list(b.gpu_jobs["sm_mean"])
+        assert list(a.jobs["wait_time_s"]) == list(b.jobs["wait_time_s"])
+
+    def test_default_dataset_memoized(self):
+        first = default_dataset(scale=0.01, seed=55)
+        second = default_dataset(scale=0.01, seed=55)
+        assert first is second

@@ -1,0 +1,142 @@
+"""Tests for the public-dataset interchange (round trips included)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.figures.registry import run_figure
+from repro.frame import Table, write_csv
+from repro.interchange import (
+    GpuSummarySchema,
+    SlurmLogSchema,
+    combine_logs,
+    export_challenge_format,
+    load_gpu_summary,
+    load_slurm_log,
+)
+
+
+@pytest.fixture(scope="module")
+def exported(small_dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("challenge")
+    paths = export_challenge_format(small_dataset, directory)
+    return small_dataset, paths
+
+
+class TestExport:
+    def test_writes_both_files(self, exported):
+        _, paths = exported
+        assert paths["slurm"].exists()
+        assert paths["gpu"].exists()
+
+    def test_slurm_row_count_matches(self, exported):
+        dataset, paths = exported
+        loaded = load_slurm_log(paths["slurm"])
+        assert loaded.num_rows == dataset.jobs.num_rows
+
+    def test_gpu_row_count_matches(self, exported):
+        dataset, paths = exported
+        loaded = load_gpu_summary(paths["gpu"])
+        assert loaded.num_rows == dataset.per_gpu.num_rows
+
+
+class TestRoundTrip:
+    def test_lifecycle_classes_preserved(self, exported):
+        dataset, paths = exported
+        loaded = load_slurm_log(paths["slurm"]).sort_by("job_id")
+        original = dataset.jobs.sort_by("job_id")
+        assert list(loaded["lifecycle_class"]) == list(original["lifecycle_class"])
+
+    def test_times_preserved(self, exported):
+        dataset, paths = exported
+        loaded = load_slurm_log(paths["slurm"]).sort_by("job_id")
+        original = dataset.jobs.sort_by("job_id")
+        np.testing.assert_allclose(
+            np.asarray(loaded["run_time_s"], dtype=float),
+            np.asarray(original["run_time_s"], dtype=float),
+            rtol=1e-9,
+        )
+
+    def test_metrics_preserved(self, exported):
+        dataset, paths = exported
+        loaded = load_gpu_summary(paths["gpu"]).sort_by("job_id", "gpu_index")
+        original = dataset.per_gpu.sort_by("job_id", "gpu_index")
+        np.testing.assert_allclose(
+            np.asarray(loaded["sm_mean"], dtype=float),
+            np.asarray(original["sm_mean"], dtype=float),
+            rtol=1e-9,
+        )
+
+    def test_combined_matches_dataset_gpu_jobs(self, exported):
+        dataset, paths = exported
+        combined = combine_logs(
+            load_slurm_log(paths["slurm"]), load_gpu_summary(paths["gpu"])
+        )
+        assert combined.num_rows == dataset.gpu_jobs.num_rows
+        a = combined.sort_by("job_id")
+        b = dataset.gpu_jobs.sort_by("job_id")
+        np.testing.assert_allclose(
+            np.asarray(a["sm_mean"], dtype=float),
+            np.asarray(b["sm_mean"], dtype=float),
+            rtol=1e-9,
+        )
+
+    def test_figures_run_on_reimported_data(self, exported):
+        """The analysis pipeline accepts challenge-format data."""
+        dataset, paths = exported
+        combined = combine_logs(
+            load_slurm_log(paths["slurm"]), load_gpu_summary(paths["gpu"])
+        )
+        stub = type(dataset)(
+            jobs=load_slurm_log(paths["slurm"]),
+            gpu_jobs=combined,
+            per_gpu=dataset.per_gpu,
+            timeseries=dataset.timeseries,
+            records=dataset.records,
+            spec=dataset.spec,
+            config=dataset.config,
+        )
+        result = run_figure("fig15", stub)
+        assert result.get("mature job share").measured > 0
+
+
+class TestValidation:
+    def test_missing_slurm_column_rejected(self, tmp_path):
+        bad = Table.from_rows([{"id_job": 1}])
+        path = write_csv(bad, tmp_path / "bad.csv")
+        with pytest.raises(ReproError, match="missing column"):
+            load_slurm_log(path)
+
+    def test_unknown_state_rejected(self, tmp_path):
+        row = {
+            "id_job": 1, "id_user": "u", "time_submit": 0.0, "time_start": 1.0,
+            "time_end": 2.0, "state": "EXPLODED", "exit_code": 0, "cpus_req": 1,
+            "mem_req": 1.0, "gres_used": 1, "nodes_alloc": 1, "timelimit": 60,
+        }
+        path = write_csv(Table.from_rows([row]), tmp_path / "bad.csv")
+        with pytest.raises(ReproError, match="unknown Slurm state"):
+            load_slurm_log(path)
+
+    def test_missing_metric_column_rejected(self, tmp_path):
+        bad = Table.from_rows([{"id_job": 1, "gpu_index": 0}])
+        path = write_csv(bad, tmp_path / "bad.csv")
+        with pytest.raises(ReproError, match="missing column"):
+            load_gpu_summary(path)
+
+    def test_custom_schema(self, tmp_path):
+        row = {
+            "job": 7, "who": "alice", "sub": 0.0, "beg": 10.0, "fin": 100.0,
+            "st": "COMPLETED", "rc": 0, "ncpu": 2, "mem": 8.0, "ngpu": 1,
+            "nnodes": 1, "lim": 60,
+        }
+        path = write_csv(Table.from_rows([row]), tmp_path / "custom.csv")
+        schema = SlurmLogSchema(
+            job_id="job", user="who", time_submit="sub", time_start="beg",
+            time_end="fin", state="st", exit_code="rc", cpus_req="ncpu",
+            mem_req_gb="mem", gpus_alloc="ngpu", nodes_alloc="nnodes",
+            time_limit_min="lim",
+        )
+        loaded = load_slurm_log(path, schema)
+        assert loaded.row(0)["user"] == "alice"
+        assert loaded.row(0)["run_time_s"] == 90.0
+        assert loaded.row(0)["lifecycle_class"] == "mature"

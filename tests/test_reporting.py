@@ -1,0 +1,34 @@
+"""Tests for the operator summary report."""
+
+from repro.reporting import operator_summary
+
+
+class TestOperatorSummary:
+    def test_contains_all_sections(self, medium_dataset):
+        text = operator_summary(medium_dataset)
+        for section in (
+            "queue health",
+            "GPU utilization",
+            "development life-cycle footprint",
+            "power headroom",
+            "user population",
+            "monitoring data volume",
+        ):
+            assert section in text, section
+
+    def test_contains_ascii_charts(self, medium_dataset):
+        text = operator_summary(medium_dataset)
+        assert "CDF" in text
+        assert "#" in text  # histogram bars
+        assert "*" in text  # CDF dots
+
+    def test_mentions_lifecycle_classes(self, medium_dataset):
+        text = operator_summary(medium_dataset)
+        for cls in ("mature", "exploratory", "ide"):
+            assert cls in text
+
+    def test_headline_numbers_present(self, medium_dataset):
+        text = operator_summary(medium_dataset)
+        assert "median wait" in text
+        assert "W cap" in text
+        assert "Gini" in text

@@ -1,0 +1,36 @@
+"""Tests for the seed-robustness harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.robustness import seed_sweep, summarize
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # two small seeds keep this test affordable (~10 s)
+    return seed_sweep(seeds=(1, 2), scale=0.03)
+
+
+class TestSeedSweep:
+    def test_one_row_per_check(self, sweep):
+        keys = {(r["figure"], r["statistic"]) for r in sweep.iter_rows()}
+        assert len(keys) == sweep.num_rows
+
+    def test_pass_rates_valid(self, sweep):
+        rates = np.asarray(sweep["pass_rate"], dtype=float)
+        assert ((rates >= 0.0) & (rates <= 1.0)).all()
+
+    def test_sorted_fragile_first(self, sweep):
+        rates = np.asarray(sweep["pass_rate"], dtype=float)
+        assert (np.diff(rates) >= -1e-9).all()
+
+    def test_majority_robust(self, sweep):
+        summary = summarize(sweep)
+        assert summary.robust_checks > summary.failing_checks
+        assert summary.mean_pass_fraction > 0.6
+
+    def test_too_few_seeds_rejected(self):
+        with pytest.raises(AnalysisError):
+            seed_sweep(seeds=(1,))

@@ -1,0 +1,228 @@
+"""Tests for phase schedules and activity models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.activity import (
+    JobActivityModel,
+    MetricProcess,
+    PhaseSchedule,
+    PowerModel,
+    build_metric_process,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestPhaseSchedule:
+    def test_always_active(self):
+        schedule = PhaseSchedule.always(100.0, active=True)
+        assert schedule.active_fraction() == 1.0
+        assert schedule.active_at(np.asarray([0.0, 50.0])).all()
+
+    def test_always_idle(self):
+        schedule = PhaseSchedule.always(100.0, active=False)
+        assert schedule.active_fraction() == 0.0
+
+    def test_generate_zero_fraction(self, rng):
+        schedule = PhaseSchedule.generate(rng, 1000.0, 0.0, 60.0, 1.0, 1.0)
+        assert schedule.active_time_s() == 0.0
+
+    def test_generate_full_fraction(self, rng):
+        schedule = PhaseSchedule.generate(rng, 1000.0, 1.0, 60.0, 1.0, 1.0)
+        assert schedule.active_fraction() == 1.0
+
+    def test_generate_hits_target_fraction_on_long_runs(self, rng):
+        fractions = [
+            PhaseSchedule.generate(rng, 2e5, 0.7, 60.0, 1.0, 1.0).active_fraction()
+            for _ in range(10)
+        ]
+        assert np.mean(fractions) == pytest.approx(0.7, abs=0.08)
+
+    def test_intervals_cover_duration(self, rng):
+        schedule = PhaseSchedule.generate(rng, 5000.0, 0.5, 120.0, 1.5, 1.5)
+        intervals = schedule.intervals()
+        assert intervals[0][0] == 0.0
+        assert intervals[-1][1] == pytest.approx(5000.0)
+        for (a0, b0, s0), (a1, b1, s1) in zip(intervals, intervals[1:]):
+            assert b0 == pytest.approx(a1)
+            assert s0 != s1  # strictly alternating
+
+    def test_active_at_matches_intervals(self, rng):
+        schedule = PhaseSchedule.generate(rng, 5000.0, 0.5, 120.0, 1.5, 1.5)
+        for a, b, active in schedule.intervals():
+            mid = (a + b) / 2.0
+            assert schedule.active_at(np.asarray([mid]))[0] == active
+
+    def test_interval_cap_stretches_not_explodes(self, rng):
+        schedule = PhaseSchedule.generate(
+            rng, 1e7, 0.5, 1.0, 1.0, 1.0, max_intervals=1000
+        )
+        assert len(schedule.boundaries) <= 1200
+
+    def test_invalid_boundaries_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSchedule(np.asarray([5.0, 3.0]), True, 10.0)
+        with pytest.raises(WorkloadError):
+            PhaseSchedule(np.asarray([15.0]), True, 10.0)
+
+    def test_negative_duration_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            PhaseSchedule.generate(rng, -1.0, 0.5, 60.0, 1.0, 1.0)
+
+
+class TestMetricProcess:
+    def test_smooth_values_near_level(self, rng):
+        process = build_metric_process(
+            rng, level=50.0, noise_cov=0.1, burst_level=50.0,
+            schedule=PhaseSchedule.always(1000.0, True), num_bursts=0,
+        )
+        values = process.values_at(np.linspace(0, 1000, 500))
+        assert values.mean() == pytest.approx(50.0, rel=0.15)
+        assert values.std() == pytest.approx(5.0, rel=0.5)
+
+    def test_burst_reaches_burst_level(self, rng):
+        schedule = PhaseSchedule.always(1000.0, True)
+        process = build_metric_process(
+            rng, level=10.0, noise_cov=0.05, burst_level=100.0,
+            schedule=schedule, num_bursts=3,
+        )
+        assert len(process.burst_windows) == 3
+        dense = process.values_at(np.linspace(0, 1000, 20000))
+        assert dense.max() == pytest.approx(100.0)
+
+    def test_bursts_only_in_active_intervals(self, rng):
+        schedule = PhaseSchedule.generate(rng, 10000.0, 0.3, 120.0, 1.0, 1.0)
+        process = build_metric_process(
+            rng, level=10.0, noise_cov=0.05, burst_level=100.0,
+            schedule=schedule, num_bursts=5,
+        )
+        for t0, t1 in process.burst_windows:
+            assert schedule.active_at(np.asarray([t0]))[0]
+
+    def test_no_bursts_when_idle_schedule(self, rng):
+        process = build_metric_process(
+            rng, level=10.0, noise_cov=0.05, burst_level=100.0,
+            schedule=PhaseSchedule.always(100.0, False), num_bursts=5,
+        )
+        assert len(process.burst_windows) == 0
+
+    def test_smooth_cap_blocks_saturation(self, rng):
+        process = build_metric_process(
+            rng, level=97.0, noise_cov=0.3, burst_level=97.0,
+            schedule=PhaseSchedule.always(1000.0, True), num_bursts=0,
+        )
+        values = process.values_at(np.linspace(0, 1000, 5000), scale=1.2)
+        assert values.max() <= MetricProcess.SMOOTH_CAP
+
+    def test_analytic_peak_bounds_values(self, rng):
+        process = build_metric_process(
+            rng, level=40.0, noise_cov=0.2, burst_level=80.0,
+            schedule=PhaseSchedule.always(1000.0, True), num_bursts=2,
+        )
+        dense = process.values_at(np.linspace(0, 1000, 50000))
+        assert dense.max() <= process.analytic_peak() + 1e-9
+
+
+class TestJobActivityModel:
+    def make_model(self, rng, num_gpus=1, gpu_scale=None, duration=600.0, frac=0.8):
+        schedule = PhaseSchedule.generate(rng, duration, frac, 60.0, 1.0, 1.0)
+        processes = {
+            name: build_metric_process(
+                rng, level=30.0, noise_cov=0.1, burst_level=60.0,
+                schedule=schedule, num_bursts=1,
+            )
+            for name in ("sm", "mem_bw", "mem_size", "pcie_tx", "pcie_rx")
+        }
+        if gpu_scale is None:
+            gpu_scale = np.ones(num_gpus)
+        return JobActivityModel(
+            job_id=1, num_gpus=num_gpus, duration_s=duration,
+            schedule=schedule, processes=processes,
+            gpu_scale=np.asarray(gpu_scale),
+            power_model=PowerModel(25.0, 1.25, 0.4, 0.03, 0.2),
+        )
+
+    def test_metrics_gated_by_schedule(self, rng):
+        model = self.make_model(rng, frac=0.5)
+        times = np.linspace(0, 600, 2000)
+        sm = model.metrics_at(times, 0)["sm"]
+        active = model.schedule.active_at(times)
+        assert (sm[~active] == 0.0).all()
+        assert sm[active].mean() > 10.0
+
+    def test_memory_persists_through_idle(self, rng):
+        model = self.make_model(rng, frac=0.5)
+        times = np.linspace(300, 600, 500)  # past the ramp
+        size = model.metrics_at(times, 0)["mem_size"]
+        assert (size > 0).all()
+
+    def test_memory_ramps_from_zero(self, rng):
+        model = self.make_model(rng)
+        out = model.metrics_at(np.asarray([0.0]), 0)
+        assert out["mem_size"][0] == pytest.approx(0.0, abs=1.0)
+
+    def test_idle_gpu_all_zero(self, rng):
+        model = self.make_model(rng, num_gpus=2, gpu_scale=[1.0, 0.0])
+        out = model.metrics_at(np.linspace(0, 600, 100), 1)
+        for name in ("sm", "mem_bw", "mem_size", "pcie_tx", "pcie_rx"):
+            assert (out[name] == 0.0).all()
+        assert (out["power_w"] == 25.0).all()
+        assert model.idle_gpu_count == 1
+
+    def test_power_derived_from_metrics(self, rng):
+        model = self.make_model(rng)
+        times = np.linspace(0, 600, 200)
+        out = model.metrics_at(times, 0)
+        expected = 25.0 + 1.25 * out["sm"] + 0.4 * out["mem_bw"] + 0.03 * (
+            out["pcie_tx"] + out["pcie_rx"]
+        ) + 0.2 * out["mem_size"]
+        assert out["power_w"] == pytest.approx(np.clip(expected, 0, 300))
+
+    def test_analytic_max_dominates_dense_samples(self, rng):
+        model = self.make_model(rng)
+        times = np.linspace(0, 600, 30000)
+        out = model.metrics_at(times, 0)
+        peaks = model.analytic_max(0)
+        for name in ("sm", "mem_bw", "mem_size", "pcie_tx", "pcie_rx"):
+            assert out[name].max() <= peaks[name] + 1e-6
+
+    def test_gpu_index_out_of_range(self, rng):
+        model = self.make_model(rng)
+        with pytest.raises(WorkloadError):
+            model.metrics_at(np.zeros(1), 1)
+
+    def test_missing_process_rejected(self, rng):
+        schedule = PhaseSchedule.always(10.0, True)
+        with pytest.raises(WorkloadError, match="missing metric"):
+            JobActivityModel(
+                1, 1, 10.0, schedule, {}, np.ones(1),
+                PowerModel(25.0, 1.25, 0.4, 0.03, 0.2),
+            )
+
+    def test_determinism_across_calls(self, rng):
+        model = self.make_model(rng)
+        times = np.linspace(0, 600, 100)
+        first = model.metrics_at(times, 0)
+        second = model.metrics_at(times, 0)
+        for name in first:
+            assert (first[name] == second[name]).all()
+
+
+@given(
+    st.floats(10.0, 1e5),
+    st.floats(0.0, 1.0),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_schedule_fraction_in_bounds(duration, fraction, seed):
+    rng = np.random.default_rng(seed)
+    schedule = PhaseSchedule.generate(rng, duration, fraction, 60.0, 1.69, 1.26)
+    assert 0.0 <= schedule.active_fraction() <= 1.0
+    assert schedule.duration_s == duration

@@ -1,0 +1,117 @@
+"""Sanity checks on the calibration constants themselves.
+
+These guard against knob edits that would silently break the
+generator: every anchor set must be a valid quantile distribution,
+every probability vector must normalise, and the paper targets must
+stay self-consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import QuantileDistribution
+from repro.workload.calibration import GeneratorKnobs, PAPER_TARGETS, PaperTargets
+
+
+@pytest.fixture(scope="module")
+def knobs():
+    return GeneratorKnobs()
+
+
+class TestAnchorsValid:
+    def test_sm_anchors_build(self, knobs):
+        for cls, anchors in knobs.sm_anchors.items():
+            dist = QuantileDistribution(anchors)
+            assert dist.support[1] <= 100.0, cls
+
+    def test_size_anchors_build(self, knobs):
+        for anchors in knobs.size_anchors.values():
+            QuantileDistribution(anchors)
+
+    def test_active_fraction_anchors_bounded(self, knobs):
+        for cls, anchors in knobs.active_fraction_anchors.items():
+            dist = QuantileDistribution(anchors)
+            lo, hi = dist.support
+            assert 0.0 <= lo <= hi <= 1.0, cls
+
+    def test_mem_ratio_anchors_build(self, knobs):
+        dist = QuantileDistribution(knobs.mem_ratio_anchors)
+        assert dist.support[1] < 1.0
+
+    def test_cpu_runtime_anchors_log_space(self, knobs):
+        dist = QuantileDistribution(knobs.cpu_runtime_anchors, log_space=True)
+        assert dist.quantile(0.5) == pytest.approx(480.0)
+
+    def test_class_ordering_mature_above_dev(self, knobs):
+        mature = QuantileDistribution(knobs.sm_anchors["mature"]).quantile(0.5)
+        dev = QuantileDistribution(knobs.sm_anchors["development"]).quantile(0.5)
+        ide = QuantileDistribution(knobs.sm_anchors["ide"]).quantile(0.5)
+        assert mature > dev >= ide
+
+
+class TestProbabilityVectors:
+    def test_class_given_interface_normalised(self, knobs):
+        for interface, probs in knobs.class_given_interface.items():
+            assert sum(probs.values()) == pytest.approx(1.0, abs=0.01), interface
+
+    def test_gpu_count_distributions_normalised(self, knobs):
+        for category, counts in knobs.gpu_count_by_category.items():
+            assert sum(counts.values()) == pytest.approx(1.0, abs=0.01), category
+            assert all(k >= 1 for k in counts), category
+
+    def test_user_category_probs_normalised(self, knobs):
+        assert sum(knobs.user_gpu_category_probs) == pytest.approx(1.0)
+        assert len(knobs.user_gpu_categories) == len(knobs.user_gpu_category_probs)
+
+    def test_ide_limit_probs_normalised(self, knobs):
+        assert sum(knobs.ide_limit_probs) == pytest.approx(1.0)
+        assert len(knobs.ide_time_limits_s) == len(knobs.ide_limit_probs)
+
+    def test_gpu_job_cores_probs_normalised(self, knobs):
+        assert sum(knobs.gpu_job_cores_probs) == pytest.approx(1.0)
+
+
+class TestPaperTargets:
+    def test_class_shares_sum_to_one(self):
+        assert sum(PAPER_TARGETS.class_shares.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_class_hour_shares_sum_to_one(self):
+        assert sum(PAPER_TARGETS.class_gpu_hour_shares.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_interface_shares_sum_to_one(self):
+        assert sum(PAPER_TARGETS.interface_shares.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_quantiles_ordered(self):
+        t = PAPER_TARGETS
+        assert t.gpu_runtime_p25_min < t.gpu_runtime_median_min < t.gpu_runtime_p75_min
+        assert t.user_avg_runtime_p25_min < t.user_avg_runtime_median_min < t.user_avg_runtime_p75_min
+        assert t.active_fraction_p25 < t.active_fraction_median < t.active_fraction_p75
+
+    def test_dataset_counts_consistent(self):
+        t = PAPER_TARGETS
+        assert t.gpu_jobs_analyzed < t.total_jobs
+        assert t.timeseries_jobs < t.gpu_jobs_analyzed
+
+    def test_targets_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_TARGETS.num_users = 5
+
+    def test_singleton_matches_fresh_instance(self):
+        assert PaperTargets() == PAPER_TARGETS
+
+
+class TestDerivedConsistency:
+    def test_short_filter_yield_matches_paper(self, knobs):
+        """51,500 raw GPU jobs minus the short fraction ~= 47,120."""
+        survivors = 51500 * (1.0 - knobs.short_gpu_job_fraction)
+        assert survivors == pytest.approx(PAPER_TARGETS.gpu_jobs_analyzed, rel=0.01)
+
+    def test_power_model_median_job(self, knobs):
+        """The linear power model lands near 45 W for the median job."""
+        power = (
+            knobs.power_idle_w
+            + knobs.power_per_sm_pct * PAPER_TARGETS.sm_util_median
+            + knobs.power_per_mem_pct * PAPER_TARGETS.mem_bw_util_median
+            + knobs.power_per_size_pct * PAPER_TARGETS.mem_size_util_median
+        )
+        assert power == pytest.approx(PAPER_TARGETS.avg_power_median_w, rel=0.2)

@@ -1,0 +1,96 @@
+"""Tests for the structured campaign generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.transitions import campaign_stats, segment_campaigns
+from repro.cluster.spec import supercloud_spec
+from repro.errors import WorkloadError
+from repro.monitor.collector import MonitoringCollector, MonitoringConfig
+from repro.slurm.accounting import accounting_table
+from repro.slurm.scheduler import SlurmSimulator
+from repro.workload.campaigns import CampaignGenerator, CampaignSpec
+
+
+@pytest.fixture
+def generator():
+    return CampaignGenerator(seed=3)
+
+
+class TestSpec:
+    def test_invalid_winners_rejected(self):
+        with pytest.raises(WorkloadError):
+            CampaignSpec(sweep_trials=2, sweep_winners=3)
+
+    def test_negative_think_time_rejected(self):
+        with pytest.raises(WorkloadError):
+            CampaignSpec(think_time_s=-1.0)
+
+
+class TestBuild:
+    def test_stage_sequence(self, generator):
+        requests = generator.build("alice", 0.0)
+        stages = [r.tags["campaign_stage"] for r in requests]
+        assert stages[0] == "ide"
+        assert stages[1:4] == ["development"] * 3
+        assert stages[-1] == "mature"
+        assert stages.count("exploratory") == 11  # 12 trials, 1 winner
+
+    def test_submission_times_increase(self, generator):
+        requests = generator.build("alice", 100.0)
+        times = [r.submit_time_s for r in requests]
+        assert times == sorted(times)
+        assert times[0] == 100.0
+
+    def test_ide_sessions_time_out(self, generator):
+        requests = generator.build("alice", 0.0)
+        ide = [r for r in requests if r.intended_class == "ide"]
+        assert all(r.runtime_s > r.time_limit_s for r in ide)
+        assert all(r.interface == "interactive" for r in ide)
+
+    def test_every_job_has_activity(self, generator):
+        for request in generator.build("alice", 0.0):
+            assert request.tags["activity"].num_gpus == request.num_gpus
+
+    def test_final_job_multi_gpu(self, generator):
+        requests = generator.build("alice", 0.0, CampaignSpec(final_gpus=4))
+        assert requests[-1].num_gpus == 4
+
+
+class TestPopulation:
+    def test_unique_sequential_ids(self, generator):
+        requests = generator.build_population(5, horizon_s=1e6)
+        assert [r.job_id for r in requests] == list(range(len(requests)))
+
+    def test_one_campaign_per_user(self, generator):
+        requests = generator.build_population(5, horizon_s=1e6)
+        assert len({r.user for r in requests}) == 5
+
+    def test_zero_users_rejected(self, generator):
+        with pytest.raises(WorkloadError):
+            generator.build_population(0, horizon_s=1.0)
+
+
+class TestEndToEnd:
+    def test_campaigns_run_and_classify(self, generator):
+        requests = generator.build_population(4, horizon_s=5e5)
+        simulator = SlurmSimulator(supercloud_spec(6))
+        collector = MonitoringCollector(
+            MonitoringConfig(timeseries_fraction=0.0)
+        ).attach(simulator)
+        result = simulator.run(requests)
+        jobs = accounting_table(result.records)
+        classes = set(jobs["lifecycle_class"])
+        assert classes == {"mature", "exploratory", "development", "ide"}
+
+    def test_transition_mining_recovers_workflow(self, generator):
+        """The transition analysis sees Fig 2's structure in the
+        campaign stream: development leads onward, sweeps end mature."""
+        requests = generator.build_population(6, horizon_s=4e6)
+        simulator = SlurmSimulator(supercloud_spec(6))
+        MonitoringCollector(MonitoringConfig(timeseries_fraction=0.0)).attach(simulator)
+        jobs = accounting_table(simulator.run(requests).records)
+        campaigns = segment_campaigns(jobs, gap_s=4.0 * 3600.0)
+        stats = campaign_stats(campaigns)
+        assert stats.fraction_with_exploration > 0.8
+        assert stats.fraction_ending_mature > 0.5

@@ -1,0 +1,132 @@
+"""Structural tests for the workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return WorkloadGenerator(WorkloadConfig(scale=0.02, seed=9)).generate()
+
+
+@pytest.fixture(scope="module")
+def gpu_requests(requests):
+    return [r for r in requests if r.num_gpus > 0]
+
+
+class TestConfig:
+    def test_scale_bounds(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(scale=0.0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(scale=1.5)
+
+    def test_scaled_sizes(self):
+        config = WorkloadConfig(scale=0.5)
+        assert config.scaled_gpu_jobs == 25750
+        assert config.scaled_nodes == 112
+        assert 12 <= config.scaled_users <= 191
+
+    def test_full_scale_matches_paper(self):
+        config = WorkloadConfig(scale=1.0)
+        assert config.scaled_gpu_jobs == 51500
+        assert config.scaled_users == 191
+        assert config.scaled_nodes == 224
+        # 51,500 raw GPU jobs * (1 - 8.5% short) ~= 47,120 analyzed
+        assert config.scaled_gpu_jobs * 0.915 == pytest.approx(47120, rel=0.01)
+
+    def test_cpu_jobs_can_be_disabled(self):
+        config = WorkloadConfig(scale=0.1, include_cpu_jobs=False)
+        assert config.scaled_cpu_jobs == 0
+
+
+class TestGenerateStructure:
+    def test_sorted_by_submit_time(self, requests):
+        times = [r.submit_time_s for r in requests]
+        assert times == sorted(times)
+
+    def test_job_ids_sequential(self, requests):
+        assert [r.job_id for r in requests] == list(range(len(requests)))
+
+    def test_contains_cpu_and_gpu_jobs(self, requests):
+        kinds = {r.num_gpus > 0 for r in requests}
+        assert kinds == {True, False}
+
+    def test_submit_times_within_study(self, requests):
+        duration = WorkloadConfig(scale=0.02).duration_s
+        assert all(0.0 <= r.submit_time_s <= duration for r in requests)
+
+    def test_gpu_jobs_have_activity_models(self, gpu_requests):
+        for request in gpu_requests:
+            model = request.tags.get("activity")
+            assert model is not None
+            assert model.num_gpus == request.num_gpus
+
+    def test_cpu_jobs_request_whole_nodes(self, requests):
+        cpu = [r for r in requests if r.num_gpus == 0]
+        assert all(r.cores == 40 for r in cpu)
+
+    def test_gpu_jobs_request_few_cores(self, gpu_requests):
+        assert all(r.cores <= 16 for r in gpu_requests)
+
+    def test_cores_cover_gpus(self, gpu_requests):
+        assert all(r.cores >= r.num_gpus for r in gpu_requests)
+
+    def test_ide_jobs_exceed_their_limit(self, gpu_requests):
+        ide = [r for r in gpu_requests if r.intended_class == "ide" and not r.tags["short"]]
+        assert ide, "generator produced no IDE jobs"
+        assert all(r.runtime_s > r.time_limit_s for r in ide)
+
+    def test_non_ide_jobs_fit_their_limit(self, gpu_requests):
+        rest = [r for r in gpu_requests if r.intended_class != "ide"]
+        assert all(r.runtime_s <= r.time_limit_s for r in rest)
+
+    def test_short_jobs_flagged_and_short(self, gpu_requests):
+        short = [r for r in gpu_requests if r.tags["short"]]
+        assert short
+        assert all(r.runtime_s < 30.0 for r in short)
+        assert all(r.intended_class == "development" for r in short)
+
+    def test_bottlenecks_only_on_active_classes(self, gpu_requests):
+        for request in gpu_requests:
+            if request.tags["bottlenecks"]:
+                assert request.intended_class in ("mature", "exploratory")
+
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(WorkloadConfig(scale=0.01, seed=3)).generate()
+        b = WorkloadGenerator(WorkloadConfig(scale=0.01, seed=3)).generate()
+        assert len(a) == len(b)
+        assert all(
+            (x.user, x.submit_time_s, x.runtime_s, x.num_gpus)
+            == (y.user, y.submit_time_s, y.runtime_s, y.num_gpus)
+            for x, y in zip(a, b)
+        )
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(WorkloadConfig(scale=0.01, seed=3)).generate()
+        b = WorkloadGenerator(WorkloadConfig(scale=0.01, seed=4)).generate()
+        assert any(
+            x.runtime_s != y.runtime_s for x, y in zip(a, b)
+        )
+
+
+class TestArrivalProcess:
+    def test_deadline_surge_increases_rate(self):
+        generator = WorkloadGenerator(WorkloadConfig(scale=0.05, seed=5))
+        requests = generator.generate()
+        days = np.asarray([r.submit_time_s / 86400.0 for r in requests])
+        surge = ((days >= 20.0) & (days < 27.0)).sum() / 7.0
+        baseline = ((days >= 40.0) & (days < 75.0)).sum() / 35.0
+        assert surge > 1.3 * baseline
+
+    def test_weekends_quieter(self):
+        generator = WorkloadGenerator(WorkloadConfig(scale=0.05, seed=5))
+        requests = generator.generate()
+        day_index = np.asarray([int(r.submit_time_s // 86400.0) for r in requests])
+        weekend = np.isin(day_index % 7, (5, 6))
+        weekend_rate = weekend.sum() / 2.0
+        weekday_rate = (~weekend).sum() / 5.0
+        assert weekend_rate < weekday_rate

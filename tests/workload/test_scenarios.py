@@ -1,0 +1,80 @@
+"""Tests for the named workload scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import generate_dataset
+from repro.errors import WorkloadError
+from repro.workload.scenarios import SCENARIOS, make_scenario
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    """One small dataset per scenario (shared across the module)."""
+    return {
+        name: generate_dataset(make_scenario(name, scale=0.03, seed=5))
+        for name in SCENARIOS
+    }
+
+
+def class_share(dataset, cls):
+    classes = np.asarray(list(dataset.gpu_jobs["lifecycle_class"]))
+    return float((classes == cls).mean())
+
+
+class TestRegistry:
+    def test_all_scenarios_build(self):
+        for name in SCENARIOS:
+            config = make_scenario(name, scale=0.05, seed=1)
+            assert config.scale == 0.05
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_scenario("metaverse")
+
+    def test_paper_scenario_is_default_knobs(self):
+        from repro.workload.calibration import GeneratorKnobs
+
+        assert make_scenario("paper").knobs == GeneratorKnobs()
+
+
+class TestScenarioDirections:
+    def test_training_heavy_more_mature(self, datasets):
+        assert class_share(datasets["training_heavy"], "mature") > class_share(
+            datasets["paper"], "mature"
+        )
+
+    def test_training_heavy_more_multi_gpu(self, datasets):
+        def multi(ds):
+            return float((np.asarray(ds.gpu_jobs["num_gpus"]) > 1).mean())
+
+        assert multi(datasets["training_heavy"]) > multi(datasets["paper"])
+
+    def test_exploration_surge_more_exploratory(self, datasets):
+        assert class_share(datasets["exploration_surge"], "exploratory") > class_share(
+            datasets["paper"], "exploratory"
+        )
+
+    def test_interactive_campus_more_interactive(self, datasets):
+        def interactive(ds):
+            interfaces = np.asarray(list(ds.gpu_jobs["interface"]))
+            return float((interfaces == "interactive").mean())
+
+        assert interactive(datasets["interactive_campus"]) > 2 * interactive(
+            datasets["paper"]
+        )
+
+    def test_interactive_campus_more_ide_hours(self, datasets):
+        def ide_hours(ds):
+            classes = np.asarray(list(ds.gpu_jobs["lifecycle_class"]))
+            hours = np.asarray(ds.gpu_jobs["gpu_hours"], dtype=float)
+            return float(hours[classes == "ide"].sum() / hours.sum())
+
+        assert ide_hours(datasets["interactive_campus"]) > ide_hours(datasets["paper"])
+
+    def test_every_scenario_runs_figures(self, datasets):
+        from repro.figures.registry import run_figure
+
+        for name, dataset in datasets.items():
+            result = run_figure("fig15", dataset)
+            assert result.comparisons, name

@@ -1,0 +1,115 @@
+"""Tests for the user population model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.calibration import GeneratorKnobs
+from repro.workload.users import UserPopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return UserPopulation(191, GeneratorKnobs(), np.random.default_rng(1))
+
+
+class TestConstruction:
+    def test_user_count(self, population):
+        assert len(population) == 191
+
+    def test_unique_names(self, population):
+        names = [p.name for p in population.profiles]
+        assert len(set(names)) == 191
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(WorkloadError):
+            UserPopulation(1, GeneratorKnobs(), np.random.default_rng(0))
+
+    def test_weights_positive(self, population):
+        assert all(p.weight > 0 for p in population.profiles)
+
+    def test_util_multiplier_clipped(self, population):
+        mults = [p.util_multiplier for p in population.profiles]
+        assert min(mults) >= 0.2
+        assert max(mults) <= 2.2
+
+
+class TestGpuCategories:
+    def test_category_fractions(self, population):
+        counts = {}
+        for p in population.profiles:
+            counts[p.gpu_category] = counts.get(p.gpu_category, 0) + 1
+        assert counts["large"] == pytest.approx(0.052 * 191, abs=1.5)
+        assert counts["medium"] == pytest.approx(0.078 * 191, abs=1.5)
+        assert counts["single"] + counts["dual"] > 150
+
+    def test_heaviest_users_are_large(self, population):
+        heaviest = max(population.profiles, key=lambda p: p.weight)
+        assert heaviest.gpu_category == "large"
+
+    def test_lightest_users_are_single(self, population):
+        lightest = min(population.profiles, key=lambda p: p.weight)
+        assert lightest.gpu_category == "single"
+
+    def test_gpu_count_respects_category(self, population):
+        rng = np.random.default_rng(0)
+        for profile in population.profiles:
+            draws = {profile.sample_gpu_count(rng) for _ in range(50)}
+            if profile.gpu_category == "single":
+                assert draws == {1}
+            if profile.gpu_category == "dual":
+                assert draws <= {1, 2}
+
+
+class TestBehaviorCorrelations:
+    def test_heavy_users_run_shorter_jobs(self, population):
+        ordered = sorted(population.profiles, key=lambda p: p.weight)
+        light_scale = np.median([p.runtime_scale_s for p in ordered[:50]])
+        heavy_scale = np.median([p.runtime_scale_s for p in ordered[-20:]])
+        assert heavy_scale < light_scale
+
+    def test_heavy_users_use_gpus_better(self, population):
+        ordered = sorted(population.profiles, key=lambda p: p.weight)
+        light_mult = np.median([p.util_multiplier for p in ordered[:50]])
+        heavy_mult = np.median([p.util_multiplier for p in ordered[-20:]])
+        assert heavy_mult > light_mult
+
+    def test_class_tilts_sum_to_one(self, population):
+        for profile in population.profiles:
+            assert sum(profile.class_probs.values()) == pytest.approx(1.0)
+
+    def test_interface_sampling_valid(self, population):
+        rng = np.random.default_rng(2)
+        profile = population.profiles[0]
+        for _ in range(20):
+            assert profile.sample_interface(rng) in (
+                "map-reduce", "batch", "interactive", "other",
+            )
+
+    def test_class_sampling_respects_map_reduce(self, population):
+        rng = np.random.default_rng(3)
+        knobs = GeneratorKnobs()
+        classes = {
+            population.profiles[0].sample_class(rng, "map-reduce", knobs)
+            for _ in range(100)
+        }
+        # map-reduce almost never yields exploratory/ide
+        assert "mature" in classes or "development" in classes
+
+
+class TestJobAllocation:
+    def test_allocation_totals(self, population):
+        counts = population.job_allocation(47120, np.random.default_rng(4))
+        assert counts.sum() == 47120
+        assert counts.min() >= 1
+
+    def test_allocation_follows_weights(self, population):
+        counts = population.job_allocation(47120, np.random.default_rng(4))
+        weights = np.asarray([p.weight for p in population.profiles])
+        heaviest = int(np.argmax(weights))
+        assert counts[heaviest] > np.median(counts) * 5
+
+    def test_pareto_concentration(self, population):
+        counts = np.sort(population.job_allocation(47120, np.random.default_rng(5)))[::-1]
+        top5 = counts[: int(round(0.05 * len(counts)))].sum() / counts.sum()
+        assert 0.25 < top5 < 0.65  # paper: 0.44
