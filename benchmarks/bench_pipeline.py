@@ -1,6 +1,11 @@
-"""End-to-end pipeline benchmarks: generation, scheduling, monitoring."""
+"""End-to-end pipeline benchmarks: generation, scheduling, monitoring,
+and the session artifact cache."""
+
+import time
 
 from repro.dataset import generate_dataset
+from repro.figures.registry import run_all
+from repro.pipeline import Session
 from repro.slurm.scheduler import SlurmSimulator
 from repro.cluster.spec import supercloud_spec
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
@@ -32,3 +37,32 @@ def test_full_dataset_pipeline(benchmark):
 
     dataset = benchmark(build)
     assert dataset.gpu_jobs.num_rows > 100
+
+
+def test_cached_report(tmp_path):
+    """Perf gate on the cache path: warm ``run_all`` must be >=5x cold.
+
+    A regression that silently stops hitting the dataset or figure
+    caches (key instability, broken load, eager rebuild) collapses the
+    warm/cold ratio far below 5 and fails here visibly.
+    """
+    config = WorkloadConfig(scale=0.01, seed=3)
+    cache_dir = tmp_path / "cache"
+
+    start = time.perf_counter()
+    cold_session = Session(config, cache_dir=cache_dir)
+    cold_results = run_all(cold_session)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_session = Session(config, cache_dir=cache_dir)
+    warm_results = run_all(warm_session)
+    warm_s = time.perf_counter() - start
+
+    assert [r.figure_id for r in warm_results] == [r.figure_id for r in cold_results]
+    assert cold_session.instrumentation.count("build") == 1
+    assert warm_session.instrumentation.count("build") == 0
+    assert not warm_session.executed("workload")
+    assert warm_s * 5 <= cold_s, (
+        f"warm run_all took {warm_s:.2f}s vs cold {cold_s:.2f}s (< 5x speedup)"
+    )

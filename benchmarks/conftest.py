@@ -1,9 +1,12 @@
 """Shared benchmark fixtures.
 
-The dataset is generated once per session.  ``REPRO_BENCH_SCALE``
+The dataset comes from one pipeline :class:`~repro.pipeline.Session`
+per pytest session, backed by an on-disk artifact cache, so every
+benchmark module shares a single generation.  ``REPRO_BENCH_SCALE``
 selects the dataset size (default 0.05 keeps the whole suite under a
 minute; 1.0 reproduces the paper-sized dataset, ~4 minutes of
-generation).
+generation).  Point ``REPRO_BENCH_CACHE_DIR`` at a persistent
+directory to also share the artifacts *across* benchmark runs.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ import os
 
 import pytest
 
-from repro.dataset import generate_dataset
+from repro.pipeline import Session
 from repro.workload.generator import WorkloadConfig
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
@@ -20,5 +23,15 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20220214"))
 
 
 @pytest.fixture(scope="session")
-def dataset():
-    return generate_dataset(WorkloadConfig(scale=BENCH_SCALE, seed=BENCH_SEED))
+def bench_session(tmp_path_factory) -> Session:
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or tmp_path_factory.mktemp(
+        "pipeline-cache"
+    )
+    return Session(
+        WorkloadConfig(scale=BENCH_SCALE, seed=BENCH_SEED), cache_dir=cache_dir
+    )
+
+
+@pytest.fixture(scope="session")
+def dataset(bench_session):
+    return bench_session.dataset()

@@ -3,18 +3,25 @@
 Run with ``python examples/quickstart.py``.  Uses a reduced scale so
 the whole script finishes in well under a minute; raise ``SCALE`` to
 1.0 for the paper-sized dataset (47k GPU jobs, ~4 minutes).
+
+The dataset is built through a pipeline session backed by the default
+on-disk artifact cache, so re-running the script loads the cached
+tables instead of re-simulating.
 """
 
-from repro import WorkloadConfig, generate_dataset
-from repro.figures.registry import run_figure
+from repro import Session
+from repro.pipeline import default_cache_dir
 
 SCALE = 0.05
 SEED = 20220214
 
 
 def main() -> None:
+    session = Session.from_scenario(
+        "paper", scale=SCALE, seed=SEED, cache_dir=default_cache_dir()
+    )
     print(f"Generating the Supercloud-like dataset at scale {SCALE} ...")
-    dataset = generate_dataset(WorkloadConfig(scale=SCALE, seed=SEED))
+    dataset = session.dataset()
     print(dataset.describe())
     print()
 
@@ -25,11 +32,13 @@ def main() -> None:
     print(preview.head(8).to_string())
     print()
 
-    for figure_id in ("fig04", "fig15"):
-        result = run_figure(figure_id, dataset)
+    for result in session.run_figures(["fig04", "fig15"]):
         print(result.to_text())
         print()
 
+    print("Pipeline session summary:")
+    print(session.summary())
+    print()
     print("Try `python -m repro report` for all figures at once.")
 
 

@@ -12,45 +12,93 @@ Commands
 
 Every command accepts ``--scale`` (1.0 = paper size), ``--seed``,
 ``--days``, and ``--scenario`` (paper, training_heavy,
-exploration_surge, interactive_campus).
+exploration_surge, interactive_campus).  The dataset-building commands
+(``generate``, ``report``, ``plot``, ``validate``) additionally take
+``--workers`` (process-parallel figure fan-out), ``--cache-dir``
+(pipeline artifact cache location; defaults to ``$REPRO_CACHE_DIR``
+or the XDG cache home), and ``--no-cache``.  All of them share one
+:class:`repro.pipeline.Session`, so the dataset is built at most once
+per configuration — and at most once *ever* while the cache holds it.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
 import numpy as _np
 
-from repro.dataset import generate_dataset
 from repro.frame import write_csv
+from repro.pipeline import Session, default_cache_dir
 
 
-def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (1.0 = paper size)")
-    parser.add_argument("--seed", type=int, default=20220214, help="generation seed")
-    parser.add_argument("--days", type=float, default=125.0, help="study duration in days")
-    parser.add_argument(
-        "--scenario",
-        default="paper",
-        help="workload scenario (paper, training_heavy, exploration_surge, interactive_campus)",
-    )
+@dataclasses.dataclass
+class DatasetOptions:
+    """The dataset/session flags shared by every subcommand."""
+
+    scale: float = 0.1
+    seed: int = 20220214
+    days: float = 125.0
+    scenario: str = "paper"
+    workers: int = 1
+    cache_dir: str | None = None
+    no_cache: bool = False
+
+    @staticmethod
+    def add_arguments(parser: argparse.ArgumentParser, *, session_flags: bool = False) -> None:
+        """Install the shared flags on one subcommand parser."""
+        parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (1.0 = paper size)")
+        parser.add_argument("--seed", type=int, default=20220214, help="generation seed")
+        parser.add_argument("--days", type=float, default=125.0, help="study duration in days")
+        parser.add_argument(
+            "--scenario",
+            default="paper",
+            help="workload scenario (paper, training_heavy, exploration_surge, interactive_campus)",
+        )
+        if session_flags:
+            parser.add_argument(
+                "--workers", type=int, default=1,
+                help="worker processes for figure fan-out (default 1 = serial)",
+            )
+            parser.add_argument(
+                "--cache-dir", default=None,
+                help="pipeline artifact cache directory (default: $REPRO_CACHE_DIR or the XDG cache home)",
+            )
+            parser.add_argument(
+                "--no-cache", action="store_true",
+                help="disable the on-disk artifact cache for this run",
+            )
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "DatasetOptions":
+        """Collect the shared flags back out of a parsed namespace."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in vars(args).items() if k in fields and v is not None})
+
+    def session(self) -> Session:
+        """Build the pipeline session these options describe."""
+        cache_dir: str | Path | None = None
+        if not self.no_cache:
+            cache_dir = self.cache_dir if self.cache_dir is not None else default_cache_dir()
+        return Session.from_scenario(
+            self.scenario,
+            scale=self.scale,
+            seed=self.seed,
+            days=self.days,
+            cache_dir=cache_dir,
+            workers=self.workers,
+        )
 
 
-def _build_dataset(args: argparse.Namespace):
-    from repro.workload.scenarios import make_scenario
-
-    config = make_scenario(args.scenario, scale=args.scale, seed=args.seed)
-    if args.days != config.days:
-        import dataclasses
-
-        config = dataclasses.replace(config, days=args.days)
-    return generate_dataset(config)
+def _session(args: argparse.Namespace) -> Session:
+    return DatasetOptions.from_args(args).session()
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args)
+    session = _session(args)
+    dataset = session.dataset()
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     write_csv(dataset.jobs, out / "jobs.csv")
@@ -58,14 +106,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     write_csv(dataset.per_gpu, out / "per_gpu.csv")
     print(dataset.describe())
     print(f"wrote jobs.csv, gpu_jobs.csv, per_gpu.csv to {out}")
+    print(session.summary())
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    from repro.figures.registry import run_figure
+    from repro.figures.registry import run_all
 
-    dataset = _build_dataset(args)
-    result = run_figure(args.figure_id, dataset)
+    session = _session(args)
+    (result,) = run_all(session, [args.figure_id])
     print(result.to_text())
     return 0
 
@@ -73,24 +122,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.figures.report import write_report
 
-    dataset = _build_dataset(args)
-    path = write_report(dataset, args.output)
-    print(f"wrote {path} ({dataset.describe()})")
-    return 0
-
-
-def _cmd_plot(args: argparse.Namespace) -> int:
-    from repro.figures.plots import plottable_figures, save_figure_plots
-    from repro.figures.registry import run_figure
-
-    dataset = _build_dataset(args)
-    figure_ids = plottable_figures() if args.figure_id == "all" else [args.figure_id]
-    written = []
-    for figure_id in figure_ids:
-        result = run_figure(figure_id, dataset)
-        written.extend(save_figure_plots(result, args.output))
-    for path in written:
-        print(f"wrote {path}")
+    session = _session(args)
+    path = write_report(session, args.output)
+    print(f"wrote {path} ({session.dataset().describe()})")
+    print(session.summary())
     return 0
 
 
@@ -100,7 +135,7 @@ def _cmd_opportunities(args: argparse.Namespace) -> int:
     from repro.opportunities.powercap import powercap_study
     from repro.opportunities.tiering import tiering_study
 
-    dataset = _build_dataset(args)
+    dataset = _session(args).dataset()
     colo = colocation_study(dataset)
     print(
         f"co-location: {colo.num_pairs} pairs of {colo.num_jobs} jobs, "
@@ -131,17 +166,32 @@ def _cmd_opportunities(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.figures.plots import plottable_figures, save_figure_plots
+    from repro.figures.registry import run_all
+
+    session = _session(args)
+    figure_ids = plottable_figures() if args.figure_id == "all" else [args.figure_id]
+    written = []
+    for result in run_all(session, figure_ids):
+        written.extend(save_figure_plots(result, args.output))
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.reporting import operator_summary
 
-    print(operator_summary(_build_dataset(args)))
+    print(operator_summary(_session(args)))
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validation import pass_fraction, scorecard, validate_dataset
 
-    results = validate_dataset(_build_dataset(args))
+    session = _session(args)
+    results = validate_dataset(session.dataset())
     table = scorecard(results)
     failed = table.filter(lambda t: ~_np.asarray(t["passed"], dtype=bool))
     if failed.num_rows:
@@ -150,6 +200,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     fraction = pass_fraction(results)
     print(f"\n{sum(r.passed for r in results)}/{len(results)} checks passed "
           f"({fraction:.0%}; threshold {args.min_pass:.0%})")
+    print(session.summary())
     return 0 if fraction >= args.min_pass else 1
 
 
@@ -161,36 +212,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate the dataset as CSV files")
-    _add_dataset_args(generate)
+    DatasetOptions.add_arguments(generate, session_flags=True)
     generate.add_argument("--output", default="dataset", help="output directory")
     generate.set_defaults(fn=_cmd_generate)
 
     figure = sub.add_parser("figure", help="reproduce one figure")
-    _add_dataset_args(figure)
+    DatasetOptions.add_arguments(figure)
     figure.add_argument("figure_id", help="e.g. fig04, table1, pareto")
     figure.set_defaults(fn=_cmd_figure)
 
     report = sub.add_parser("report", help="run every figure, write markdown")
-    _add_dataset_args(report)
+    DatasetOptions.add_arguments(report, session_flags=True)
     report.add_argument("--output", default="EXPERIMENTS.md", help="output file")
     report.set_defaults(fn=_cmd_report)
 
     opportunities = sub.add_parser("opportunities", help="run the Sec. VI/VIII studies")
-    _add_dataset_args(opportunities)
+    DatasetOptions.add_arguments(opportunities)
     opportunities.set_defaults(fn=_cmd_opportunities)
 
     plot = sub.add_parser("plot", help="render figures as SVG charts")
-    _add_dataset_args(plot)
+    DatasetOptions.add_arguments(plot, session_flags=True)
     plot.add_argument("figure_id", help="figure id or 'all'")
     plot.add_argument("--output", default="plots", help="output directory")
     plot.set_defaults(fn=_cmd_plot)
 
     summary = sub.add_parser("summary", help="operator-facing text summary")
-    _add_dataset_args(summary)
+    DatasetOptions.add_arguments(summary)
     summary.set_defaults(fn=_cmd_summary)
 
     validate = sub.add_parser("validate", help="grade the dataset against the paper")
-    _add_dataset_args(validate)
+    DatasetOptions.add_arguments(validate, session_flags=True)
     validate.add_argument("--min-pass", type=float, default=0.85,
                           help="exit non-zero below this pass fraction")
     validate.set_defaults(fn=_cmd_validate)

@@ -1,28 +1,29 @@
-"""End-to-end dataset generation: workload -> scheduler -> monitoring.
+"""The combined study dataset and its compatibility entry points.
 
-:func:`generate_dataset` is the one-call entry point used by figures,
-benchmarks, and examples.  It reproduces the paper's combined dataset
-(Sec. II): Slurm accounting rows joined with per-job GPU summaries on
-job id, a per-GPU table for the multi-GPU analysis, and a dense
-time-series store for a subset of jobs.
+The dataset *engine* lives in :mod:`repro.pipeline`: a
+:class:`~repro.pipeline.session.Session` runs the staged
+``workload → schedule → monitor → assemble`` pipeline with per-stage
+instrumentation, an on-disk artifact cache, and process-parallel
+figure fan-out.  This module keeps the data container
+(:class:`SupercloudDataset`) and the historical one-call entry points:
+
+* :func:`generate_dataset` — thin wrapper over ``Session.dataset()``;
+* :func:`default_dataset` — deprecated memoized variant, now routed
+  through a shared session registry instead of a ``functools.lru_cache``
+  that silently ignored the monitoring configuration.
 """
 
 from __future__ import annotations
 
-import functools
+import warnings
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.cluster.spec import ClusterSpec, supercloud_spec
+from repro.cluster.spec import ClusterSpec
 from repro.frame import Table
-from repro.monitor.collector import MonitoringCollector, MonitoringConfig
+from repro.monitor.collector import MonitoringConfig
 from repro.monitor.timeseries import TimeSeriesStore
-from repro.slurm.accounting import accounting_table
 from repro.slurm.job import JobRecord
-from repro.slurm.scheduler import SlurmSimulator
-from repro.workload.calibration import PAPER_TARGETS
-from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.generator import WorkloadConfig
 
 
 @dataclass
@@ -69,53 +70,42 @@ def generate_dataset(
     config: WorkloadConfig | None = None,
     monitoring: MonitoringConfig | None = None,
 ) -> SupercloudDataset:
-    """Run the full pipeline and assemble the combined dataset."""
-    config = config or WorkloadConfig()
-    generator = WorkloadGenerator(config)
-    requests = generator.generate()
+    """Run the full pipeline and assemble the combined dataset.
 
-    spec = supercloud_spec(config.scaled_nodes)
-    simulator = SlurmSimulator(spec)
-    collector = MonitoringCollector(monitoring).attach(simulator)
-    result = simulator.run(requests)
-    simulator.cluster.check_invariants()
+    Compatibility wrapper over :meth:`repro.pipeline.Session.dataset`
+    (no disk cache, no memoization — a fresh build every call).  New
+    code that builds the dataset more than once, wants the artifact
+    cache, or fans out across workers should hold a ``Session``.
+    """
+    from repro.pipeline.session import Session
 
-    jobs = accounting_table(result.records)
-    gpu_summary = collector.job_gpu_table()
-    gpu_jobs = (
-        jobs.filter(lambda t: (np.asarray(t["num_gpus"]) > 0))
-        .filter(lambda t: np.asarray(t["run_time_s"], dtype=float) >= PAPER_TARGETS.short_job_filter_s)
-        .join(gpu_summary, on="job_id")
-    )
-
-    per_gpu = collector.per_gpu_table()
-    if per_gpu.num_rows:
-        context = jobs.select(
-            ["job_id", "user", "num_gpus", "run_time_s", "gpu_hours", "lifecycle_class", "interface"]
-        )
-        per_gpu = per_gpu.join(context, on="job_id")
-
-    return SupercloudDataset(
-        jobs=jobs,
-        gpu_jobs=gpu_jobs,
-        per_gpu=per_gpu,
-        timeseries=collector.store,
-        records=result.records,
-        spec=spec,
-        config=config,
-    )
+    return Session(config=config, monitoring=monitoring).dataset()
 
 
-@functools.lru_cache(maxsize=4)
-def _cached(scale: float, seed: int, days: float) -> SupercloudDataset:
-    return generate_dataset(WorkloadConfig(scale=scale, seed=seed, days=days))
+#: Sessions backing :func:`default_dataset`, keyed by (scale, seed, days).
+_DEFAULT_SESSIONS: dict[tuple[float, int, float], "object"] = {}
 
 
 def default_dataset(scale: float = 0.1, seed: int = 20220214, days: float = 125.0) -> SupercloudDataset:
     """Memoized dataset for figures/benchmarks sharing one generation.
 
-    The default ``scale=0.1`` (~5.2k GPU jobs) keeps figure
-    regeneration interactive; pass ``scale=1.0`` for the paper-sized
-    dataset.
+    .. deprecated:: 1.1
+        Use :class:`repro.pipeline.Session`, which keys its cache on
+        the *full* workload and monitoring configuration (this helper
+        only distinguishes ``(scale, seed, days)``) and adds disk
+        persistence and parallel fan-out.
     """
-    return _cached(scale, seed, days)
+    warnings.warn(
+        "default_dataset() is deprecated; build a repro.pipeline.Session "
+        "and call session.dataset() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.pipeline.session import Session
+
+    key = (scale, seed, days)
+    session = _DEFAULT_SESSIONS.get(key)
+    if session is None:
+        session = Session(WorkloadConfig(scale=scale, seed=seed, days=days))
+        _DEFAULT_SESSIONS[key] = session
+    return session.dataset()

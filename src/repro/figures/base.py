@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -19,8 +20,13 @@ class Comparison:
 
     @property
     def ratio(self) -> float:
-        """measured / paper (NaN when the paper value is zero)."""
-        if self.paper == 0:
+        """measured / paper.
+
+        NaN when the ratio would be meaningless: a zero or non-finite
+        paper value, or a non-finite measurement (an inf measurement
+        must not masquerade as an honest ±inf ratio).
+        """
+        if self.paper == 0 or not math.isfinite(self.paper) or not math.isfinite(self.measured):
             return float("nan")
         return self.measured / self.paper
 

@@ -75,3 +75,19 @@ def get_figure(figure_id: str) -> FigureRunner:
 def run_figure(figure_id: str, dataset: SupercloudDataset) -> FigureResult:
     """Run one figure reproduction against a dataset."""
     return get_figure(figure_id)(dataset)
+
+
+def run_all(source, figure_ids: list[str] | None = None) -> list[FigureResult]:
+    """Run figure reproductions against a shared dataset source.
+
+    ``source`` is preferably a :class:`repro.pipeline.Session` — the
+    figures then share its memoized dataset, its on-disk result cache,
+    and its worker pool — but a bare :class:`SupercloudDataset` is
+    accepted for compatibility (serial, uncached).
+    """
+    from repro.pipeline.session import Session
+
+    if isinstance(source, Session):
+        return source.run_figures(figure_ids)
+    ids = figure_ids if figure_ids is not None else all_figures()
+    return [run_figure(figure_id, source) for figure_id in ids]

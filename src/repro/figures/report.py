@@ -1,6 +1,9 @@
 """Run every figure and render the paper-vs-measured report.
 
 ``python -m repro report`` writes EXPERIMENTS.md from this module.
+Entry points accept either a :class:`repro.pipeline.Session` (shared
+cached dataset, parallel figure fan-out) or a bare
+:class:`~repro.dataset.SupercloudDataset`.
 """
 
 from __future__ import annotations
@@ -9,12 +12,12 @@ from pathlib import Path
 
 from repro.dataset import SupercloudDataset
 from repro.figures.base import FigureResult
-from repro.figures.registry import all_figures, run_figure
+from repro.figures import registry
 
 
-def run_all(dataset: SupercloudDataset) -> list[FigureResult]:
-    """Run every registered figure against one dataset."""
-    return [run_figure(figure_id, dataset) for figure_id in all_figures()]
+def run_all(source) -> list[FigureResult]:
+    """Run every registered figure against one shared dataset source."""
+    return registry.run_all(source)
 
 
 def render_markdown(dataset: SupercloudDataset, results: list[FigureResult]) -> str:
@@ -36,7 +39,7 @@ def render_markdown(dataset: SupercloudDataset, results: list[FigureResult]) -> 
         lines.append("| statistic | paper | measured | ratio |")
         lines.append("|---|---|---|---|")
         for c in result.comparisons:
-            ratio = f"{c.ratio:.2f}" if c.paper != 0 else "—"
+            ratio = f"{c.ratio:.2f}" if c.ratio == c.ratio else "—"
             lines.append(
                 f"| {c.name} | {c.paper:g}{c.unit} | {c.measured:.3g}{c.unit} | {ratio} |"
             )
@@ -47,9 +50,11 @@ def render_markdown(dataset: SupercloudDataset, results: list[FigureResult]) -> 
     return "\n".join(lines)
 
 
-def write_report(dataset: SupercloudDataset, path: str | Path) -> Path:
+def write_report(source, path: str | Path) -> Path:
     """Run all figures and write the markdown report to ``path``."""
-    results = run_all(dataset)
+    from repro.pipeline.session import as_dataset
+
+    results = run_all(source)
     path = Path(path)
-    path.write_text(render_markdown(dataset, results), encoding="utf-8")
+    path.write_text(render_markdown(as_dataset(source), results), encoding="utf-8")
     return path

@@ -116,17 +116,29 @@ def save_store(store: TimeSeriesStore, path: str | Path) -> Path:
 
 
 def load_store(path: str | Path) -> TimeSeriesStore:
-    """Read a store written by :func:`save_store`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        keys = [str(k) for k in data["__keys__"]]
-        store = TimeSeriesStore()
-        for prefix in keys:
-            payload = {
-                name[len(prefix) + 1 :]: data[name]
-                for name in data.files
-                if name.startswith(prefix + "/")
-            }
-            store.add(decode_series(payload))
+    """Read a store written by :func:`save_store`.
+
+    Raises :class:`MonitoringError` for anything unreadable — a
+    truncated or overwritten file, a foreign zip, missing members —
+    so callers (notably the pipeline artifact cache) can treat every
+    corruption uniformly instead of leaking zipfile/numpy internals.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            keys = [str(k) for k in data["__keys__"]]
+            store = TimeSeriesStore()
+            for prefix in keys:
+                payload = {
+                    name[len(prefix) + 1 :]: data[name]
+                    for name in data.files
+                    if name.startswith(prefix + "/")
+                }
+                store.add(decode_series(payload))
+    except MonitoringError:
+        raise
+    except Exception as exc:  # BadZipFile, KeyError, OSError, ValueError, ...
+        raise MonitoringError(f"unreadable time-series store {path}: {exc}") from exc
     return store
 
 

@@ -1,0 +1,84 @@
+"""Per-stage timing and row-count instrumentation for pipeline sessions.
+
+A :class:`~repro.pipeline.session.Session` executes the dataset
+pipeline as named stages (``workload → schedule → monitor →
+assemble``) plus the cache interactions (``cache_load`` /
+``cache_store``) and figure execution (``figures``).  Every stage run
+is recorded here with wall time and the number of rows (or items) it
+produced, and named counters track how often the expensive paths ran —
+``build`` vs ``cache_hit`` is how callers verify that a dataset was
+constructed exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One executed pipeline stage."""
+
+    name: str
+    seconds: float
+    rows: int
+    from_cache: bool = False
+
+    def formatted(self) -> str:
+        source = " [cache]" if self.from_cache else ""
+        return f"{self.name}: {self.seconds:.3f} s, {self.rows} rows{source}"
+
+
+class StageProbe:
+    """Mutable handle a running stage uses to report its row count."""
+
+    def __init__(self) -> None:
+        self.rows = 0
+
+
+@dataclass
+class PipelineInstrumentation:
+    """Stage records and counters for one session."""
+
+    stages: list[StageRecord] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str, from_cache: bool = False) -> Iterator[StageProbe]:
+        """Time a stage; the yielded probe collects the row count."""
+        probe = StageProbe()
+        start = time.perf_counter()
+        try:
+            yield probe
+        finally:
+            self.stages.append(
+                StageRecord(name, time.perf_counter() - start, int(probe.rows), from_cache)
+            )
+
+    def bump(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def executed(self, name: str) -> bool:
+        """Whether a stage with this name ran at least once."""
+        return any(record.name == name for record in self.stages)
+
+    def stage_names(self) -> list[str]:
+        return [record.name for record in self.stages]
+
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.stages)
+
+    def to_text(self) -> str:
+        lines = []
+        for record in self.stages:
+            lines.append("  stage " + record.formatted())
+        if self.counters:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+            lines.append(f"  counters: {pairs}")
+        return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Process-parallel fan-out for pipeline sessions.
+
+Two fan-out shapes appear in the reproduction:
+
+* **many figures, one dataset** — workers each load the shared dataset
+  from the on-disk cache once (initializer), then stream figure ids;
+* **many seeds, one analysis** — robustness sweeps run the full
+  pipeline per seed in separate processes.
+
+Everything degrades to serial execution: ``workers <= 1``, a single
+work item, or a pool that cannot start (restricted environments) all
+take the in-process path, so parallelism is purely an optimisation and
+never a correctness requirement.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a requested worker count to ``[1, 64]``.
+
+    An explicit request above the core count is honoured — the pools
+    here are I/O-and-compute mixes where mild oversubscription is the
+    caller's call — but capped to keep a typo from forking hundreds of
+    interpreters.
+    """
+    if workers is None or workers <= 1:
+        return 1
+    return min(int(workers), 64)
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], workers: int | None = None
+) -> list[R]:
+    """``[fn(x) for x in items]`` across a process pool.
+
+    Results keep item order.  ``fn`` and the items must be picklable
+    (module-level functions).  Falls back to the serial path when the
+    pool is pointless (one worker, one item) or cannot start.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (ImportError, OSError, PermissionError):
+        return [fn(item) for item in items]
+
+
+# ----------------------------------------------------------------------
+# Figure fan-out against one shared cached dataset
+# ----------------------------------------------------------------------
+_WORKER_DATASET = None
+
+
+def _figure_worker_init(cache_dir: str, key: str) -> None:
+    """Pool initializer: load the shared dataset from the cache once."""
+    global _WORKER_DATASET
+    from repro.pipeline.cache import DatasetCache
+
+    _WORKER_DATASET = DatasetCache(cache_dir).load(key)
+
+
+def _figure_worker_run(figure_id: str):
+    from repro.errors import AnalysisError
+    from repro.figures.registry import run_figure
+
+    if _WORKER_DATASET is None:
+        raise AnalysisError("figure worker has no dataset (cache miss in worker)")
+    return run_figure(figure_id, _WORKER_DATASET)
+
+
+def run_figures_parallel(
+    figure_ids: Sequence[str], cache_dir: str | os.PathLike, key: str, workers: int
+) -> list | None:
+    """Run figures across a worker pool sharing one cached dataset.
+
+    Returns results in ``figure_ids`` order, or ``None`` if the pool
+    could not run (caller falls back to serial execution).
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(figure_ids) <= 1:
+        return None
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(figure_ids)),
+            initializer=_figure_worker_init,
+            initargs=(str(cache_dir), key),
+        ) as pool:
+            return list(pool.map(_figure_worker_run, figure_ids))
+    except Exception:
+        return None

@@ -1,0 +1,270 @@
+"""The :class:`Session` — single entry point to the dataset engine.
+
+A session owns one pipeline configuration and everything derived from
+it: the staged dataset build (``workload → schedule → monitor →
+assemble``), the on-disk artifact cache, figure execution (optionally
+across a process pool), and per-stage instrumentation.  Consumers —
+the CLI, figure regeneration, validation, robustness sweeps,
+benchmarks — share one session instead of each re-running the
+generation pipeline:
+
+>>> from repro.pipeline import Session
+>>> session = Session.from_scenario(scale=0.01, seed=7)
+>>> dataset = session.dataset()           # built once, memoized
+>>> dataset is session.dataset()          # later calls are free
+True
+
+With ``cache_dir`` set, the built artifacts persist: a second session
+(or a second *process*) with the same configuration loads the frame
+tables and time series from disk instead of re-simulating, and cached
+figure results short-circuit ``run_figures`` entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Sequence
+
+from repro.monitor.collector import MonitoringConfig
+from repro.pipeline.cache import DatasetCache, dataset_key
+from repro.pipeline.instrument import PipelineInstrumentation, StageRecord
+from repro.pipeline.parallel import resolve_workers, run_figures_parallel
+from repro.workload.generator import WorkloadConfig
+
+#: The dataset-construction stages, in execution order.
+BUILD_STAGES = ("workload", "schedule", "monitor", "assemble")
+
+
+def _build_dataset(
+    config: WorkloadConfig,
+    monitoring: MonitoringConfig | None,
+    inst: PipelineInstrumentation,
+):
+    """Run the full staged pipeline (the former ``generate_dataset`` body)."""
+    import numpy as np
+
+    from repro.cluster.spec import supercloud_spec
+    from repro.dataset import SupercloudDataset
+    from repro.monitor.collector import MonitoringCollector
+    from repro.slurm.accounting import accounting_table
+    from repro.slurm.scheduler import SlurmSimulator
+    from repro.workload.calibration import PAPER_TARGETS
+    from repro.workload.generator import WorkloadGenerator
+
+    with inst.stage("workload") as probe:
+        requests = WorkloadGenerator(config).generate()
+        probe.rows = len(requests)
+
+    with inst.stage("schedule") as probe:
+        spec = supercloud_spec(config.scaled_nodes)
+        simulator = SlurmSimulator(spec)
+        collector = MonitoringCollector(monitoring).attach(simulator)
+        result = simulator.run(requests)
+        simulator.cluster.check_invariants()
+        probe.rows = len(result.records)
+
+    with inst.stage("monitor") as probe:
+        gpu_summary = collector.job_gpu_table()
+        per_gpu = collector.per_gpu_table()
+        probe.rows = per_gpu.num_rows
+
+    with inst.stage("assemble") as probe:
+        jobs = accounting_table(result.records)
+        gpu_jobs = (
+            jobs.filter(lambda t: (np.asarray(t["num_gpus"]) > 0))
+            .filter(
+                lambda t: np.asarray(t["run_time_s"], dtype=float)
+                >= PAPER_TARGETS.short_job_filter_s
+            )
+            .join(gpu_summary, on="job_id")
+        )
+        if per_gpu.num_rows:
+            context = jobs.select(
+                ["job_id", "user", "num_gpus", "run_time_s", "gpu_hours", "lifecycle_class", "interface"]
+            )
+            per_gpu = per_gpu.join(context, on="job_id")
+        probe.rows = jobs.num_rows
+
+    return SupercloudDataset(
+        jobs=jobs,
+        gpu_jobs=gpu_jobs,
+        per_gpu=per_gpu,
+        timeseries=collector.store,
+        records=result.records,
+        spec=spec,
+        config=config,
+    )
+
+
+class Session:
+    """Shared, cached, optionally parallel dataset engine.
+
+    Parameters
+    ----------
+    config:
+        Workload configuration (defaults to the paper workload).
+    monitoring:
+        Telemetry configuration (defaults preserved when ``None``).
+    cache_dir:
+        Directory for the on-disk artifact cache.  ``None`` disables
+        disk caching (the in-memory memo still applies).
+    workers:
+        Process-pool width for figure fan-out; ``1`` means serial.
+        Parallel figure execution requires a disk cache (workers load
+        the shared dataset from it).
+    """
+
+    def __init__(
+        self,
+        config: WorkloadConfig | None = None,
+        monitoring: MonitoringConfig | None = None,
+        *,
+        cache_dir: str | Path | None = None,
+        workers: int | None = 1,
+    ) -> None:
+        self.config = config or WorkloadConfig()
+        self.monitoring = monitoring
+        self.workers = resolve_workers(workers)
+        self.cache = DatasetCache(cache_dir) if cache_dir is not None else None
+        self.instrumentation = PipelineInstrumentation()
+        self._dataset = None
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: str = "paper",
+        *,
+        scale: float = 0.1,
+        seed: int = 20220214,
+        days: float | None = None,
+        monitoring: MonitoringConfig | None = None,
+        **session_kwargs,
+    ) -> "Session":
+        """Build a session from a named workload scenario."""
+        from repro.workload.scenarios import make_scenario
+
+        config = make_scenario(scenario, scale=scale, seed=seed)
+        if days is not None and days != config.days:
+            config = dataclasses.replace(config, days=days)
+        return cls(config, monitoring, **session_kwargs)
+
+    # ------------------------------------------------------------------
+    # Dataset
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> str:
+        """The cache key: content hash of the full configuration."""
+        return dataset_key(self.config, self.monitoring)
+
+    def dataset(self):
+        """The dataset — memoized, cache-backed, built at most once."""
+        inst = self.instrumentation
+        if self._dataset is not None:
+            inst.bump("memory_hit")
+            return self._dataset
+        if self.cache is not None and self.cache.has(self.key):
+            with inst.stage("cache_load", from_cache=True) as probe:
+                loaded = self.cache.load(self.key)
+                probe.rows = loaded.jobs.num_rows if loaded is not None else 0
+            if loaded is not None:
+                inst.bump("cache_hit")
+                self._dataset = loaded
+                return loaded
+            inst.bump("cache_corrupt")
+            self.cache.evict(self.key)
+        dataset = _build_dataset(self.config, self.monitoring, inst)
+        inst.bump("build")
+        if self.cache is not None:
+            with inst.stage("cache_store") as probe:
+                self.cache.store(self.key, dataset)
+                probe.rows = dataset.jobs.num_rows
+        self._dataset = dataset
+        return dataset
+
+    # ------------------------------------------------------------------
+    # Figures
+    # ------------------------------------------------------------------
+    def run_figures(self, figure_ids: Sequence[str] | None = None) -> list:
+        """Run figure reproductions against the shared dataset.
+
+        Cached figure results are returned without touching the
+        dataset at all; the remainder run serially or across the
+        worker pool (``workers > 1``), each worker loading the shared
+        dataset from the on-disk cache exactly once.
+        """
+        from repro.figures.registry import all_figures, get_figure
+
+        ids = list(figure_ids) if figure_ids is not None else all_figures()
+        for figure_id in ids:
+            get_figure(figure_id)  # validate up front
+        inst = self.instrumentation
+        results: dict[str, object] = {}
+        misses = []
+        for figure_id in ids:
+            cached = self.cache.load_figure(self.key, figure_id) if self.cache else None
+            if cached is not None:
+                results[figure_id] = cached
+                inst.bump("figure_cache_hit")
+            else:
+                misses.append(figure_id)
+        if misses:
+            dataset = self.dataset()
+            with inst.stage("figures") as probe:
+                computed = None
+                if self.workers > 1 and self.cache is not None and self.cache.has(self.key):
+                    computed = run_figures_parallel(
+                        misses, self.cache.root, self.key, self.workers
+                    )
+                    if computed is not None:
+                        inst.bump("figure_pool_runs")
+                if computed is None:
+                    computed = [get_figure(fid)(dataset) for fid in misses]
+                probe.rows = len(misses)
+            inst.bump("figures_computed", len(misses))
+            for figure_id, result in zip(misses, computed):
+                results[figure_id] = result
+                if self.cache is not None:
+                    self.cache.store_figure(self.key, figure_id, result)
+        return [results[figure_id] for figure_id in ids]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> list[StageRecord]:
+        return list(self.instrumentation.stages)
+
+    def executed(self, stage_name: str) -> bool:
+        """Whether a pipeline stage actually ran in this session."""
+        return self.instrumentation.executed(stage_name)
+
+    def summary(self) -> str:
+        """Per-stage timing/row counts plus cache and build counters."""
+        cfg = self.config
+        cache_line = str(self.cache.root) if self.cache is not None else "disabled"
+        lines = [
+            f"pipeline session {self.key}",
+            f"  config: scale={cfg.scale:g} seed={cfg.seed} days={cfg.days:g}",
+            f"  cache: {cache_line}",
+            f"  workers: {self.workers}",
+            f"  builds: {self.instrumentation.count('build')}, "
+            f"cache hits: {self.instrumentation.count('cache_hit')}, "
+            f"figure cache hits: {self.instrumentation.count('figure_cache_hit')}",
+        ]
+        text = self.instrumentation.to_text()
+        if text:
+            lines.append(text)
+        return "\n".join(lines)
+
+
+def as_dataset(source):
+    """Accept a :class:`Session` or a dataset; return the dataset.
+
+    The compatibility bridge that lets every report/summary entry
+    point take either the redesigned session API or a bare
+    ``SupercloudDataset``.
+    """
+    if isinstance(source, Session):
+        return source.dataset()
+    return source

@@ -23,8 +23,15 @@ def _section(title: str) -> str:
     return f"\n== {title} " + "=" * max(50 - len(title), 3)
 
 
-def operator_summary(dataset: SupercloudDataset) -> str:
-    """Render the full text report for one dataset."""
+def operator_summary(source) -> str:
+    """Render the full text report for one dataset.
+
+    ``source`` is a :class:`repro.pipeline.Session` or a
+    :class:`~repro.dataset.SupercloudDataset`.
+    """
+    from repro.pipeline.session import as_dataset
+
+    dataset: SupercloudDataset = as_dataset(source)
     gpu = dataset.gpu_jobs
     lines: list[str] = [f"Supercloud operations summary — {dataset.describe()}"]
 

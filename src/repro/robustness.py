@@ -5,19 +5,23 @@ generator; a statistic matching the paper on one seed proves little.
 This harness repeats the full pipeline across seeds and aggregates the
 fidelity scorecard, separating *robust* checks (pass on almost every
 seed) from *fragile* ones (seed-dependent) and genuine misses.
+
+Seeds are independent, so the sweep fans out across a process pool
+(``workers``); with a ``cache_dir`` every per-seed dataset is also
+persisted through the :mod:`repro.pipeline` artifact cache, making
+repeated sweeps (e.g. after an analysis-layer change) near-instant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-from repro.dataset import generate_dataset
 from repro.errors import AnalysisError
 from repro.frame import Table
-from repro.validation import validate_dataset
-from repro.workload.generator import WorkloadConfig
+from repro.pipeline.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -31,23 +35,51 @@ class RobustnessSummary:
     failing_checks: int     # pass on < 20% of seeds
 
 
-def seed_sweep(seeds, scale: float = 0.05, days: float = 125.0) -> Table:
+def _sweep_one(task: tuple[int, float, float, str | None]) -> list[tuple]:
+    """Validate one seed; returns plain tuples (picklable across the pool)."""
+    seed, scale, days, cache_dir = task
+    from repro.pipeline.session import Session
+    from repro.validation import validate_dataset
+    from repro.workload.generator import WorkloadConfig
+
+    session = Session(
+        WorkloadConfig(scale=scale, seed=seed, days=days), cache_dir=cache_dir
+    )
+    return [
+        (r.check.figure_id, r.check.name, bool(r.passed), float(r.measured), float(r.paper))
+        for r in validate_dataset(session.dataset())
+    ]
+
+
+def seed_sweep(
+    seeds,
+    scale: float = 0.05,
+    days: float = 125.0,
+    *,
+    workers: int | None = 1,
+    cache_dir: str | Path | None = None,
+) -> Table:
     """Run validation for every seed; one row per (check, seed-rate).
 
     Returns a table with ``figure``, ``statistic``, ``pass_rate``,
-    ``mean_measured``, ``paper``.
+    ``mean_measured``, ``paper``.  ``workers > 1`` runs the seeds
+    across a process pool; ``cache_dir`` shares the pipeline artifact
+    cache between them (and with any other session using it).
     """
     seeds = list(seeds)
     if len(seeds) < 2:
         raise AnalysisError("need at least two seeds for a sweep")
+    cache = str(cache_dir) if cache_dir is not None else None
+    per_seed = parallel_map(
+        _sweep_one, [(seed, scale, days, cache) for seed in seeds], workers
+    )
     outcomes: dict[tuple[str, str], list] = {}
     papers: dict[tuple[str, str], float] = {}
-    for seed in seeds:
-        dataset = generate_dataset(WorkloadConfig(scale=scale, seed=seed, days=days))
-        for result in validate_dataset(dataset):
-            key = (result.check.figure_id, result.check.name)
-            outcomes.setdefault(key, []).append((result.passed, result.measured))
-            papers[key] = result.paper
+    for results in per_seed:
+        for figure, statistic, passed, measured, paper in results:
+            key = (figure, statistic)
+            outcomes.setdefault(key, []).append((passed, measured))
+            papers[key] = paper
     rows = []
     for (figure, statistic), entries in outcomes.items():
         passes = [p for p, _ in entries]

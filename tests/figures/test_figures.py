@@ -57,6 +57,15 @@ class TestComparisonType:
     def test_ratio_zero_paper_nan(self):
         assert np.isnan(Comparison("x", 0.0, 5.0).ratio)
 
+    def test_ratio_nonfinite_measured_nan(self):
+        assert np.isnan(Comparison("x", 10.0, float("inf")).ratio)
+        assert np.isnan(Comparison("x", 10.0, float("-inf")).ratio)
+        assert np.isnan(Comparison("x", 10.0, float("nan")).ratio)
+
+    def test_ratio_nonfinite_paper_nan(self):
+        assert np.isnan(Comparison("x", float("inf"), 5.0).ratio)
+        assert np.isnan(Comparison("x", float("nan"), 5.0).ratio)
+
     def test_formatted(self):
         text = Comparison("median", 30.0, 28.4, " min").formatted()
         assert "paper 30 min" in text

@@ -1,0 +1,129 @@
+"""Tests for the on-disk pipeline artifact cache."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.dataset import generate_dataset
+from repro.monitor.collector import MonitoringConfig
+from repro.pipeline import DatasetCache, Session, dataset_key
+from repro.workload.generator import WorkloadConfig
+
+CONFIG = WorkloadConfig(scale=0.01, seed=101)
+
+
+@pytest.fixture(scope="module")
+def cached_pair(tmp_path_factory):
+    """(fresh dataset, cache-loaded dataset) for one tiny config."""
+    cache_dir = tmp_path_factory.mktemp("cache")
+    builder = Session(CONFIG, cache_dir=cache_dir)
+    fresh = builder.dataset()
+    loader = Session(CONFIG, cache_dir=cache_dir)
+    return fresh, loader.dataset(), loader
+
+
+class TestKey:
+    def test_stable_within_process(self):
+        assert dataset_key(CONFIG, None) == dataset_key(CONFIG, None)
+
+    def test_none_matches_defaults(self):
+        assert dataset_key(None, None) == dataset_key(WorkloadConfig(), MonitoringConfig())
+
+    def test_sensitive_to_workload_config(self):
+        assert dataset_key(CONFIG, None) != dataset_key(
+            WorkloadConfig(scale=0.01, seed=102), None
+        )
+
+    def test_sensitive_to_monitoring_config(self):
+        assert dataset_key(CONFIG, None) != dataset_key(
+            CONFIG, MonitoringConfig(timeseries_fraction=0.5)
+        )
+
+    def test_stable_across_processes(self):
+        code = (
+            "from repro.pipeline import dataset_key\n"
+            "from repro.workload.generator import WorkloadConfig\n"
+            "print(dataset_key(WorkloadConfig(scale=0.01, seed=101), None))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        )
+        assert out.stdout.strip() == dataset_key(CONFIG, None)
+
+
+class TestRoundTrip:
+    def test_hit_skips_generation(self, cached_pair):
+        _, _, loader = cached_pair
+        assert loader.instrumentation.count("cache_hit") == 1
+        assert loader.instrumentation.count("build") == 0
+        assert not loader.executed("workload")
+        assert not loader.executed("schedule")
+
+    def test_tables_equal_fresh_build(self, cached_pair):
+        fresh, loaded, _ = cached_pair
+        for attr in ("jobs", "gpu_jobs", "per_gpu"):
+            a, b = getattr(fresh, attr), getattr(loaded, attr)
+            assert a.column_names == b.column_names
+            assert a.num_rows == b.num_rows
+            for name in a.column_names:
+                assert list(a[name]) == list(b[name]), (attr, name)
+
+    def test_timeseries_within_codec_quantisation(self, cached_pair):
+        fresh, loaded, _ = cached_pair
+        assert fresh.timeseries.job_ids() == loaded.timeseries.job_ids()
+        for series in fresh.timeseries:
+            twin = loaded.timeseries.get(series.job_id, series.gpu_index)
+            # sampling steps are stored as integer microseconds, so the
+            # time axis may drift by up to 0.5 us per step
+            np.testing.assert_allclose(
+                twin.times_s, series.times_s, atol=1e-6 * series.num_samples
+            )
+            for name, values in series.metrics.items():
+                np.testing.assert_allclose(twin.metrics[name], values, atol=0.26)
+
+    def test_records_and_config_survive(self, cached_pair):
+        fresh, loaded, _ = cached_pair
+        assert len(loaded.records) == len(fresh.records)
+        assert loaded.records[0].request.job_id == fresh.records[0].request.job_id
+        assert loaded.config == fresh.config
+        assert loaded.spec.num_nodes == fresh.spec.num_nodes
+
+    def test_matches_generate_dataset(self, cached_pair):
+        fresh, _, _ = cached_pair
+        reference = generate_dataset(CONFIG)
+        assert list(fresh.gpu_jobs["sm_mean"]) == list(reference.gpu_jobs["sm_mean"])
+
+
+class TestCorruption:
+    @pytest.mark.parametrize(
+        "victim", ["timeseries.npz", "jobs.csv", "manifest.json", "records.pkl"]
+    )
+    def test_corrupt_file_falls_back_to_regeneration(self, tmp_path, victim):
+        cache_dir = tmp_path / "cache"
+        first = Session(CONFIG, cache_dir=cache_dir)
+        fresh = first.dataset()
+        (DatasetCache(cache_dir).entry_dir(first.key) / victim).write_bytes(b"not the artifact")
+
+        second = Session(CONFIG, cache_dir=cache_dir)
+        rebuilt = second.dataset()
+        assert second.instrumentation.count("cache_hit") == 0
+        assert second.instrumentation.count("build") == 1
+        assert list(rebuilt.gpu_jobs["sm_mean"]) == list(fresh.gpu_jobs["sm_mean"])
+
+    def test_corrupt_entry_is_evicted_and_rewritten(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = Session(CONFIG, cache_dir=cache_dir)
+        first.dataset()
+        cache = DatasetCache(cache_dir)
+        (cache.entry_dir(first.key) / "manifest.json").write_text("{broken")
+
+        second = Session(CONFIG, cache_dir=cache_dir)
+        second.dataset()
+        third = Session(CONFIG, cache_dir=cache_dir)
+        third.dataset()
+        assert third.instrumentation.count("cache_hit") == 1
+
+    def test_missing_entry_loads_none(self, tmp_path):
+        assert DatasetCache(tmp_path).load("no-such-key") is None

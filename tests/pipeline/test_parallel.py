@@ -1,0 +1,35 @@
+"""Tests for the process-parallel fan-out helpers."""
+
+from repro.pipeline import parallel_map, resolve_workers
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_none_and_nonpositive_are_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+    def test_explicit_request_honoured(self):
+        assert resolve_workers(4) == 4
+
+    def test_capped(self):
+        assert resolve_workers(10_000) == 64
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [7], workers=8) == [49]
+
+    def test_parallel_matches_serial_and_keeps_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=3) == [x * x for x in items]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=4) == []

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import DatasetOptions, build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs from touching the user-level artifact cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
 
 
 class TestParser:
@@ -19,6 +25,36 @@ class TestParser:
         args = build_parser().parse_args(["figure", "fig04", "--scale", "0.05"])
         assert args.figure_id == "fig04"
         assert args.scale == 0.05
+
+    def test_session_flag_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_session_flags_parsed(self, tmp_path):
+        args = build_parser().parse_args(
+            ["report", "--workers", "4", "--cache-dir", str(tmp_path)]
+        )
+        options = DatasetOptions.from_args(args)
+        assert options.workers == 4
+        session = options.session()
+        assert session.workers == 4
+        assert session.cache.root == tmp_path
+
+    def test_no_cache_disables_cache(self):
+        args = build_parser().parse_args(["validate", "--no-cache"])
+        assert DatasetOptions.from_args(args).session().cache is None
+
+    def test_every_dataset_command_shares_options(self):
+        for command in ("generate", "figure", "report", "plot", "opportunities", "summary", "validate"):
+            argv = [command, "--scale", "0.02", "--seed", "9", "--days", "10", "--scenario", "paper"]
+            if command in ("figure", "plot"):
+                argv.append("fig04")
+            options = DatasetOptions.from_args(build_parser().parse_args(argv))
+            assert options.scale == 0.02
+            assert options.seed == 9
+            assert options.days == 10.0
 
 
 class TestCommands:
@@ -97,3 +133,20 @@ class TestCommands:
 
         with pytest.raises(WorkloadError):
             main(["figure", "fig15", "--scale", "0.01", "--scenario", "moonbase"])
+
+    def test_report_second_run_hits_cache(self, tmp_path, capsys):
+        argv = [
+            "report", "--scale", "0.01", "--seed", "5",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(tmp_path / "EXP.md"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "builds: 1" in cold
+        assert "stage workload:" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "builds: 0" in warm
+        assert "stage workload:" not in warm
+        assert "figure cache hits: 21" in warm

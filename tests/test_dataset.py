@@ -63,6 +63,8 @@ class TestDeterminism:
         assert list(a.jobs["wait_time_s"]) == list(b.jobs["wait_time_s"])
 
     def test_default_dataset_memoized(self):
-        first = default_dataset(scale=0.01, seed=55)
-        second = default_dataset(scale=0.01, seed=55)
+        with pytest.warns(DeprecationWarning, match="Session"):
+            first = default_dataset(scale=0.01, seed=55)
+        with pytest.warns(DeprecationWarning, match="Session"):
+            second = default_dataset(scale=0.01, seed=55)
         assert first is second

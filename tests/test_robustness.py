@@ -34,3 +34,14 @@ class TestSeedSweep:
     def test_too_few_seeds_rejected(self):
         with pytest.raises(AnalysisError):
             seed_sweep(seeds=(1,))
+
+    def test_parallel_sweep_matches_serial(self, sweep, tmp_path):
+        parallel = seed_sweep(
+            seeds=(1, 2), scale=0.03, workers=2, cache_dir=tmp_path / "cache"
+        )
+        assert parallel.num_rows == sweep.num_rows
+        serial_rows = {(r["figure"], r["statistic"]): r for r in sweep.iter_rows()}
+        for row in parallel.iter_rows():
+            twin = serial_rows[(row["figure"], row["statistic"])]
+            assert row["pass_rate"] == twin["pass_rate"]
+            assert row["mean_measured"] == pytest.approx(twin["mean_measured"])
