@@ -96,20 +96,25 @@ def user_lifecycle_composition(gpu_jobs: Table, by: str = "jobs") -> Table:
     if gpu_jobs.num_rows == 0:
         raise AnalysisError("no jobs")
 
-    def composition(group: Table) -> dict:
-        classes = np.asarray(list(group["lifecycle_class"]))
-        if by == "jobs":
-            weights = np.ones(group.num_rows)
-        else:
-            weights = np.asarray(group["gpu_hours"], dtype=float)
-        total = weights.sum()
-        out = {}
-        for cls in LIFECYCLE_CLASSES:
-            share = float(weights[classes == cls].sum() / total) if total > 0 else 0.0
-            out[f"{cls}_fraction"] = share
-        return out
-
-    table = gpu_jobs.group_by("user").apply(composition)
+    # One cross-tabulation computes every (user, class) cell at once:
+    # job counts for Fig 17a, summed GPU hours for Fig 17b.  Absent
+    # combinations fill with 0, absent classes get a zero column.
+    reducer = "count" if by == "jobs" else "sum"
+    pivoted = gpu_jobs.pivot("user", "lifecycle_class", "gpu_hours", reducer)
+    per_class = {
+        cls: (
+            np.asarray(pivoted[cls], dtype=float)
+            if cls in pivoted
+            else np.zeros(pivoted.num_rows)
+        )
+        for cls in LIFECYCLE_CLASSES
+    }
+    total = np.sum(list(per_class.values()), axis=0)
+    data: dict[str, np.ndarray] = {"user": pivoted["user"]}
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for cls, weights in per_class.items():
+            data[f"{cls}_fraction"] = np.where(total > 0, weights / total, 0.0)
+    table = Table(data)
     table = table.sort_by("mature_fraction", descending=True)
     n = table.num_rows
     percentiles = (np.arange(n) + 0.5) / n * 100.0

@@ -78,18 +78,26 @@ def gpu_occupancy(records, capacity: int, num_samples: int = 2000) -> OccupancyT
 
 
 def daily_gpu_hours(records) -> Table:
-    """GPU hours consumed per study day (start-day attribution)."""
-    rows: dict[int, float] = {}
-    for record in records:
-        if record.request.num_gpus == 0:
-            continue
-        day = int(record.start_time_s // SECONDS_PER_DAY)
-        rows[day] = rows.get(day, 0.0) + record.gpu_hours
-    if not rows:
+    """GPU hours consumed per study day (start-day attribution).
+
+    A grouped segment-sum over the start days; ``reduceat`` adds each
+    day's hours in record order, exactly like the dict accumulator it
+    replaced.
+    """
+    gpu_records = [r for r in records if r.request.num_gpus > 0]
+    if not gpu_records:
         raise AnalysisError("no GPU jobs in records")
-    return Table.from_rows(
-        [{"day": day, "gpu_hours": hours} for day, hours in sorted(rows.items())]
+    per_job = Table(
+        {
+            "day": np.asarray(
+                [int(r.start_time_s // SECONDS_PER_DAY) for r in gpu_records],
+                dtype=np.int64,
+            ),
+            "gpu_hours": np.asarray([r.gpu_hours for r in gpu_records], dtype=float),
+        }
     )
+    daily = per_job.group_by("day").aggregate({"gpu_hours": "sum"})
+    return daily.rename({"gpu_hours_sum": "gpu_hours"}).sort_by("day")
 
 
 def surge_visibility(daily: Table, windows) -> Table:

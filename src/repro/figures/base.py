@@ -6,7 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.frame import Table
+from repro.frame import Table, TableBuilder
 
 
 @dataclass(frozen=True)
@@ -49,19 +49,16 @@ class FigureResult:
 
     def comparison_table(self) -> Table:
         """Comparisons as a frame Table (for CSV export / printing)."""
-        return Table.from_rows(
-            [
-                {
-                    "figure": self.figure_id,
-                    "name": c.name,
-                    "paper": c.paper,
-                    "measured": round(c.measured, 4),
-                    "unit": c.unit,
-                }
-                for c in self.comparisons
-            ],
-            columns=["figure", "name", "paper", "measured", "unit"],
-        )
+        builder = TableBuilder(columns=["figure", "name", "paper", "measured", "unit"])
+        for c in self.comparisons:
+            builder.append_row(
+                figure=self.figure_id,
+                name=c.name,
+                paper=c.paper,
+                measured=round(c.measured, 4),
+                unit=c.unit,
+            )
+        return builder.finish()
 
     def get(self, name: str) -> Comparison:
         """Look up one comparison by name."""

@@ -17,14 +17,19 @@ Example
 array([ 45., 120.])
 """
 
+from repro.frame.builder import TableBuilder
 from repro.frame.column import as_column, column_dtype, is_string_column
+from repro.frame.factorize import Factorization, factorize_columns
 from repro.frame.groupby import GroupBy
 from repro.frame.io import read_csv, read_jsonl, write_csv, write_jsonl
 from repro.frame.table import Table, concat_tables
 
 __all__ = [
     "Table",
+    "TableBuilder",
     "GroupBy",
+    "Factorization",
+    "factorize_columns",
     "concat_tables",
     "as_column",
     "column_dtype",

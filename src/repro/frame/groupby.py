@@ -4,6 +4,28 @@ The paper's pipeline aggregates jobs by user, by GPU count, by
 interface type, and by life-cycle class.  :class:`GroupBy` supports
 iteration over groups and a vectorised ``aggregate`` that applies named
 reducers to columns.
+
+Execution model
+---------------
+Keys are factorized once (:mod:`repro.frame.factorize`): every row gets
+an integer group code in first-seen order, and one stable sort of the
+codes turns the table into contiguous per-group segments.  From there:
+
+* ``sizes`` and the ``count`` reducer are segment-length differences;
+* ``min``/``max``/``sum`` run as ``np.{minimum,maximum,add}.reduceat``
+  over the sorted value column; ``mean``/``std`` derive from those;
+* ``first``/``last`` fancy-index the segment boundaries;
+* ``median`` sorts values within segments via one ``lexsort`` and
+  averages the two middle elements per segment.
+
+So that the vectorized kernels stay **bit-for-bit identical** to the
+row-at-a-time reference path (:mod:`repro.frame.reference`), the
+builtin accumulation reducers are defined with *sequential* left-to-
+right summation (a single-segment ``np.add.reduceat``) rather than
+``np.sum``'s pairwise summation — ``reduceat`` reduces each segment
+sequentially, so defining the scalar reducer the same way makes "one
+group at a time" and "all groups at once" agree to the last ULP.  The
+property tests assert exactly that.
 """
 
 from __future__ import annotations
@@ -13,17 +35,40 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.errors import FrameError
+from repro.frame.factorize import Factorization, factorize_columns
 from repro.frame.table import Table, _unwrap
 
 Reducer = Callable[[np.ndarray], Any]
 
+_SEGMENT_START = np.zeros(1, dtype=np.intp)
+
+
+def _seq_sum(values: np.ndarray) -> float:
+    """Sequential left-to-right sum — the scalar twin of ``add.reduceat``."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.add.reduceat(values, _SEGMENT_START)[0])
+
+
+def _seq_mean(a: np.ndarray) -> float:
+    floats = a.astype(float)
+    return _seq_sum(floats) / len(floats)
+
+
+def _seq_std(a: np.ndarray) -> float:
+    floats = a.astype(float)
+    mean = _seq_sum(floats) / len(floats)
+    centered = floats - mean
+    return float(np.sqrt(_seq_sum(centered * centered) / len(floats)))
+
+
 _BUILTIN_REDUCERS: dict[str, Reducer] = {
-    "mean": lambda a: float(np.mean(a.astype(float))),
-    "sum": lambda a: float(np.sum(a.astype(float))),
+    "mean": _seq_mean,
+    "sum": lambda a: _seq_sum(a.astype(float)),
     "min": lambda a: float(np.min(a.astype(float))),
     "max": lambda a: float(np.max(a.astype(float))),
     "median": lambda a: float(np.median(a.astype(float))),
-    "std": lambda a: float(np.std(a.astype(float), ddof=0)),
+    "std": _seq_std,
     "count": lambda a: int(len(a)),
     "first": lambda a: _unwrap(a[0]),
     "last": lambda a: _unwrap(a[-1]),
@@ -31,47 +76,72 @@ _BUILTIN_REDUCERS: dict[str, Reducer] = {
 
 
 class GroupBy:
-    """Lazily-evaluated grouping of a table by one or more key columns."""
+    """Grouping of a table by one or more key columns.
+
+    Group order is first-seen order of the key; row order within a
+    group is the table's row order (the factorization sort is stable).
+    """
 
     def __init__(self, table: Table, keys: Sequence[str]) -> None:
         if not keys:
             raise FrameError("group_by requires at least one key column")
         self._table = table
         self._keys = tuple(keys)
-        self._index = self._build_index()
-
-    def _build_index(self) -> dict[tuple[Any, ...], np.ndarray]:
-        columns = [self._table.column(k) for k in self._keys]
-        buckets: dict[tuple[Any, ...], list[int]] = {}
-        for i in range(self._table.num_rows):
-            key = tuple(_unwrap(col[i]) for col in columns)
-            buckets.setdefault(key, []).append(i)
-        return {k: np.asarray(v, dtype=np.intp) for k, v in buckets.items()}
+        self._fact: Factorization = factorize_columns(
+            [table.column(k) for k in self._keys]
+        )
+        self._key_tuples: list[tuple[Any, ...]] | None = None
+        self._lookup: dict[tuple[Any, ...], int] | None = None
 
     # ------------------------------------------------------------------
     @property
     def num_groups(self) -> int:
-        return len(self._index)
+        return self._fact.num_groups
 
     def keys(self) -> list[tuple[Any, ...]]:
         """Group keys in first-seen order."""
-        return list(self._index)
+        if self._key_tuples is None:
+            reps = [
+                self._table.column(k)[self._fact.first_rows] for k in self._keys
+            ]
+            self._key_tuples = [
+                tuple(_unwrap(col[g]) for col in reps)
+                for g in range(self._fact.num_groups)
+            ]
+        return list(self._key_tuples)
+
+    def _group_rows(self, group: int) -> np.ndarray:
+        f = self._fact
+        return f.order[f.starts[group] : f.starts[group + 1]]
 
     def __iter__(self) -> Iterator[tuple[tuple[Any, ...], Table]]:
-        for key, idx in self._index.items():
-            yield key, self._table.take(idx)
+        for group, key in enumerate(self.keys()):
+            yield key, self._table.take(self._group_rows(group))
 
     def group(self, *key: Any) -> Table:
         """Return the sub-table for one group key."""
+        if self._lookup is None:
+            self._lookup = {k: g for g, k in enumerate(self.keys())}
         k = tuple(key)
-        if k not in self._index:
+        group = self._lookup.get(k)
+        if group is None:
             raise FrameError(f"no group with key {k!r}")
-        return self._table.take(self._index[k])
+        return self._table.take(self._group_rows(group))
+
+    def _key_columns(self) -> dict[str, np.ndarray]:
+        """Key columns of the output table, one row per group."""
+        return {
+            name: self._table.column(name)[self._fact.first_rows]
+            for name in self._keys
+        }
 
     def sizes(self) -> Table:
         """Return a table of group keys and their row counts."""
-        rows = [dict(zip(self._keys, k), count=len(idx)) for k, idx in self._index.items()]
-        return Table.from_rows(rows)
+        if self._fact.num_groups == 0:
+            return Table.from_rows([])
+        data = self._key_columns()
+        data["count"] = self._fact.sizes.astype(np.int64, copy=False)
+        return Table(data)
 
     # ------------------------------------------------------------------
     def aggregate(self, spec: Mapping[str, Sequence[str] | str]) -> Table:
@@ -82,7 +152,7 @@ class GroupBy:
         ``std``/``count``/``first``/``last``).  The result has one row
         per group with columns ``{column}_{reducer}``.
         """
-        normalized: list[tuple[str, str, Reducer]] = []
+        normalized: list[tuple[str, str]] = []
         for column, reducers in spec.items():
             if isinstance(reducers, str):
                 reducers = [reducers]
@@ -91,24 +161,33 @@ class GroupBy:
                     raise FrameError(
                         f"unknown reducer {name!r}; choose from {sorted(_BUILTIN_REDUCERS)}"
                     )
-                normalized.append((column, name, _BUILTIN_REDUCERS[name]))
+                normalized.append((column, name))
 
-        rows = []
-        for key, idx in self._index.items():
-            row: dict[str, Any] = dict(zip(self._keys, key))
-            for column, name, fn in normalized:
-                row[f"{column}_{name}"] = fn(self._table.column(column)[idx])
-            rows.append(row)
-        return Table.from_rows(rows)
+        if self._fact.num_groups == 0:
+            return Table.from_rows([])
+        data = self._key_columns()
+        sorted_cache: dict[str, np.ndarray] = {}
+        for column, name in normalized:
+            values = sorted_cache.get(column)
+            if values is None:
+                values = sorted_cache[column] = self._table.column(column)[
+                    self._fact.order
+                ]
+            data[f"{column}_{name}"] = _reduce_segments(values, self._fact, name)
+        return Table(data)
 
     def apply(self, fn: Callable[[Table], Mapping[str, Any]]) -> Table:
         """Apply ``fn`` to each group's sub-table; collect dict results."""
-        rows = []
-        for key, idx in self._index.items():
+        from repro.frame.builder import TableBuilder
+
+        if self._fact.num_groups == 0:
+            return Table.from_rows([])
+        builder = TableBuilder(columns=self._keys)
+        for key, sub in self:
             row: dict[str, Any] = dict(zip(self._keys, key))
-            row.update(fn(self._table.take(idx)))
-            rows.append(row)
-        return Table.from_rows(rows)
+            row.update(fn(sub))
+            builder.append_row(row)
+        return builder.finish()
 
     def mean(self, column: str) -> Table:
         """Shorthand for ``aggregate({column: "mean"})``."""
@@ -117,3 +196,62 @@ class GroupBy:
     def sum(self, column: str) -> Table:
         """Shorthand for ``aggregate({column: "sum"})``."""
         return self.aggregate({column: "sum"})
+
+
+def _reduce_segments(values: np.ndarray, fact: Factorization, name: str) -> np.ndarray:
+    """Reduce a code-sorted value column into one value per group.
+
+    Every kernel is whole-column vectorized and bit-identical to
+    applying the matching ``_BUILTIN_REDUCERS`` entry per group.
+    """
+    starts = fact.starts[:-1]
+    if name == "count":
+        return fact.sizes.astype(np.int64, copy=False)
+    if name == "first":
+        return values[starts]
+    if name == "last":
+        return values[fact.starts[1:] - 1]
+    floats = values.astype(float)
+    if name in ("min", "max"):
+        ufunc = np.minimum if name == "min" else np.maximum
+        return ufunc.reduceat(floats, starts)
+    counts = fact.sizes
+    if name == "sum":
+        return np.add.reduceat(floats, starts)
+    if name == "mean":
+        return np.add.reduceat(floats, starts) / counts
+    if name == "std":
+        means = np.add.reduceat(floats, starts) / counts
+        centered = floats - np.repeat(means, counts)
+        return np.sqrt(np.add.reduceat(centered * centered, starts) / counts)
+    if name == "median":
+        return _segment_median(floats, fact)
+    raise FrameError(f"no vectorized kernel for reducer {name!r}")
+
+
+def _segment_median(floats: np.ndarray, fact: Factorization) -> np.ndarray:
+    """Per-segment median: value-sort within segments, average middles.
+
+    Matches ``np.median`` bit-for-bit: the even-count cell is the same
+    ``(a + b) / 2`` of the two middle elements, and any NaN in a
+    segment yields NaN (NaNs sort last, so ``np.median`` sees one at
+    the top and poisons the result).
+    """
+    counts = fact.sizes
+    starts = fact.starts[:-1]
+    seg_dtype = np.uint16 if fact.num_groups <= np.iinfo(np.uint16).max else np.intp
+    segment_ids = np.repeat(np.arange(fact.num_groups, dtype=seg_dtype), counts)
+    # Sort by (segment, value) in two passes: an unstable value sort
+    # (ties between equal floats cannot change a median) followed by a
+    # stable radix sort of the small segment ids — much cheaper than
+    # one lexsort with a float key.
+    by_value_order = np.argsort(floats)
+    regroup = np.argsort(segment_ids[by_value_order], kind="stable")
+    by_value = floats[by_value_order[regroup]]
+    lo = by_value[starts + (counts - 1) // 2]
+    hi = by_value[starts + counts // 2]
+    medians = np.where(counts % 2 == 1, lo, (lo + hi) / 2.0)
+    has_nan = np.add.reduceat(np.isnan(floats), starts) > 0
+    if has_nan.any():
+        medians = np.where(has_nan, np.nan, medians)
+    return medians

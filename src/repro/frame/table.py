@@ -12,7 +12,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.errors import ColumnMissingError, FrameError, LengthMismatchError
-from repro.frame.column import as_column, column_dtype
+from repro.frame.column import _all_numeric, as_column, column_dtype
 
 
 class Table:
@@ -186,13 +186,16 @@ class Table:
         return self.take(np.arange(min(n, self._length)))
 
     def sort_by(self, *names: str, descending: bool = False) -> "Table":
-        """Return the table sorted by the given columns (stable)."""
+        """Return the table sorted by the given columns (stable).
+
+        ``descending=True`` inverts the key order (dense ranks are
+        negated) rather than reversing the sorted rows, so rows that
+        tie on every key keep their first-seen order.
+        """
         if not names:
             raise FrameError("sort_by requires at least one column name")
         keys = [self.column(name) for name in reversed(names)]
-        order = np.lexsort([_sortable(k) for k in keys])
-        if descending:
-            order = order[::-1]
+        order = np.lexsort([_sort_key(k, descending) for k in keys])
         return self.take(order)
 
     def unique(self, name: str) -> np.ndarray:
@@ -200,15 +203,24 @@ class Table:
         return np.unique(_sortable(self.column(name)))
 
     def value_counts(self, name: str) -> "Table":
-        """Count occurrences of each value, most frequent first."""
-        counts: dict[Any, int] = {}
-        for value in self.column(name):
-            key = _unwrap(value)
-            counts[key] = counts.get(key, 0) + 1
-        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
-        return Table.from_rows(
-            [{name: value, "count": count} for value, count in ordered]
-        )
+        """Count occurrences of each value, most frequent first (ties
+        broken by the value's string form)."""
+        from repro.frame.factorize import factorize_codes
+
+        column = self.column(name)
+        if len(column) == 0:
+            return Table.from_rows([])
+        # The output is sorted by (-count, label), so group order is
+        # irrelevant: cheap codes plus a bincount suffice, and any
+        # occurrence of a value can represent its group.
+        codes, num_groups = factorize_codes(column)
+        counts = np.bincount(codes, minlength=num_groups).astype(np.int64, copy=False)
+        representatives = np.empty(num_groups, dtype=np.intp)
+        representatives[codes] = np.arange(len(codes), dtype=np.intp)
+        values = column[representatives]
+        labels = np.asarray([str(_unwrap(v)) for v in values])
+        order = np.lexsort((labels, -counts))
+        return Table({name: values[order], "count": counts[order]})
 
     def pivot(
         self,
@@ -223,30 +235,42 @@ class Table:
         Missing combinations yield 0 for ``sum``/``count`` and None
         otherwise.  Column order follows first appearance.
         """
-        from repro.frame.groupby import _BUILTIN_REDUCERS
+        from repro.frame.factorize import factorize_columns
+        from repro.frame.groupby import _BUILTIN_REDUCERS, _reduce_segments
 
         if reducer not in _BUILTIN_REDUCERS:
             raise FrameError(f"unknown reducer {reducer!r}")
-        fn = _BUILTIN_REDUCERS[reducer]
-        buckets: dict[Any, dict[Any, list]] = {}
-        column_order: dict[Any, None] = {}
         idx_col = self.column(index)
         col_col = self.column(columns)
         val_col = self.column(values)
-        for i in range(self._length):
-            row_key = _unwrap(idx_col[i])
-            col_key = _unwrap(col_col[i])
-            column_order.setdefault(col_key, None)
-            buckets.setdefault(row_key, {}).setdefault(col_key, []).append(val_col[i])
-        fill = 0 if reducer in ("sum", "count") else None
-        rows = []
-        for row_key, cells in buckets.items():
-            row: dict[str, Any] = {index: row_key}
-            for col_key in column_order:
-                bucket = cells.get(col_key)
-                row[str(col_key)] = fn(np.asarray(bucket)) if bucket else fill
-            rows.append(row)
-        return Table.from_rows(rows)
+        if self._length == 0:
+            return Table.from_rows([])
+
+        row_fact = factorize_columns([idx_col])
+        col_fact = factorize_columns([col_col])
+        n_rows, n_cols = row_fact.num_groups, col_fact.num_groups
+        # One factorized code per (index, columns) cell, then one pass
+        # of segment reduction over the cell-sorted value column.
+        cell_codes = row_fact.codes * np.intp(n_cols) + col_fact.codes
+        cell_fact = factorize_columns([cell_codes])
+        reduced = _reduce_segments(val_col[cell_fact.order], cell_fact, reducer)
+        # Map each present cell back to its (row group, column group).
+        cell_rows, cell_cols = np.divmod(cell_codes[cell_fact.first_rows], n_cols)
+
+        numeric_fill = reducer in ("sum", "count")
+        data: dict[str, Any] = {index: idx_col[row_fact.first_rows]}
+        col_labels = [str(_unwrap(v)) for v in col_col[col_fact.first_rows]]
+        for c, label in enumerate(col_labels):
+            mask = cell_cols == c
+            if numeric_fill:
+                cells = np.zeros(n_rows, dtype=reduced.dtype)
+                cells[cell_rows[mask]] = reduced[mask]
+            else:
+                cells = np.empty(n_rows, dtype=object)
+                cells[:] = None
+                cells[cell_rows[mask]] = reduced[mask].tolist()
+            data[label] = cells
+        return Table(data)
 
     # ------------------------------------------------------------------
     # Group-by and join
@@ -267,27 +291,37 @@ class Table:
         """
         if how not in ("inner", "left"):
             raise FrameError(f"unsupported join type {how!r}")
+        left_keys = self.column(on)
         right_keys = other.column(on)
-        lookup: dict[Any, int] = {}
-        for i, key in enumerate(right_keys):
-            key = _unwrap(key)
-            if key in lookup:
-                raise FrameError(f"join key {on!r} is not unique in right table ({key!r})")
-            lookup[key] = i
+        # Factorize left and right keys over one shared code space so
+        # matching is pure integer indexing.  Only codes are needed —
+        # not the grouped view — so the cheap factorization suffices.
+        from repro.frame.factorize import factorize_codes
 
-        left_idx: list[int] = []
-        right_idx: list[int] = []
-        for i, key in enumerate(self.column(on)):
-            j = lookup.get(_unwrap(key))
-            if j is not None:
-                left_idx.append(i)
-                right_idx.append(j)
-            elif how == "left":
-                left_idx.append(i)
-                right_idx.append(-1)
+        codes, num_groups = factorize_codes(_concat_columns(left_keys, right_keys))
+        left_codes = codes[: len(left_keys)]
+        right_codes = codes[len(left_keys) :]
+        counts = np.bincount(right_codes, minlength=num_groups)
+        if (counts > 1).any():
+            dup = _unwrap(right_keys[np.flatnonzero(counts[right_codes] > 1)[0]])
+            raise FrameError(f"join key {on!r} is not unique in right table ({dup!r})")
+        lookup = np.full(num_groups, -1, dtype=np.intp)
+        lookup[right_codes] = np.arange(len(right_keys), dtype=np.intp)
 
-        result = self.take(np.asarray(left_idx, dtype=np.intp))
-        right_rows = np.asarray(right_idx, dtype=np.intp)
+        right_rows = lookup[left_codes]
+        if how == "inner":
+            left_idx = np.flatnonzero(right_rows >= 0)
+            if len(left_idx) == self._length:
+                left_idx = None
+            else:
+                right_rows = right_rows[left_idx]
+        else:
+            left_idx = None
+
+        # When every left row survives, share the left columns instead
+        # of copying them — tables are immutable-by-convention, so the
+        # identity gather is pure waste.
+        result = self if left_idx is None else self.take(left_idx)
         matched = right_rows >= 0
         for name in other.column_names:
             if name == on:
@@ -373,11 +407,48 @@ def concat_tables(tables: Iterable[Table]) -> Table:
     return Table(data)
 
 
+def _concat_columns(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Stack two columns; objects win when dtypes disagree."""
+    if (
+        left.dtype != object
+        and right.dtype != object
+        and (np.issubdtype(left.dtype, np.number) or left.dtype == bool)
+        and (np.issubdtype(right.dtype, np.number) or right.dtype == bool)
+    ):
+        return np.concatenate([left, right])
+    merged = np.empty(len(left) + len(right), dtype=object)
+    merged[: len(left)] = left
+    merged[len(left) :] = right
+    return merged
+
+
 def _sortable(column: np.ndarray) -> np.ndarray:
-    """Return an array usable as a lexsort key (object -> str)."""
+    """Return an array usable as a lexsort key.
+
+    Object columns of pure numbers compare numerically (an object
+    column of ints must not sort "10" before "9"); any other object
+    column falls back to string form.
+    """
     if column.dtype == object:
+        material = column.tolist()
+        if _all_numeric(material):
+            return np.asarray(material, dtype=float)
         return np.asarray([str(v) for v in column])
     return column
+
+
+def _sort_key(column: np.ndarray, descending: bool) -> np.ndarray:
+    """Lexsort key for one column; descending via negated dense ranks.
+
+    Negating ranks (rather than reversing the final order) flips the
+    key comparison while leaving tied rows in first-seen order, which
+    keeps ``sort_by`` stable in both directions.
+    """
+    key = _sortable(column)
+    if not descending:
+        return key
+    _, inverse = np.unique(key, return_inverse=True)
+    return -inverse.astype(np.intp, copy=False)
 
 
 def _unwrap(value: Any) -> Any:

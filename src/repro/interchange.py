@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.analysis.lifecycle import classify_exit
 from repro.errors import ReproError
-from repro.frame import Table, read_csv, write_csv
+from repro.frame import Table, TableBuilder, read_csv, write_csv
 
 #: Slurm job states appearing in the public dataset.
 _STATE_TO_EXIT = {
@@ -85,7 +85,7 @@ def load_slurm_log(path: str | Path, schema: SlurmLogSchema | None = None) -> Ta
         if required not in raw:
             raise ReproError(f"Slurm log missing column {required!r}")
 
-    rows = []
+    builder = TableBuilder()
     for row in raw.iter_rows():
         state = str(row[schema.state]).upper()
         if state not in _STATE_TO_EXIT:
@@ -102,7 +102,7 @@ def load_slurm_log(path: str | Path, schema: SlurmLogSchema | None = None) -> Ta
         num_gpus = int(row.get(schema.gpus_alloc) or 0)
         run_time = end - start
         service = end - submit
-        rows.append(
+        builder.append_row(
             {
                 "job_id": int(row[schema.job_id]),
                 "user": str(row[schema.user]),
@@ -122,7 +122,7 @@ def load_slurm_log(path: str | Path, schema: SlurmLogSchema | None = None) -> Ta
                 "time_limit_s": float(row.get(schema.time_limit_min) or 0.0) * 60.0,
             }
         )
-    return Table.from_rows(rows)
+    return builder.finish()
 
 
 def load_gpu_summary(path: str | Path, schema: GpuSummarySchema | None = None) -> Table:
@@ -131,7 +131,12 @@ def load_gpu_summary(path: str | Path, schema: GpuSummarySchema | None = None) -
     raw = read_csv(path)
     if schema.job_id not in raw:
         raise ReproError(f"GPU summary missing column {schema.job_id!r}")
-    rows = []
+    for public_name, _ in schema.metric_map:
+        for stat in ("min", "mean", "max"):
+            column = f"{public_name}_{stat}"
+            if column not in raw:
+                raise ReproError(f"GPU summary missing column {column!r}")
+    builder = TableBuilder()
     for row in raw.iter_rows():
         out = {
             "job_id": int(row[schema.job_id]),
@@ -139,12 +144,9 @@ def load_gpu_summary(path: str | Path, schema: GpuSummarySchema | None = None) -
         }
         for public_name, ours in schema.metric_map:
             for stat in ("min", "mean", "max"):
-                column = f"{public_name}_{stat}"
-                if column not in raw:
-                    raise ReproError(f"GPU summary missing column {column!r}")
-                out[f"{ours}_{stat}"] = float(row[column] or 0.0)
-        rows.append(out)
-    return Table.from_rows(rows)
+                out[f"{ours}_{stat}"] = float(row[f"{public_name}_{stat}"] or 0.0)
+        builder.append_row(out)
+    return builder.finish()
 
 
 def combine_logs(
@@ -170,11 +172,11 @@ def combine_logs(
         renames[f"{name}_max_max"] = f"{name}_max"
     per_job = per_job.rename(renames)
 
-    gpu_jobs = slurm.filter(lambda t: np.asarray(t["num_gpus"]) > 0)
-    gpu_jobs = gpu_jobs.filter(
-        lambda t: np.asarray(t["run_time_s"], dtype=float) >= short_filter_s
+    # One combined mask -> one row gather instead of two chained filters.
+    keep = (np.asarray(slurm["num_gpus"]) > 0) & (
+        np.asarray(slurm["run_time_s"], dtype=float) >= short_filter_s
     )
-    return gpu_jobs.join(per_job, on="job_id")
+    return slurm.filter(keep).join(per_job, on="job_id")
 
 
 def export_challenge_format(dataset, directory: str | Path) -> dict[str, Path]:
@@ -188,9 +190,9 @@ def export_challenge_format(dataset, directory: str | Path) -> dict[str, Path]:
     slurm_schema = SlurmLogSchema()
     gpu_schema = GpuSummarySchema()
 
-    slurm_rows = []
+    slurm_builder = TableBuilder()
     for row in dataset.jobs.iter_rows():
-        slurm_rows.append(
+        slurm_builder.append_row(
             {
                 slurm_schema.job_id: row["job_id"],
                 slurm_schema.user: row["user"],
@@ -206,17 +208,16 @@ def export_challenge_format(dataset, directory: str | Path) -> dict[str, Path]:
                 slurm_schema.time_limit_min: row["time_limit_s"] / 60.0,
             }
         )
-    slurm_path = write_csv(Table.from_rows(slurm_rows), directory / "slurm-log.csv")
+    slurm_path = write_csv(slurm_builder.finish(), directory / "slurm-log.csv")
 
-    gpu_rows = []
-    for row in dataset.per_gpu.iter_rows():
-        out = {
-            gpu_schema.job_id: row["job_id"],
-            gpu_schema.gpu_index: row["gpu_index"],
-        }
-        for public_name, ours in gpu_schema.metric_map:
-            for stat in ("min", "mean", "max"):
-                out[f"{public_name}_{stat}"] = row[f"{ours}_{stat}"]
-        gpu_rows.append(out)
-    gpu_path = write_csv(Table.from_rows(gpu_rows), directory / "gpu-summary.csv")
+    # The per-GPU export is a pure column relabelling, so it moves
+    # whole columns instead of iterating rows.
+    gpu_data = {
+        gpu_schema.job_id: dataset.per_gpu["job_id"],
+        gpu_schema.gpu_index: dataset.per_gpu["gpu_index"],
+    }
+    for public_name, ours in gpu_schema.metric_map:
+        for stat in ("min", "mean", "max"):
+            gpu_data[f"{public_name}_{stat}"] = dataset.per_gpu[f"{ours}_{stat}"]
+    gpu_path = write_csv(Table(gpu_data), directory / "gpu-summary.csv")
     return {"slurm": slurm_path, "gpu": gpu_path}

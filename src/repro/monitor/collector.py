@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import MonitoringError
-from repro.frame import Table
+from repro.frame import Table, TableBuilder
 from repro.monitor.cpu_sampler import CpuSampler
 from repro.monitor.nvidia_smi import NvidiaSmiSampler
 from repro.monitor.timeseries import METRIC_NAMES, TimeSeriesStore
@@ -53,8 +53,8 @@ class MonitoringCollector:
         )
         self._cpu_sampler = CpuSampler(self.config.cpu_interval_s)
         self.store = TimeSeriesStore()
-        self._gpu_rows: list[dict] = []
-        self._cpu_rows: list[dict] = []
+        self._gpu_builder = TableBuilder(columns=["job_id", "gpu_index"])
+        self._cpu_builder = TableBuilder(columns=["job_id"])
         self._started: dict[int, tuple[float, tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
@@ -68,7 +68,7 @@ class MonitoringCollector:
         """Called when a job ends: emit summaries (and maybe a series)."""
         request = record.request
         self._started.pop(request.job_id, None)
-        self._cpu_rows.append(
+        self._cpu_builder.append_row(
             {
                 "job_id": request.job_id,
                 **self._cpu_sampler.summarize(
@@ -82,14 +82,18 @@ class MonitoringCollector:
         if model is None:
             raise MonitoringError(f"GPU job {request.job_id} has no activity model")
         keep_series = self._rng.random() < self.config.timeseries_fraction
-        for gpu_index in range(model.num_gpus):
-            summary = self._gpu_sampler.summarize(
-                model, record.run_time_s, gpu_index, self._rng
-            )
-            self._gpu_rows.append(
-                {"job_id": request.job_id, "gpu_index": gpu_index, **summary}
-            )
-            if keep_series:
+        # All of the job's GPUs are summarized in one batched call and
+        # land in the builder as column fragments — no per-GPU row dict.
+        summary = self._gpu_sampler.summarize_job(model, record.run_time_s, self._rng)
+        self._gpu_builder.extend_columns(
+            {
+                "job_id": np.full(model.num_gpus, request.job_id, dtype=np.int64),
+                "gpu_index": np.arange(model.num_gpus, dtype=np.int64),
+                **summary,
+            }
+        )
+        if keep_series:
+            for gpu_index in range(model.num_gpus):
                 self.store.add(
                     self._gpu_sampler.sample_series(
                         request.job_id,
@@ -111,11 +115,11 @@ class MonitoringCollector:
     # ------------------------------------------------------------------
     def per_gpu_table(self) -> Table:
         """One row per (job, GPU) with min/mean/max of every metric."""
-        return Table.from_rows(self._gpu_rows)
+        return self._gpu_builder.finish()
 
     def cpu_table(self) -> Table:
         """One row per job with CPU-side summary metrics."""
-        return Table.from_rows(self._cpu_rows)
+        return self._cpu_builder.finish()
 
     def job_gpu_table(self) -> Table:
         """Per-job GPU summary averaged over the job's GPUs.
@@ -125,7 +129,7 @@ class MonitoringCollector:
         Minima take the min over GPUs and maxima the max, so bottleneck
         detection still sees the most-loaded device.
         """
-        if not self._gpu_rows:
+        if not len(self._gpu_builder):
             return Table.empty(["job_id"])
         per_gpu = self.per_gpu_table()
         spec = {}

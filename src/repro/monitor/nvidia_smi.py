@@ -107,6 +107,48 @@ class NvidiaSmiSampler:
             out[f"{name}_max"] = float(max(values.max(), analytic.get(name, -np.inf)))
         return out
 
+    def summarize_job(
+        self,
+        model: ActivityModel,
+        duration_s: float,
+        rng: np.random.Generator,
+    ) -> dict[str, np.ndarray]:
+        """Summarize every GPU of a job at once.
+
+        Returns ``{"<metric>_<stat>": array}`` with one element per GPU
+        — column fragments ready for a
+        :class:`~repro.frame.TableBuilder`.  The stratified offsets for
+        all GPUs come from a single C-ordered ``rng.random((g, n))``
+        draw, which consumes the generator stream exactly like ``g``
+        consecutive :meth:`summarize` calls, so batched and per-GPU
+        summarization produce identical datasets.
+        """
+        if duration_s < 0:
+            raise MonitoringError(f"negative duration {duration_s}")
+        num_gpus = model.num_gpus
+        n = min(self.summary_samples, max(int(duration_s / self.interval_s) + 1, 2))
+        edges = np.linspace(0.0, duration_s, n + 1)
+        widths = np.diff(edges)
+        offsets = rng.random((num_gpus, n))
+        out = {
+            f"{name}_{stat}": np.empty(num_gpus)
+            for name in METRIC_NAMES
+            for stat in ("min", "mean", "max")
+        }
+        for gpu_index in range(num_gpus):
+            times = edges[:-1] + offsets[gpu_index] * widths
+            metrics = model.metrics_at(times, gpu_index)
+            self._check_metrics(None, metrics)
+            analytic = model.analytic_max(gpu_index)
+            for name in METRIC_NAMES:
+                values = metrics[name]
+                out[f"{name}_min"][gpu_index] = values.min()
+                out[f"{name}_mean"][gpu_index] = values.mean()
+                out[f"{name}_max"][gpu_index] = max(
+                    values.max(), analytic.get(name, -np.inf)
+                )
+        return out
+
     @staticmethod
     def _check_metrics(job_id: int | None, metrics: dict[str, np.ndarray]) -> None:
         missing = [m for m in METRIC_NAMES if m not in metrics]

@@ -71,14 +71,13 @@ def _build_dataset(
 
     with inst.stage("assemble") as probe:
         jobs = accounting_table(result.records)
-        gpu_jobs = (
-            jobs.filter(lambda t: (np.asarray(t["num_gpus"]) > 0))
-            .filter(
-                lambda t: np.asarray(t["run_time_s"], dtype=float)
-                >= PAPER_TARGETS.short_job_filter_s
-            )
-            .join(gpu_summary, on="job_id")
+        # One combined mask -> one row gather; the join then shares the
+        # filtered columns outright when every GPU job has a summary.
+        keep = (np.asarray(jobs["num_gpus"]) > 0) & (
+            np.asarray(jobs["run_time_s"], dtype=float)
+            >= PAPER_TARGETS.short_job_filter_s
         )
+        gpu_jobs = jobs.filter(keep).join(gpu_summary, on="job_id")
         if per_gpu.num_rows:
             context = jobs.select(
                 ["job_id", "user", "num_gpus", "run_time_s", "gpu_hours", "lifecycle_class", "interface"]

@@ -5,14 +5,30 @@ regardless of function or size (Sec. II, "System Operations Details").
 Multi-GPU jobs are "scheduled quickly with a high priority" (Sec. V),
 which we model as a priority boost.  Backfill lets small jobs jump past
 a stuck head-of-line job, bounded by a scan depth as in real Slurm.
+
+The queue keeps its entries sorted on a precomputed key tuple, so a
+submit is a :func:`bisect.insort` into an already-sorted list rather
+than a full re-sort of the queue — under a deadline surge the queue
+holds thousands of jobs and submit-time re-sorting dominated the
+scheduler loop.  Only :meth:`JobQueue.reprioritize` pays for a full
+sort, because it invalidates every key at once.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable, Iterator
 
 from repro.errors import SchedulerError
 from repro.slurm.job import JobRequest
+
+#: Sort key of one queue entry.  Job ids are unique, so keys are too —
+#: the request itself is never compared.
+_QueueKey = tuple[float, float, int]
+
+
+def _queue_key(priority: float, request: JobRequest) -> _QueueKey:
+    return (-priority, request.submit_time_s, request.job_id)
 
 
 class JobQueue:
@@ -21,7 +37,7 @@ class JobQueue:
     def __init__(self, backfill_depth: int = 64) -> None:
         if backfill_depth < 1:
             raise SchedulerError("backfill depth must be >= 1")
-        self._jobs: list[tuple[float, JobRequest]] = []
+        self._jobs: list[tuple[_QueueKey, JobRequest]] = []
         self._backfill_depth = backfill_depth
 
     def __len__(self) -> int:
@@ -32,9 +48,7 @@ class JobQueue:
 
     def push(self, request: JobRequest, priority: float = 0.0) -> None:
         """Insert a job with the given priority (higher runs earlier)."""
-        self._jobs.append((priority, request))
-        # Stable sort keeps FCFS order within a priority level.
-        self._jobs.sort(key=lambda item: (-item[0], item[1].submit_time_s, item[1].job_id))
+        insort(self._jobs, (_queue_key(priority, request), request))
 
     def scan(self) -> Iterator[JobRequest]:
         """Jobs in dispatch order, limited to the backfill window."""
@@ -66,10 +80,13 @@ class JobQueue:
 
         Mirrors Slurm's periodic priority recalculation: fair-share
         weights drift as users consume resources, so queued jobs must
-        be re-ranked, not just ranked at submit time.
+        be re-ranked, not just ranked at submit time.  Every key
+        changes, so this is the one operation that re-sorts the list.
         """
-        self._jobs = [(priority_fn(request), request) for _, request in self._jobs]
-        self._jobs.sort(key=lambda item: (-item[0], item[1].submit_time_s, item[1].job_id))
+        self._jobs = sorted(
+            (_queue_key(priority_fn(request), request), request)
+            for _, request in self._jobs
+        )
 
     def snapshot(self) -> list[int]:
         """Pending job ids in dispatch order (diagnostics/tests)."""

@@ -1,0 +1,108 @@
+"""Unit tests for :class:`repro.frame.TableBuilder`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError, LengthMismatchError
+from repro.frame import Table, TableBuilder
+
+
+class TestAppendRow:
+    def test_matches_from_rows_on_ragged_dicts(self):
+        rows = [
+            {"a": 1, "b": "x"},
+            {"b": "y", "c": 2.5},
+            {"a": 3},
+        ]
+        builder = TableBuilder()
+        for row in rows:
+            builder.append_row(row)
+        assert builder.finish().to_dict() == Table.from_rows(rows).to_dict()
+
+    def test_kwargs_merge_over_mapping(self):
+        builder = TableBuilder()
+        builder.append_row({"a": 1, "b": 2}, b=20)
+        assert builder.finish().to_dict() == {"a": [1], "b": [20]}
+
+    def test_declared_columns_fix_order_and_survive_empty(self):
+        builder = TableBuilder(columns=["x", "y"])
+        assert builder.finish().column_names == ("x", "y")
+        builder.append_row(y=1.0)
+        table = builder.finish()
+        assert table.column_names == ("x", "y")
+        assert table.to_dict() == {"x": [None], "y": [1.0]}
+
+    def test_new_column_backfills_none(self):
+        builder = TableBuilder()
+        builder.append_row(a=1)
+        builder.append_row(a=2, b="late")
+        assert builder.finish().to_dict() == {"a": [1, 2], "b": [None, "late"]}
+
+
+class TestExtendColumns:
+    def test_batch_fragments(self):
+        builder = TableBuilder()
+        builder.extend_columns({"a": np.arange(3), "b": ["x", "y", "z"]})
+        builder.extend_columns({"a": [3, 4], "b": ["w", "v"]})
+        table = builder.finish()
+        assert list(table["a"]) == [0, 1, 2, 3, 4]
+        assert list(table["b"]) == ["x", "y", "z", "w", "v"]
+
+    def test_missing_and_new_columns_backfill(self):
+        builder = TableBuilder()
+        builder.extend_columns({"a": [1, 2]})
+        builder.extend_columns({"b": [True, False]})
+        assert builder.finish().to_dict() == {
+            "a": [1, 2, None, None],
+            "b": [None, None, True, False],
+        }
+
+    def test_unequal_fragments_raise(self):
+        builder = TableBuilder()
+        with pytest.raises(LengthMismatchError):
+            builder.extend_columns({"a": [1, 2], "b": [1]})
+
+    def test_bare_string_fragment_rejected(self):
+        builder = TableBuilder()
+        with pytest.raises(FrameError, match="wrap it in a list"):
+            builder.extend_columns({"a": "oops"})
+
+    def test_empty_mapping_is_noop(self):
+        builder = TableBuilder()
+        builder.extend_columns({})
+        assert len(builder) == 0
+
+
+class TestFinish:
+    def test_non_destructive(self):
+        builder = TableBuilder()
+        builder.append_row(a=1)
+        first = builder.finish()
+        builder.append_row(a=2)
+        second = builder.finish()
+        assert first.num_rows == 1
+        assert second.num_rows == 2
+
+    def test_columns_coerced_through_normal_rules(self):
+        builder = TableBuilder()
+        builder.append_row(num=1.5, text="a")
+        table = builder.finish()
+        assert table.dtypes() == {"num": "numeric", "text": "string"}
+
+
+class TestAccumulator:
+    def test_direct_appends_reach_finish(self):
+        builder = TableBuilder(columns=["a", "b"])
+        a, b = builder.accumulator("a"), builder.accumulator("b")
+        for i in range(4):
+            a.append(i)
+            b.append(str(i))
+        table = builder.finish()
+        assert list(table["a"]) == [0, 1, 2, 3]
+
+    def test_ragged_accumulators_fail_at_finish(self):
+        builder = TableBuilder()
+        builder.accumulator("a").extend([1, 2])
+        builder.accumulator("b").append(1)
+        with pytest.raises(LengthMismatchError):
+            builder.finish()
