@@ -9,16 +9,21 @@ Commands
 ``opportunities`` — run the Sec. VI/VIII what-if studies.
 ``summary``   — operator-facing text report with ASCII charts.
 ``validate``  — grade the dataset against the paper's statistics.
+``obs``       — observability: traced run report, or summarize a trace.
 
 Every command accepts ``--scale`` (1.0 = paper size), ``--seed``,
 ``--days``, and ``--scenario`` (paper, training_heavy,
 exploration_surge, interactive_campus).  The dataset-building commands
-(``generate``, ``report``, ``plot``, ``validate``) additionally take
-``--workers`` (process-parallel figure fan-out), ``--cache-dir``
-(pipeline artifact cache location; defaults to ``$REPRO_CACHE_DIR``
-or the XDG cache home), and ``--no-cache``.  All of them share one
-:class:`repro.pipeline.Session`, so the dataset is built at most once
-per configuration — and at most once *ever* while the cache holds it.
+(``generate``, ``report``, ``plot``, ``validate``, ``obs``)
+additionally take ``--workers`` (process-parallel figure fan-out),
+``--cache-dir`` (pipeline artifact cache location; defaults to
+``$REPRO_CACHE_DIR`` or the XDG cache home), ``--no-cache``, and the
+observability exports ``--trace-out FILE`` (Chrome trace-event JSON,
+loadable in ``chrome://tracing``/Perfetto) and ``--metrics-out FILE``
+(Prometheus text exposition) — see ``docs/observability.md``.  All of
+them share one :class:`repro.pipeline.Session`, so the dataset is
+built at most once per configuration — and at most once *ever* while
+the cache holds it.
 """
 
 from __future__ import annotations
@@ -70,6 +75,14 @@ class DatasetOptions:
                 "--no-cache", action="store_true",
                 help="disable the on-disk artifact cache for this run",
             )
+            parser.add_argument(
+                "--trace-out", default=None, metavar="FILE",
+                help="write a Chrome trace-event JSON of the run (chrome://tracing / Perfetto)",
+            )
+            parser.add_argument(
+                "--metrics-out", default=None, metavar="FILE",
+                help="write run metrics in Prometheus text exposition format",
+            )
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "DatasetOptions":
@@ -96,6 +109,22 @@ def _session(args: argparse.Namespace) -> Session:
     return DatasetOptions.from_args(args).session()
 
 
+def _write_obs(session: Session, args: argparse.Namespace) -> None:
+    """Honour ``--trace-out`` / ``--metrics-out`` on a finished run."""
+    from repro.obs import prometheus_text, write_chrome_trace
+
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out:
+        path = write_chrome_trace(
+            trace_out, session.tracer, metadata={"session_key": session.key}
+        )
+        print(f"wrote {path} ({len(session.tracer.finished())} spans)")
+    if metrics_out:
+        Path(metrics_out).write_text(prometheus_text(session.metrics), encoding="utf-8")
+        print(f"wrote {metrics_out}")
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     session = _session(args)
     dataset = session.dataset()
@@ -107,6 +136,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     print(dataset.describe())
     print(f"wrote jobs.csv, gpu_jobs.csv, per_gpu.csv to {out}")
     print(session.summary())
+    _write_obs(session, args)
     return 0
 
 
@@ -126,6 +156,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     path = write_report(session, args.output)
     print(f"wrote {path} ({session.dataset().describe()})")
     print(session.summary())
+    _write_obs(session, args)
     return 0
 
 
@@ -177,6 +208,7 @@ def _cmd_plot(args: argparse.Namespace) -> int:
         written.extend(save_figure_plots(result, args.output))
     for path in written:
         print(f"wrote {path}")
+    _write_obs(session, args)
     return 0
 
 
@@ -184,6 +216,29 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.reporting import operator_summary
 
     print(operator_summary(_session(args)))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Observability entry point.
+
+    With ``--trace FILE`` it summarizes an existing Chrome trace
+    export.  Otherwise it runs the dataset build (and, with
+    ``--figures``, every figure) under tracing and prints the run
+    report — the span tree plus the metric digest — honouring
+    ``--trace-out`` / ``--metrics-out`` like the other commands.
+    """
+    from repro.obs import run_report, summarize_chrome_trace
+
+    if args.trace:
+        print(summarize_chrome_trace(args.trace))
+        return 0
+    session = _session(args)
+    session.dataset()
+    if args.figures:
+        session.run_figures()
+    print(run_report(session.tracer, session.metrics))
+    _write_obs(session, args)
     return 0
 
 
@@ -201,6 +256,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print(f"\n{sum(r.passed for r in results)}/{len(results)} checks passed "
           f"({fraction:.0%}; threshold {args.min_pass:.0%})")
     print(session.summary())
+    _write_obs(session, args)
     return 0 if fraction >= args.min_pass else 1
 
 
@@ -245,6 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--min-pass", type=float, default=0.85,
                           help="exit non-zero below this pass fraction")
     validate.set_defaults(fn=_cmd_validate)
+
+    obs = sub.add_parser(
+        "obs", help="observability: traced run report, Chrome trace + Prometheus export"
+    )
+    DatasetOptions.add_arguments(obs, session_flags=True)
+    obs.add_argument(
+        "--figures", action="store_true",
+        help="also run every figure under the trace",
+    )
+    obs.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="summarize an existing Chrome trace JSON instead of running the pipeline",
+    )
+    obs.set_defaults(fn=_cmd_obs)
     return parser
 
 

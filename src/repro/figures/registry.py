@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.dataset import SupercloudDataset
@@ -72,9 +73,32 @@ def get_figure(figure_id: str) -> FigureRunner:
     return _REGISTRY[figure_id]
 
 
+#: Wall-time buckets for figure runs (seconds).
+_FIGURE_BUCKETS = (0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0)
+
+
 def run_figure(figure_id: str, dataset: SupercloudDataset) -> FigureResult:
-    """Run one figure reproduction against a dataset."""
-    return get_figure(figure_id)(dataset)
+    """Run one figure reproduction against a dataset.
+
+    When observability is active (inside a session build or a pool
+    worker), the run is recorded as a ``figure:<id>`` span and its
+    wall time lands in the ``repro_figure_seconds`` histogram.
+    """
+    from repro.obs import runtime
+
+    tracer, metrics = runtime.get_tracer(), runtime.get_metrics()
+    if not tracer.enabled and not metrics.enabled:
+        return get_figure(figure_id)(dataset)
+    start = time.perf_counter()
+    with tracer.span(f"figure:{figure_id}", category="figure"):
+        result = get_figure(figure_id)(dataset)
+    metrics.histogram(
+        "repro_figure_seconds",
+        buckets=_FIGURE_BUCKETS,
+        help="figure reproduction wall time",
+        figure=figure_id,
+    ).observe(time.perf_counter() - start)
+    return result
 
 
 def run_all(source, figure_ids: list[str] | None = None) -> list[FigureResult]:

@@ -37,6 +37,7 @@ import numpy as np
 from repro.errors import FrameError
 from repro.frame.factorize import Factorization, factorize_columns
 from repro.frame.table import Table, _unwrap
+from repro.obs.runtime import record_kernel
 
 Reducer = Callable[[np.ndarray], Any]
 
@@ -152,6 +153,7 @@ class GroupBy:
         ``std``/``count``/``first``/``last``).  The result has one row
         per group with columns ``{column}_{reducer}``.
         """
+        record_kernel("aggregate", self._table.num_rows)
         normalized: list[tuple[str, str]] = []
         for column, reducers in spec.items():
             if isinstance(reducers, str):

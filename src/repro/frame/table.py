@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import ColumnMissingError, FrameError, LengthMismatchError
 from repro.frame.column import _all_numeric, as_column, column_dtype
+from repro.obs.runtime import record_kernel
 
 
 class Table:
@@ -207,6 +208,7 @@ class Table:
         broken by the value's string form)."""
         from repro.frame.factorize import factorize_codes
 
+        record_kernel("value_counts", self._length)
         column = self.column(name)
         if len(column) == 0:
             return Table.from_rows([])
@@ -240,6 +242,7 @@ class Table:
 
         if reducer not in _BUILTIN_REDUCERS:
             raise FrameError(f"unknown reducer {reducer!r}")
+        record_kernel("pivot", self._length)
         idx_col = self.column(index)
         col_col = self.column(columns)
         val_col = self.column(values)
@@ -291,6 +294,7 @@ class Table:
         """
         if how not in ("inner", "left"):
             raise FrameError(f"unsupported join type {how!r}")
+        record_kernel("join", self._length + other._length)
         left_keys = self.column(on)
         right_keys = other.column(on)
         # Factorize left and right keys over one shared code space so

@@ -66,6 +66,8 @@ class MonitoringCollector:
 
     def epilog(self, record: JobRecord) -> None:
         """Called when a job ends: emit summaries (and maybe a series)."""
+        from repro.obs import runtime
+
         request = record.request
         self._started.pop(request.job_id, None)
         self._cpu_builder.append_row(
@@ -76,12 +78,34 @@ class MonitoringCollector:
                 ),
             }
         )
+        metrics = runtime.get_metrics()
         if not request.is_gpu_job:
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_monitor_jobs_total",
+                    help="jobs summarized by the monitoring epilog",
+                    kind="cpu",
+                ).inc()
             return
         model = request.tags.get("activity")
         if model is None:
             raise MonitoringError(f"GPU job {request.job_id} has no activity model")
         keep_series = self._rng.random() < self.config.timeseries_fraction
+        if metrics.enabled:
+            metrics.counter(
+                "repro_monitor_jobs_total",
+                help="jobs summarized by the monitoring epilog",
+                kind="gpu",
+            ).inc()
+            metrics.counter(
+                "repro_monitor_summary_rows_total",
+                help="per-GPU summary rows emitted",
+            ).inc(model.num_gpus)
+            if keep_series:
+                metrics.counter(
+                    "repro_monitor_series_kept_total",
+                    help="dense time series retained (one per GPU)",
+                ).inc(model.num_gpus)
         # All of the job's GPUs are summarized in one batched call and
         # land in the builder as column fragments — no per-GPU row dict.
         summary = self._gpu_sampler.summarize_job(model, record.run_time_s, self._rng)

@@ -1,0 +1,63 @@
+"""`repro.obs` — end-to-end tracing and metrics for the reproduction.
+
+The paper's contribution is a monitoring pipeline turned into
+analysis; this package is the reproduction watching *itself* the same
+way.  One instrumentation spine threads through the dataset engine,
+the scheduler, the monitoring collector, the frame kernels, and the
+figure harness:
+
+* :class:`~repro.obs.trace.Tracer` — nested, attribute-carrying spans
+  (thread-safe, context-manager API, a true no-op fast path via
+  :data:`~repro.obs.trace.NULL_TRACER`);
+* :class:`~repro.obs.metrics.MetricsRegistry` — labelled counters,
+  gauges, and fixed-bucket histograms, with snapshot/merge for
+  process-pool propagation;
+* :mod:`~repro.obs.runtime` — the ambient (tracer, metrics) pair
+  library code reads, scoped by sessions and pool workers;
+* :mod:`~repro.obs.export` — Chrome trace-event JSON, Prometheus text
+  exposition, and the human-readable run report.
+
+See ``docs/observability.md`` for the span model, the metric catalog,
+and the overhead contract.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    parse_prometheus_text,
+    prometheus_text,
+    run_report,
+    summarize_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace_events",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "run_report",
+    "summarize_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,82 @@
+"""Ambient observability state — how instrumented layers find the
+active tracer and metrics registry.
+
+The frame kernels, the scheduler event loop, and the monitoring
+collector are library code with no session reference; they read the
+process-wide *current* tracer/metrics from here.  The defaults are the
+null implementations, so a bare ``Table.join`` or ``SlurmSimulator``
+pays only an attribute load and a branch.
+
+:class:`~repro.pipeline.session.Session` scopes its observability with
+:func:`use` around dataset builds and figure runs; pool workers call
+:func:`activate` once in their initializer (process-lifetime).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+_metrics: MetricsRegistry | NullMetrics = NULL_METRICS
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently active tracer (the null tracer when disabled)."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry | NullMetrics:
+    """The currently active registry (the null registry when disabled)."""
+    return _metrics
+
+
+def activate(tracer: Tracer | None, metrics: MetricsRegistry | None) -> None:
+    """Install observability for the rest of the process (workers)."""
+    global _tracer, _metrics
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    _metrics = metrics if metrics is not None else NULL_METRICS
+
+
+def deactivate() -> None:
+    """Back to the null implementations."""
+    activate(None, None)
+
+
+@contextmanager
+def use(
+    tracer: Tracer | None, metrics: MetricsRegistry | None
+) -> Iterator[None]:
+    """Scoped activation: restores the previous state on exit."""
+    global _tracer, _metrics
+    prev = (_tracer, _metrics)
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    _metrics = metrics if metrics is not None else NULL_METRICS
+    try:
+        yield
+    finally:
+        _tracer, _metrics = prev
+
+
+def record_kernel(kernel: str, rows: int) -> None:
+    """Count one frame-kernel invocation over ``rows`` input rows.
+
+    This is the single call sites in :mod:`repro.frame` make; when
+    observability is disabled it is one function call, one attribute
+    load, and one branch.
+    """
+    m = _metrics
+    if m.enabled:
+        m.counter(
+            "repro_frame_kernel_calls_total",
+            help="frame kernel entry-point invocations",
+            kernel=kernel,
+        ).inc()
+        m.counter(
+            "repro_frame_kernel_rows_total",
+            help="input rows processed by frame kernels",
+            kernel=kernel,
+        ).inc(rows)

@@ -44,7 +44,19 @@ from typing import Any
 from repro.frame.io import read_csv, write_csv
 from repro.monitor.codec import load_store, save_store
 from repro.monitor.collector import MonitoringConfig
+from repro.obs import runtime as _obs_runtime
 from repro.workload.generator import WorkloadConfig
+
+
+def _count_cache_event(kind: str) -> None:
+    """Mirror one cache operation into the ambient metrics registry."""
+    metrics = _obs_runtime.get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_cache_events_total",
+            help="artifact cache operations by kind",
+            kind=kind,
+        ).inc()
 
 #: Bump when the dataset schema or the cache layout changes; every
 #: existing entry is invalidated (its key no longer matches).
@@ -119,6 +131,7 @@ class DatasetCache:
         entry = self.entry_dir(key)
         if self.has(key):
             return entry
+        _count_cache_event("dataset_store")
         self.root.mkdir(parents=True, exist_ok=True)
         tmp = Path(tempfile.mkdtemp(prefix=f".{key}-", dir=self.root))
         try:
@@ -171,7 +184,9 @@ class DatasetCache:
             with (entry / "config.pkl").open("rb") as fh:
                 config, spec = pickle.load(fh)
         except Exception:
+            _count_cache_event("dataset_load_failed")
             return None
+        _count_cache_event("dataset_load")
         return SupercloudDataset(
             jobs=tables["jobs"],
             gpu_jobs=tables["gpu_jobs"],
@@ -197,6 +212,7 @@ class DatasetCache:
 
     def store_figure(self, key: str, figure_id: str, result) -> None:
         """Cache one figure result next to its dataset entry."""
+        _count_cache_event("figure_store")
         path = self._figure_path(key, figure_id)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema_version": SCHEMA_VERSION, "result": result}
@@ -217,7 +233,10 @@ class DatasetCache:
             with path.open("rb") as fh:
                 payload = pickle.load(fh)
             if payload.get("schema_version") != SCHEMA_VERSION:
+                _count_cache_event("figure_miss")
                 return None
+            _count_cache_event("figure_hit")
             return payload["result"]
         except Exception:
+            _count_cache_event("figure_miss")
             return None

@@ -8,6 +8,17 @@ is recorded here with wall time and the number of rows (or items) it
 produced, and named counters track how often the expensive paths ran —
 ``build`` vs ``cache_hit`` is how callers verify that a dataset was
 constructed exactly once.
+
+Since the `repro.obs` subsystem landed, this module is a thin
+back-compat adapter over it: :meth:`PipelineInstrumentation.stage`
+opens a real :class:`~repro.obs.trace.Tracer` span (category
+``pipeline``) and :meth:`~PipelineInstrumentation.bump` mirrors into
+the session's :class:`~repro.obs.metrics.MetricsRegistry`, while the
+flat :class:`StageRecord` list and counter dict keep their original
+shapes for existing consumers.  Stages may now nest (a figure span
+inside the ``figures`` stage, a cache probe inside a build); records
+carry their nesting ``depth`` and :meth:`total_seconds` sums only
+top-level stages so nested time is never double-counted.
 """
 
 from __future__ import annotations
@@ -16,6 +27,12 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS, NullMetrics
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+#: Histogram buckets for stage latencies (seconds).
+STAGE_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0)
 
 
 @dataclass(frozen=True)
@@ -26,6 +43,9 @@ class StageRecord:
     seconds: float
     rows: int
     from_cache: bool = False
+    #: Nesting depth: 0 for top-level stages, 1 for a stage opened
+    #: inside another stage, and so on.
+    depth: int = 0
 
     def formatted(self) -> str:
         source = " [cache]" if self.from_cache else ""
@@ -39,27 +59,69 @@ class StageProbe:
         self.rows = 0
 
 
-@dataclass
 class PipelineInstrumentation:
-    """Stage records and counters for one session."""
+    """Stage records and counters for one session.
 
-    stages: list[StageRecord] = field(default_factory=list)
-    counters: dict[str, int] = field(default_factory=dict)
+    Parameters
+    ----------
+    tracer, metrics:
+        The session's observability pair.  Omitted (the default) the
+        adapter records stages and counters exactly as before against
+        the no-op implementations — construction stays cheap and the
+        class keeps working standalone.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | NullMetrics | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.stages: list[StageRecord] = []
+        self.counters: dict[str, int] = {}
+        self._depth = 0
 
     @contextmanager
     def stage(self, name: str, from_cache: bool = False) -> Iterator[StageProbe]:
         """Time a stage; the yielded probe collects the row count."""
         probe = StageProbe()
+        depth = self._depth
+        self._depth = depth + 1
         start = time.perf_counter()
         try:
-            yield probe
+            with self.tracer.span(name, category="pipeline", from_cache=from_cache) as span:
+                yield probe
+                span.set(rows=int(probe.rows))
         finally:
+            self._depth = depth
+            seconds = time.perf_counter() - start
             self.stages.append(
-                StageRecord(name, time.perf_counter() - start, int(probe.rows), from_cache)
+                StageRecord(name, seconds, int(probe.rows), from_cache, depth)
             )
+            metrics = self.metrics
+            if metrics.enabled:
+                metrics.histogram(
+                    "repro_stage_seconds",
+                    buckets=STAGE_BUCKETS,
+                    help="pipeline stage wall time",
+                    stage=name,
+                ).observe(seconds)
+                metrics.counter(
+                    "repro_stage_rows_total",
+                    help="rows produced by pipeline stages",
+                    stage=name,
+                ).inc(int(probe.rows))
 
     def bump(self, name: str, by: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + by
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "repro_session_events_total",
+                help="session cache/build/memo events",
+                event=name,
+            ).inc(by)
 
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -72,12 +134,17 @@ class PipelineInstrumentation:
         return [record.name for record in self.stages]
 
     def total_seconds(self) -> float:
-        return sum(record.seconds for record in self.stages)
+        """Wall time across top-level stages only.
+
+        Nested stages run inside their parent's interval, so summing
+        every record would double-count them.
+        """
+        return sum(record.seconds for record in self.stages if record.depth == 0)
 
     def to_text(self) -> str:
         lines = []
         for record in self.stages:
-            lines.append("  stage " + record.formatted())
+            lines.append("  " + "  " * record.depth + "stage " + record.formatted())
         if self.counters:
             pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
             lines.append(f"  counters: {pairs}")

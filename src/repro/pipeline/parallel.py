@@ -64,20 +64,34 @@ _WORKER_DATASET = None
 
 
 def _figure_worker_init(cache_dir: str, key: str) -> None:
-    """Pool initializer: load the shared dataset from the cache once."""
+    """Pool initializer: start worker observability, load the dataset.
+
+    The worker gets its own enabled tracer/metrics pair installed for
+    the process lifetime (:func:`repro.obs.runtime.activate`); every
+    figure run drains its spans and metric deltas back to the parent,
+    which re-parents them into the session trace.
+    """
     global _WORKER_DATASET
+    from repro.obs import runtime
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+    runtime.activate(Tracer(process_name="repro-worker"), MetricsRegistry())
     from repro.pipeline.cache import DatasetCache
 
     _WORKER_DATASET = DatasetCache(cache_dir).load(key)
 
 
 def _figure_worker_run(figure_id: str):
+    """Run one figure; return ``(result, span payload, metric deltas)``."""
     from repro.errors import AnalysisError
     from repro.figures.registry import run_figure
+    from repro.obs import runtime
 
     if _WORKER_DATASET is None:
         raise AnalysisError("figure worker has no dataset (cache miss in worker)")
-    return run_figure(figure_id, _WORKER_DATASET)
+    result = run_figure(figure_id, _WORKER_DATASET)
+    return result, runtime.get_tracer().drain_payload(), runtime.get_metrics().drain()
 
 
 def run_figures_parallel(
@@ -85,8 +99,9 @@ def run_figures_parallel(
 ) -> list | None:
     """Run figures across a worker pool sharing one cached dataset.
 
-    Returns results in ``figure_ids`` order, or ``None`` if the pool
-    could not run (caller falls back to serial execution).
+    Returns ``(result, span_payload, metrics_snapshot)`` triples in
+    ``figure_ids`` order, or ``None`` if the pool could not run
+    (caller falls back to serial execution).
     """
     workers = resolve_workers(workers)
     if workers <= 1 or len(figure_ids) <= 1:

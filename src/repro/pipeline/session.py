@@ -27,6 +27,9 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.monitor.collector import MonitoringConfig
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.trace import NullTracer, Tracer
 from repro.pipeline.cache import DatasetCache, dataset_key
 from repro.pipeline.instrument import PipelineInstrumentation, StageRecord
 from repro.pipeline.parallel import resolve_workers, run_figures_parallel
@@ -112,6 +115,16 @@ class Session:
         Process-pool width for figure fan-out; ``1`` means serial.
         Parallel figure execution requires a disk cache (workers load
         the shared dataset from it).
+    tracer, metrics:
+        The session's observability pair (see :mod:`repro.obs`).
+        Defaults to a fresh enabled :class:`~repro.obs.trace.Tracer`
+        and :class:`~repro.obs.metrics.MetricsRegistry`; pass
+        :data:`~repro.obs.trace.NULL_TRACER` /
+        :data:`~repro.obs.metrics.NULL_METRICS` to opt out entirely.
+        While the session builds datasets or runs figures the pair is
+        installed as the ambient observability
+        (:func:`repro.obs.runtime.use`), so the scheduler loop, the
+        frame kernels, and the collector report into it too.
     """
 
     def __init__(
@@ -121,12 +134,16 @@ class Session:
         *,
         cache_dir: str | Path | None = None,
         workers: int | None = 1,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | NullMetrics | None = None,
     ) -> None:
         self.config = config or WorkloadConfig()
         self.monitoring = monitoring
         self.workers = resolve_workers(workers)
         self.cache = DatasetCache(cache_dir) if cache_dir is not None else None
-        self.instrumentation = PipelineInstrumentation()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.instrumentation = PipelineInstrumentation(self.tracer, self.metrics)
         self._dataset = None
 
     @classmethod
@@ -162,22 +179,23 @@ class Session:
         if self._dataset is not None:
             inst.bump("memory_hit")
             return self._dataset
-        if self.cache is not None and self.cache.has(self.key):
-            with inst.stage("cache_load", from_cache=True) as probe:
-                loaded = self.cache.load(self.key)
-                probe.rows = loaded.jobs.num_rows if loaded is not None else 0
-            if loaded is not None:
-                inst.bump("cache_hit")
-                self._dataset = loaded
-                return loaded
-            inst.bump("cache_corrupt")
-            self.cache.evict(self.key)
-        dataset = _build_dataset(self.config, self.monitoring, inst)
-        inst.bump("build")
-        if self.cache is not None:
-            with inst.stage("cache_store") as probe:
-                self.cache.store(self.key, dataset)
-                probe.rows = dataset.jobs.num_rows
+        with obs_runtime.use(self.tracer, self.metrics):
+            if self.cache is not None and self.cache.has(self.key):
+                with inst.stage("cache_load", from_cache=True) as probe:
+                    loaded = self.cache.load(self.key)
+                    probe.rows = loaded.jobs.num_rows if loaded is not None else 0
+                if loaded is not None:
+                    inst.bump("cache_hit")
+                    self._dataset = loaded
+                    return loaded
+                inst.bump("cache_corrupt")
+                self.cache.evict(self.key)
+            dataset = _build_dataset(self.config, self.monitoring, inst)
+            inst.bump("build")
+            if self.cache is not None:
+                with inst.stage("cache_store") as probe:
+                    self.cache.store(self.key, dataset)
+                    probe.rows = dataset.jobs.num_rows
         self._dataset = dataset
         return dataset
 
@@ -190,9 +208,12 @@ class Session:
         Cached figure results are returned without touching the
         dataset at all; the remainder run serially or across the
         worker pool (``workers > 1``), each worker loading the shared
-        dataset from the on-disk cache exactly once.
+        dataset from the on-disk cache exactly once.  Worker runs come
+        back with their span payloads and metric snapshots, which are
+        re-parented into this session's trace under the ``figures``
+        stage and merged into its registry.
         """
-        from repro.figures.registry import all_figures, get_figure
+        from repro.figures.registry import all_figures, get_figure, run_figure
 
         ids = list(figure_ids) if figure_ids is not None else all_figures()
         for figure_id in ids:
@@ -200,31 +221,38 @@ class Session:
         inst = self.instrumentation
         results: dict[str, object] = {}
         misses = []
-        for figure_id in ids:
-            cached = self.cache.load_figure(self.key, figure_id) if self.cache else None
-            if cached is not None:
-                results[figure_id] = cached
-                inst.bump("figure_cache_hit")
-            else:
-                misses.append(figure_id)
-        if misses:
-            dataset = self.dataset()
-            with inst.stage("figures") as probe:
-                computed = None
-                if self.workers > 1 and self.cache is not None and self.cache.has(self.key):
-                    computed = run_figures_parallel(
-                        misses, self.cache.root, self.key, self.workers
-                    )
-                    if computed is not None:
-                        inst.bump("figure_pool_runs")
-                if computed is None:
-                    computed = [get_figure(fid)(dataset) for fid in misses]
-                probe.rows = len(misses)
-            inst.bump("figures_computed", len(misses))
-            for figure_id, result in zip(misses, computed):
-                results[figure_id] = result
-                if self.cache is not None:
-                    self.cache.store_figure(self.key, figure_id, result)
+        with obs_runtime.use(self.tracer, self.metrics):
+            for figure_id in ids:
+                cached = self.cache.load_figure(self.key, figure_id) if self.cache else None
+                if cached is not None:
+                    results[figure_id] = cached
+                    inst.bump("figure_cache_hit")
+                else:
+                    misses.append(figure_id)
+            if misses:
+                dataset = self.dataset()
+                with inst.stage("figures") as probe:
+                    computed = None
+                    if self.workers > 1 and self.cache is not None and self.cache.has(self.key):
+                        pooled = run_figures_parallel(
+                            misses, self.cache.root, self.key, self.workers
+                        )
+                        if pooled is not None:
+                            inst.bump("figure_pool_runs")
+                            parent = self.tracer.current_span_id()
+                            computed = []
+                            for result, spans, metrics_snapshot in pooled:
+                                self.tracer.adopt(spans, parent=parent)
+                                self.metrics.merge(metrics_snapshot)
+                                computed.append(result)
+                    if computed is None:
+                        computed = [run_figure(fid, dataset) for fid in misses]
+                    probe.rows = len(misses)
+                inst.bump("figures_computed", len(misses))
+                for figure_id, result in zip(misses, computed):
+                    results[figure_id] = result
+                    if self.cache is not None:
+                        self.cache.store_figure(self.key, figure_id, result)
         return [results[figure_id] for figure_id in ids]
 
     # ------------------------------------------------------------------

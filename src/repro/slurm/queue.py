@@ -39,6 +39,10 @@ class JobQueue:
             raise SchedulerError("backfill depth must be >= 1")
         self._jobs: list[tuple[_QueueKey, JobRequest]] = []
         self._backfill_depth = backfill_depth
+        #: Whether the last :meth:`pop_first_placeable` skipped a
+        #: stuck head-of-line job (a backfill decision).  Diagnostics
+        #: only — the scheduler mirrors it into `repro.obs` metrics.
+        self.last_pop_was_backfill = False
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -70,8 +74,9 @@ class JobQueue:
 
         Returns None when nothing in the window can be placed.
         """
-        for request in self.scan():
+        for position, request in enumerate(self.scan()):
             if can_place(request):
+                self.last_pop_was_backfill = position > 0
                 return self.remove(request.job_id)
         return None
 

@@ -98,6 +98,9 @@ class SlurmSimulator:
         self._peak_queue = 0
         self._node_failures = 0
         self._jobs_killed = 0
+        # observability handles; re-resolved against the ambient
+        # registry at the top of every run()
+        self._init_obs()
         if self.config.policy is None:
             self._policy = None
         elif isinstance(self.config.policy, str):
@@ -117,8 +120,61 @@ class SlurmSimulator:
         self._epilog_hooks.append(hook)
 
     # ------------------------------------------------------------------
+    def _init_obs(self) -> None:
+        """Resolve the ambient metrics into cached per-run handles.
+
+        When observability is disabled every handle is the shared
+        no-op instrument, so the event loop pays one dict-free method
+        call per use; when enabled the handles are resolved once here
+        instead of per event.
+        """
+        from repro.obs import runtime
+
+        metrics = runtime.get_metrics()
+        self._obs_enabled = metrics.enabled
+        self._event_counters = {
+            kind: metrics.counter(
+                "repro_scheduler_events_total",
+                help="scheduler events processed",
+                kind=kind,
+            )
+            for kind in ("submit", "finish", "node_fail", "node_repair")
+        }
+        self._dispatch_counters = {
+            backfill: metrics.counter(
+                "repro_scheduler_dispatch_total",
+                help="job dispatches (backfill = job jumped a stuck head-of-line job)",
+                backfill=str(backfill).lower(),
+            )
+            for backfill in (False, True)
+        }
+        from repro.obs.metrics import COUNT_BUCKETS
+
+        self._queue_depth_hist = metrics.histogram(
+            "repro_scheduler_queue_depth",
+            buckets=COUNT_BUCKETS,
+            help="pending queue depth observed at each dispatch",
+        )
+        self._peak_queue_gauge = metrics.gauge(
+            "repro_scheduler_peak_queue", help="peak pending queue length"
+        )
+
     def run(self, requests: Sequence[JobRequest]) -> SimulationResult:
         """Simulate all requests to completion and return the records."""
+        from repro.obs import runtime
+
+        self._init_obs()
+        tracer = runtime.get_tracer()
+        with tracer.span("slurm.run", category="scheduler", jobs=len(requests)) as span:
+            result = self._run(requests)
+            span.set(
+                events=result.events_processed,
+                makespan_s=round(result.makespan_s, 3),
+                peak_queue=result.peak_queue_length,
+            )
+        return result
+
+    def _run(self, requests: Sequence[JobRequest]) -> SimulationResult:
         seen: set[int] = set()
         last_submit = 0.0
         for request in requests:
@@ -136,6 +192,7 @@ class SlurmSimulator:
             ):
                 self.loop.schedule(time_s, "node_fail", node)
 
+        event_counters = self._event_counters
         while self.loop:
             event = self.loop.pop()
             if event.kind == "submit":
@@ -148,12 +205,16 @@ class SlurmSimulator:
                 self._on_node_repair(event.payload)
             else:
                 raise SchedulerError(f"unknown event kind {event.kind!r}")
+            counter = event_counters.get(event.kind)
+            if counter is not None:
+                counter.inc()
             self._dispatch()
 
         if self.queue:
             raise SchedulerError(
                 f"simulation drained but {len(self.queue)} jobs still queued"
             )
+        self._peak_queue_gauge.set_max(self._peak_queue)
         return SimulationResult(
             records=self.records,
             makespan_s=self.loop.now,
@@ -182,9 +243,13 @@ class SlurmSimulator:
             # stateful policies (fair share) drift between events
             self.queue.reprioritize(self._policy.priority)
         while True:
+            depth = len(self.queue)
             started = self.queue.pop_first_placeable(self._can_place)
             if started is None:
                 break
+            if self._obs_enabled:
+                self._dispatch_counters[self.queue.last_pop_was_backfill].inc()
+                self._queue_depth_hist.observe(depth)
             self._start(started)
 
     def _can_place(self, request: JobRequest) -> bool:

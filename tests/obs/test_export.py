@@ -1,0 +1,162 @@
+"""Exporter coverage: Chrome trace-event schema validation, the
+Prometheus text round trip, and the run-report / trace-summary text
+paths."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    parse_prometheus_text,
+    prometheus_text,
+    run_report,
+    summarize_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    with tracer.span("build", category="pipeline", rows=100):
+        with tracer.span("workload", category="pipeline"):
+            pass
+        with tracer.span("schedule", category="pipeline"):
+            pass
+    return tracer
+
+
+class TestChromeTraceSchema:
+    def test_complete_event_fields(self):
+        events = chrome_trace_events(_sample_tracer())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for event in complete:
+            # required Trace Event Format fields for a complete event
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["ts"], int)
+            assert isinstance(event["dur"], int)
+            assert event["dur"] >= 0
+            assert isinstance(event["name"], str)
+            assert isinstance(event["cat"], str)
+            assert "span_id" in event["args"]
+            assert "parent_id" in event["args"]
+
+    def test_metadata_event_per_process(self):
+        events = chrome_trace_events(_sample_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "process_name"
+        assert "name" in meta[0]["args"]
+
+    def test_events_sorted_by_monotonic_ts(self):
+        events = [e for e in chrome_trace_events(_sample_tracer()) if e["ph"] == "X"]
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_nesting_is_matched(self):
+        # every child interval lies inside its parent's interval
+        events = [e for e in chrome_trace_events(_sample_tracer()) if e["ph"] == "X"]
+        by_id = {e["args"]["span_id"]: e for e in events}
+        for event in events:
+            parent_id = event["args"]["parent_id"]
+            if parent_id is None:
+                continue
+            parent = by_id[parent_id]
+            assert parent["ts"] <= event["ts"]
+            assert event["ts"] + event["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_attrs_travel_in_args(self):
+        events = chrome_trace_events(_sample_tracer())
+        build = next(e for e in events if e.get("name") == "build")
+        assert build["args"]["rows"] == 100
+
+    def test_write_and_reload(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "trace.json", _sample_tracer(), metadata={"k": "v"}
+        )
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"] == {"k": "v"}
+        assert len(document["traceEvents"]) == 4
+
+    def test_summarize(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", _sample_tracer())
+        text = summarize_chrome_trace(path)
+        assert "3 spans across 1 process(es)" in text
+        assert "build" in text
+
+    def test_summarize_empty(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", Tracer())
+        assert summarize_chrome_trace(path) == "empty trace (no complete events)"
+
+
+def _sample_metrics():
+    m = MetricsRegistry()
+    m.counter("repro_cache_events_total", help="cache ops", kind="hit").inc(3)
+    m.counter("repro_cache_events_total", kind="miss").inc()
+    m.gauge("repro_scheduler_peak_queue", help="peak queue").set(17)
+    h = m.histogram("repro_stage_seconds", buckets=(0.1, 1.0), help="stage s", stage="workload")
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return m
+
+
+class TestPrometheusText:
+    def test_help_and_type_lines(self):
+        text = prometheus_text(_sample_metrics())
+        assert "# HELP repro_cache_events_total cache ops" in text
+        assert "# TYPE repro_cache_events_total counter" in text
+        assert "# TYPE repro_scheduler_peak_queue gauge" in text
+        assert "# TYPE repro_stage_seconds histogram" in text
+        # TYPE emitted once per metric name, not per series
+        assert text.count("# TYPE repro_cache_events_total counter") == 1
+
+    def test_histogram_exposition(self):
+        text = prometheus_text(_sample_metrics())
+        assert 'repro_stage_seconds_bucket{stage="workload",le="0.1"} 1' in text
+        assert 'repro_stage_seconds_bucket{stage="workload",le="1"} 2' in text
+        assert 'repro_stage_seconds_bucket{stage="workload",le="+Inf"} 3' in text
+        assert 'repro_stage_seconds_count{stage="workload"} 3' in text
+
+    def test_round_trip(self):
+        metrics = _sample_metrics()
+        samples = parse_prometheus_text(prometheus_text(metrics))
+        assert samples[("repro_cache_events_total", (("kind", "hit"),))] == 3
+        assert samples[("repro_cache_events_total", (("kind", "miss"),))] == 1
+        assert samples[("repro_scheduler_peak_queue", ())] == 17
+        assert samples[
+            ("repro_stage_seconds_bucket", (("stage", "workload"), ("le", "+Inf")))
+        ] == 3
+        assert samples[("repro_stage_seconds_sum", (("stage", "workload"),))] == pytest.approx(5.55)
+
+    def test_label_escaping_round_trip(self):
+        m = MetricsRegistry()
+        m.counter("c", path='a"b\\c', note="x,y").inc()
+        samples = parse_prometheus_text(prometheus_text(m))
+        assert samples[("c", (("note", "x,y"), ("path", 'a"b\\c')))] == 1
+
+    def test_ends_with_newline(self):
+        assert prometheus_text(_sample_metrics()).endswith("\n")
+
+
+class TestRunReport:
+    def test_span_tree_and_metric_digest(self):
+        report = run_report(_sample_tracer(), _sample_metrics())
+        assert "== trace (3 spans) ==" in report
+        lines = report.splitlines()
+        build = next(l for l in lines if "build" in l)
+        workload = next(l for l in lines if "workload" in l and "repro_" not in l)
+        # children render indented under their parent
+        assert len(workload) - len(workload.lstrip()) > len(build) - len(build.lstrip())
+        assert 'repro_cache_events_total{kind="hit"} = 3' in report
+        assert "repro_stage_seconds" in report
+
+    def test_empty_report(self):
+        report = run_report(Tracer(), MetricsRegistry())
+        assert "== trace (empty) ==" in report
+        assert "(none recorded)" in report

@@ -1,0 +1,152 @@
+"""MetricsRegistry: instrument semantics, label identity, snapshots,
+and the cross-process merge rules (counters/histograms add, gauges
+take the maximum)."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        m = MetricsRegistry()
+        a = m.counter("hits_total", kind="x")
+        b = m.counter("hits_total", kind="x")
+        assert a is b
+        a.inc()
+        b.inc(2.5)
+        assert m.counter_value("hits_total", kind="x") == 3.5
+
+    def test_labels_distinguish_series(self):
+        m = MetricsRegistry()
+        m.counter("c", kind="a").inc()
+        m.counter("c", kind="b").inc(5)
+        assert m.counter_value("c", kind="a") == 1
+        assert m.counter_value("c", kind="b") == 5
+        assert m.counter_value("c", kind="missing") == 0
+
+    def test_label_order_does_not_matter(self):
+        m = MetricsRegistry()
+        assert m.counter("c", a="1", b="2") is m.counter("c", b="2", a="1")
+
+    def test_label_values_are_stringified(self):
+        m = MetricsRegistry()
+        assert m.counter("c", backfill=True) is m.counter("c", backfill="True")
+
+    def test_gauge_set_and_set_max(self):
+        m = MetricsRegistry()
+        g = m.gauge("depth")
+        g.set(4)
+        g.set_max(2)
+        assert g.value == 4
+        g.set_max(9)
+        assert g.value == 9
+
+    def test_histogram_buckets(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        assert h.cumulative() == [
+            (0.1, 1),
+            (1.0, 3),
+            (10.0, 4),
+            (float("inf"), 5),
+        ]
+
+    def test_histogram_boundary_is_le(self):
+        # Prometheus buckets are `le` (inclusive upper bounds).
+        m = MetricsRegistry()
+        h = m.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.cumulative()[0] == (1.0, 1)
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            m.gauge("x")
+
+    def test_help_text_kept_from_first_registration(self):
+        m = MetricsRegistry()
+        m.counter("x", help="first")
+        m.counter("x", help="second")
+        assert m.help_text("x") == "first"
+        assert m.kind("x") == "counter"
+        assert m.names() == ["x"]
+
+
+class TestNullMetrics:
+    def test_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("c", kind="x").inc()
+        NULL_METRICS.gauge("g").set(3)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+        NULL_METRICS.merge({"counters": [("c", (), 1.0)]})  # no-op
+
+    def test_shared_instrument(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")
+
+
+class TestSnapshotMerge:
+    def _worker_registry(self):
+        w = MetricsRegistry()
+        w.counter("jobs_total", help="jobs", kind="gpu").inc(3)
+        w.gauge("peak_queue").set(7)
+        h = w.histogram("lat", buckets=(1.0, 10.0), stage="x")
+        h.observe(0.5)
+        h.observe(5.0)
+        return w
+
+    def test_snapshot_is_picklable(self):
+        snap = self._worker_registry().snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_drain_resets(self):
+        w = self._worker_registry()
+        snap = w.drain()
+        assert snap["counters"]
+        assert w.snapshot()["counters"] == []
+
+    def test_merge_adds_counters_and_histograms(self):
+        parent = MetricsRegistry()
+        parent.counter("jobs_total", kind="gpu").inc(1)
+        parent.merge(self._worker_registry().snapshot())
+        parent.merge(self._worker_registry().snapshot())
+        assert parent.counter_value("jobs_total", kind="gpu") == 7
+        hist = parent.histogram("lat", buckets=(1.0, 10.0), stage="x")
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(11.0)
+        assert hist.cumulative() == [(1.0, 2), (10.0, 4), (float("inf"), 4)]
+
+    def test_merge_takes_gauge_max(self):
+        parent = MetricsRegistry()
+        parent.gauge("peak_queue").set(9)
+        parent.merge(self._worker_registry().snapshot())
+        assert parent.gauge("peak_queue").value == 9
+        low = MetricsRegistry()
+        low.gauge("peak_queue").set(2)
+        low.merge(self._worker_registry().snapshot())
+        assert low.gauge("peak_queue").value == 7
+
+    def test_merge_carries_help_text(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker_registry().snapshot())
+        assert parent.help_text("jobs_total") == "jobs"
+
+
+def test_default_bucket_sets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert list(COUNT_BUCKETS) == sorted(COUNT_BUCKETS)

@@ -1,0 +1,256 @@
+"""Tracer behaviour: nesting, thread safety, the no-op path, and the
+cross-process adopt/drain hand-off — including a hypothesis property
+test that a randomized span tree survives a simulated worker merge
+losslessly."""
+
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import NULL_TRACER, SpanRecord, Tracer
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_single_span(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test", rows=7) as span:
+            span.set(extra="yes")
+        (record,) = tracer.finished()
+        assert record.name == "work"
+        assert record.category == "test"
+        assert record.parent_id is None
+        assert record.attrs == {"rows": 7, "extra": "yes"}
+        assert record.duration_us >= 0
+        assert record.pid == os.getpid()
+
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner"):
+                    assert tracer.depth() == 3
+        records = {r.name: r for r in tracer.finished()}
+        assert records["outer"].parent_id is None
+        assert records["middle"].parent_id == records["outer"].span_id
+        assert records["inner"].parent_id == records["middle"].span_id
+        assert outer.span_id != middle.span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        records = {r.name: r for r in tracer.finished()}
+        assert records["a"].parent_id == records["parent"].span_id
+        assert records["b"].parent_id == records["parent"].span_id
+
+    def test_parent_resolved_at_enter_not_creation(self):
+        # span() and __enter__ may be separated by other spans opening.
+        tracer = Tracer()
+        pending = tracer.span("late")
+        with tracer.span("outer"):
+            with pending:
+                pass
+        records = {r.name: r for r in tracer.finished()}
+        assert records["late"].parent_id == records["outer"].span_id
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (record,) = tracer.finished()
+        assert record.attrs["error"] == "ValueError"
+        assert tracer.depth() == 0  # stack was unwound
+
+    def test_timestamps_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = {r.name: r for r in tracer.finished()}
+        assert records["outer"].start_us <= records["inner"].start_us
+        assert records["inner"].end_us <= records["outer"].end_us
+
+    def test_roots(self):
+        tracer = Tracer()
+        with tracer.span("r1"):
+            with tracer.span("child"):
+                pass
+        with tracer.span("r2"):
+            pass
+        assert [r.name for r in tracer.roots()] == ["r1", "r2"]
+
+
+class TestThreadSafety:
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            with tracer.span(f"outer-{i}"):
+                barrier.wait(timeout=10)
+                with tracer.span(f"inner-{i}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = {r.name: r for r in tracer.finished()}
+        assert len(records) == 8
+        for i in range(4):
+            assert records[f"inner-{i}"].parent_id == records[f"outer-{i}"].span_id
+        tids = {records[f"outer-{i}"].tid for i in range(4)}
+        assert len(tids) == 4
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_everything_is_a_noop(self):
+        with NULL_TRACER.span("anything", category="x", rows=1) as span:
+            assert span is _NULL_SPAN
+            span.set(more=2)
+        assert NULL_TRACER.finished() == []
+        assert NULL_TRACER.current_span_id() is None
+        assert NULL_TRACER.depth() == 0
+        assert NULL_TRACER.drain_payload() == []
+        assert NULL_TRACER.adopt([{"id": 1}]) == 0
+
+    def test_null_span_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestPayloadRoundTrip:
+    def test_record_payload_round_trip(self):
+        record = SpanRecord(
+            span_id=3, parent_id=1, name="n", category="c",
+            start_us=10, duration_us=5, pid=42, tid=7, attrs={"k": "v"},
+        )
+        assert SpanRecord.from_payload(record.to_payload()) == record
+
+    def test_drain_clears(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        payload = tracer.drain_payload()
+        assert len(payload) == 1
+        assert tracer.finished() == []
+
+    def test_adopt_reparents_roots_and_remaps_ids(self):
+        worker = Tracer()
+        with worker.span("root", category="figure"):
+            with worker.span("child"):
+                pass
+        payload = worker.drain_payload()
+
+        parent = Tracer()
+        with parent.span("figures") as anchor:
+            adopted = parent.adopt(payload, parent=anchor.span_id)
+        assert adopted == 2
+        records = {r.name: r for r in parent.finished()}
+        assert records["root"].parent_id == records["figures"].span_id
+        assert records["child"].parent_id == records["root"].span_id
+        # ids were remapped into the parent tracer's id space
+        assert records["root"].span_id != records["child"].span_id
+        assert records["root"].pid == os.getpid()  # preserved, same proc here
+
+    def test_adopt_avoids_id_collisions(self):
+        parent = Tracer()
+        with parent.span("local"):  # takes id 1
+            pass
+        worker = Tracer()
+        with worker.span("remote"):  # also id 1 in its own space
+            pass
+        parent.adopt(worker.drain_payload())
+        ids = [r.span_id for r in parent.finished()]
+        assert len(ids) == len(set(ids))
+
+
+# ----------------------------------------------------------------------
+# Property test: a random span forest serializes and re-parents
+# losslessly across a simulated worker merge.
+# ----------------------------------------------------------------------
+
+_tree_shapes = st.lists(
+    # each entry: parent index into the list of previously created
+    # spans (None = root), i.e. a random forest in creation order
+    st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _build_worker_trace(shape):
+    """Materialize a forest shape on a fresh tracer via adopt()."""
+    payload = []
+    for i, parent_ref in enumerate(shape):
+        parent = None
+        if parent_ref is not None and parent_ref < i:
+            parent = parent_ref + 1  # ids are 1-based below
+        payload.append(
+            {
+                "id": i + 1,
+                "parent": parent,
+                "name": f"span-{i}",
+                "cat": "prop",
+                "ts": 1000 + i,
+                "dur": i,
+                "pid": 999,
+                "tid": 7,
+                "attrs": {"i": i},
+            }
+        )
+    return payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=_tree_shapes)
+def test_adopt_preserves_tree_shape(shape):
+    payload = _build_worker_trace(shape)
+    session = Tracer()
+    with session.span("figures") as anchor:
+        adopted = session.adopt(payload, parent=anchor.span_id)
+    assert adopted == len(payload)
+
+    records = session.finished()
+    by_name = {r.name: r for r in records}
+    anchor_id = by_name["figures"].span_id
+
+    # every original edge survives under the new ids; every original
+    # root hangs off the anchor span
+    for original in payload:
+        merged = by_name[original["name"]]
+        if original["parent"] is None:
+            assert merged.parent_id == anchor_id
+        else:
+            parent_name = f"span-{original['parent'] - 1}"
+            assert merged.parent_id == by_name[parent_name].span_id
+        # timing, identity, and attributes are untouched
+        assert merged.start_us == original["ts"]
+        assert merged.duration_us == original["dur"]
+        assert merged.pid == 999
+        assert merged.tid == 7
+        assert merged.attrs == original["attrs"]
+
+    # and the merged trace has no duplicate ids
+    ids = [r.span_id for r in records]
+    assert len(ids) == len(set(ids))
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=_tree_shapes)
+def test_payload_round_trip_is_lossless(shape):
+    payload = _build_worker_trace(shape)
+    records = [SpanRecord.from_payload(p) for p in payload]
+    assert [r.to_payload() for r in records] == payload
