@@ -10,12 +10,14 @@ Commands
 ``summary``   — operator-facing text report with ASCII charts.
 ``validate``  — grade the dataset against the paper's statistics.
 ``obs``       — observability: traced run report, or summarize a trace.
+``bench``     — run the performance-smoke benchmark gates.
 
 Every command accepts ``--scale`` (1.0 = paper size), ``--seed``,
 ``--days``, and ``--scenario`` (paper, training_heavy,
 exploration_surge, interactive_campus).  The dataset-building commands
 (``generate``, ``report``, ``plot``, ``validate``, ``obs``)
-additionally take ``--workers`` (process-parallel figure fan-out),
+additionally take ``--workers`` (process-parallel deferred sampling
+and figure fan-out; defaults to ``$REPRO_WORKERS`` or serial),
 ``--cache-dir`` (pipeline artifact cache location; defaults to
 ``$REPRO_CACHE_DIR`` or the XDG cache home), ``--no-cache``, and the
 observability exports ``--trace-out FILE`` (Chrome trace-event JSON,
@@ -47,7 +49,7 @@ class DatasetOptions:
     seed: int = 20220214
     days: float = 125.0
     scenario: str = "paper"
-    workers: int = 1
+    workers: int | None = None
     cache_dir: str | None = None
     no_cache: bool = False
 
@@ -64,8 +66,9 @@ class DatasetOptions:
         )
         if session_flags:
             parser.add_argument(
-                "--workers", type=int, default=1,
-                help="worker processes for figure fan-out (default 1 = serial)",
+                "--workers", type=int, default=None,
+                help="worker processes for deferred sampling and figure fan-out "
+                     "(default: $REPRO_WORKERS, else serial)",
             )
             parser.add_argument(
                 "--cache-dir", default=None,
@@ -242,6 +245,74 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The performance-smoke suite: every benchmark file that gates a perf
+#: contract (see docs/performance.md), keyed by a short target name.
+PERF_SMOKE = (
+    ("frame", "benchmarks/bench_frame.py"),
+    ("pipeline", "benchmarks/bench_pipeline.py"),
+    ("obs", "benchmarks/bench_obs.py"),
+    ("dataset-build", "benchmarks/bench_dataset_build.py"),
+)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf-smoke benchmark gates and print a pass/fail table.
+
+    Each benchmark file runs in its own pytest subprocess (the gates
+    time real work; sharing an interpreter would let one benchmark's
+    warm caches skew another's baseline).
+    """
+    import os
+    import subprocess
+    import time
+
+    import repro
+
+    root = Path(repro.__file__).resolve().parents[2]
+    selected = list(PERF_SMOKE)
+    if args.targets:
+        by_name = dict(PERF_SMOKE)
+        unknown = [t for t in args.targets if t not in by_name]
+        if unknown:
+            names = ", ".join(name for name, _ in PERF_SMOKE)
+            print(f"unknown bench target(s) {unknown}; choose from: {names}")
+            return 2
+        selected = [(t, by_name[t]) for t in args.targets]
+    if args.list:
+        for name, rel_path in selected:
+            print(f"{name:<14} {rel_path}")
+        return 0
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(root / "src"), env.get("PYTHONPATH")) if p
+    )
+    rows = []
+    for name, rel_path in selected:
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", rel_path],
+            cwd=root,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - start
+        rows.append((name, rel_path, proc.returncode == 0, elapsed))
+        if proc.returncode != 0:
+            print(f"--- {name}: {rel_path} failed ---")
+            print(proc.stdout[-4000:])
+            print(proc.stderr[-2000:])
+    print(f"{'target':<14} {'result':<6} {'seconds':>8}")
+    for name, _, passed, elapsed in rows:
+        print(f"{name:<14} {'pass' if passed else 'FAIL':<6} {elapsed:>8.1f}")
+    failed = [name for name, _, passed, _ in rows if not passed]
+    if failed:
+        print(f"{len(failed)}/{len(rows)} benchmark gates failed: {', '.join(failed)}")
+        return 1
+    print(f"{len(rows)}/{len(rows)} benchmark gates passed")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validation import pass_fraction, scorecard, validate_dataset
 
@@ -315,6 +386,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarize an existing Chrome trace JSON instead of running the pipeline",
     )
     obs.set_defaults(fn=_cmd_obs)
+
+    bench = sub.add_parser(
+        "bench", help="run the performance-smoke benchmark gates"
+    )
+    bench.add_argument(
+        "targets", nargs="*",
+        help="bench targets to run (default: all; see --list)",
+    )
+    bench.add_argument(
+        "--list", action="store_true",
+        help="list the bench targets instead of running them",
+    )
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

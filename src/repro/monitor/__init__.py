@@ -12,6 +12,13 @@ Mirrors the paper's data-collection design (Sec. II):
 The sampler consumes any object implementing the
 :class:`~repro.monitor.nvidia_smi.ActivityModel` protocol — the
 calibrated models live in :mod:`repro.workload.activity`.
+
+Sampling is *deferred*: epilogs record the cheap ordered facts (RNG
+draws, CPU summary) and enqueue
+:class:`~repro.monitor.sampling.SamplingTask` objects; the expensive
+activity-model evaluation runs after the simulation — optionally
+across a process pool — with bit-for-bit identical output
+(:mod:`repro.monitor.sampling`).
 """
 
 from repro.monitor.codec import compression_ratio, load_store, save_store
@@ -19,6 +26,13 @@ from repro.monitor.collector import MonitoringCollector, MonitoringConfig
 from repro.monitor.cpu_sampler import CpuSampler
 from repro.monitor.nvidia_smi import ActivityModel, NvidiaSmiSampler
 from repro.monitor.overhead import interval_tradeoff, monitoring_volume
+from repro.monitor.sampling import (
+    SamplingPlan,
+    SamplingResult,
+    SamplingTask,
+    evaluate_task,
+    run_sampling,
+)
 from repro.monitor.timeseries import METRIC_NAMES, GpuTimeSeries, TimeSeriesStore
 
 __all__ = [
@@ -29,10 +43,15 @@ __all__ = [
     "MonitoringCollector",
     "MonitoringConfig",
     "NvidiaSmiSampler",
+    "SamplingPlan",
+    "SamplingResult",
+    "SamplingTask",
     "TimeSeriesStore",
     "compression_ratio",
+    "evaluate_task",
     "interval_tradeoff",
     "load_store",
     "monitoring_volume",
+    "run_sampling",
     "save_store",
 ]

@@ -1,10 +1,15 @@
 """The collector tying the monitors into the scheduler's prolog/epilog.
 
 At job start the prolog notes the placement; at job end the epilog
-samples the job's ground-truth activity model and appends min/mean/max
-summary rows (one per GPU).  A configurable fraction of GPU jobs also
-gets a dense time series, reproducing the paper's 2,149-job detailed
-dataset.
+records everything *ordered* about the job — the CPU summary, the
+keep-series decision, and the stratified sample offsets, all drawn
+from the collector RNG in job-completion order — and enqueues the
+expensive activity-model evaluation as a
+:class:`~repro.monitor.sampling.SamplingTask`.  :meth:`flush`
+evaluates the queue after the simulation (optionally across a process
+pool) and lands min/mean/max summary rows (one per GPU) plus the dense
+series subset, reproducing the paper's 2,149-job detailed dataset with
+bit-for-bit the output of the old inline epilog.
 
 The activity model travels on the job request under
 ``request.tags["activity"]`` so the monitoring substrate stays
@@ -21,6 +26,7 @@ from repro.errors import MonitoringError
 from repro.frame import Table, TableBuilder
 from repro.monitor.cpu_sampler import CpuSampler
 from repro.monitor.nvidia_smi import NvidiaSmiSampler
+from repro.monitor.sampling import SamplingPlan, SamplingTask, run_sampling
 from repro.monitor.timeseries import METRIC_NAMES, TimeSeriesStore
 from repro.slurm.job import JobRecord, JobRequest
 
@@ -41,7 +47,13 @@ class MonitoringConfig:
 
 
 class MonitoringCollector:
-    """Collects summaries and dense series as jobs finish."""
+    """Collects summaries and dense series as jobs finish.
+
+    GPU sampling is deferred: epilogs enqueue tasks, :meth:`flush`
+    evaluates them (``workers > 1`` shards the queue across a process
+    pool).  Every dataset accessor flushes serially first, so callers
+    that never learned about deferral still see the finished tables.
+    """
 
     def __init__(self, config: MonitoringConfig | None = None) -> None:
         self.config = config or MonitoringConfig()
@@ -52,10 +64,15 @@ class MonitoringCollector:
             self.config.gpu_interval_s, self.config.summary_samples
         )
         self._cpu_sampler = CpuSampler(self.config.cpu_interval_s)
-        self.store = TimeSeriesStore()
+        self._plan = SamplingPlan(
+            gpu_interval_s=self.config.gpu_interval_s,
+            timeseries_max_samples=self.config.timeseries_max_samples,
+        )
+        self._store = TimeSeriesStore()
         self._gpu_builder = TableBuilder(columns=["job_id", "gpu_index"])
         self._cpu_builder = TableBuilder(columns=["job_id"])
         self._started: dict[int, tuple[float, tuple[int, ...]]] = {}
+        self._pending: list[SamplingTask] = []
 
     # ------------------------------------------------------------------
     # Scheduler hooks
@@ -65,7 +82,12 @@ class MonitoringCollector:
         self._started[request.job_id] = (start_time_s, nodes)
 
     def epilog(self, record: JobRecord) -> None:
-        """Called when a job ends: emit summaries (and maybe a series)."""
+        """Called when a job ends: the cheap, RNG-ordered half.
+
+        Consumes the collector RNG exactly as the old inline epilog
+        did (CPU summary, keep-series draw, stratified offsets) and
+        defers the activity-model evaluation to :meth:`flush`.
+        """
         from repro.obs import runtime
 
         request = record.request
@@ -106,39 +128,103 @@ class MonitoringCollector:
                     "repro_monitor_series_kept_total",
                     help="dense time series retained (one per GPU)",
                 ).inc(model.num_gpus)
-        # All of the job's GPUs are summarized in one batched call and
-        # land in the builder as column fragments — no per-GPU row dict.
-        summary = self._gpu_sampler.summarize_job(model, record.run_time_s, self._rng)
-        self._gpu_builder.extend_columns(
-            {
-                "job_id": np.full(model.num_gpus, request.job_id, dtype=np.int64),
-                "gpu_index": np.arange(model.num_gpus, dtype=np.int64),
-                **summary,
-            }
+        self._pending.append(
+            SamplingTask(
+                job_id=request.job_id,
+                model=model,
+                run_time_s=record.run_time_s,
+                offsets=self._gpu_sampler.draw_offsets(
+                    record.run_time_s, model.num_gpus, self._rng
+                ),
+                keep_series=keep_series,
+            )
         )
-        if keep_series:
-            for gpu_index in range(model.num_gpus):
-                self.store.add(
-                    self._gpu_sampler.sample_series(
-                        request.job_id,
-                        model,
-                        record.run_time_s,
-                        gpu_index,
-                        max_samples=self.config.timeseries_max_samples,
-                    )
-                )
+
+    def run_end(self, result) -> None:
+        """Called when the simulation drains: record the deferred load."""
+        from repro.obs import runtime
+
+        metrics = runtime.get_metrics()
+        if metrics.enabled:
+            metrics.gauge(
+                "repro_sampling_pending_tasks",
+                help="sampling tasks deferred by the epilog, awaiting flush",
+            ).set(len(self._pending))
 
     def attach(self, simulator) -> "MonitoringCollector":
         """Register this collector on a :class:`SlurmSimulator`."""
         simulator.add_prolog(self.prolog)
         simulator.add_epilog(self.epilog)
+        simulator.add_run_end(self.run_end)
         return self
+
+    # ------------------------------------------------------------------
+    # Deferred sampling
+    # ------------------------------------------------------------------
+    @property
+    def pending_tasks(self) -> int:
+        """Sampling tasks enqueued but not yet evaluated."""
+        return len(self._pending)
+
+    def flush(self, workers: int | None = None) -> int:
+        """Evaluate every pending task and merge the results.
+
+        Tasks are evaluated in job-completion order (sharded across a
+        process pool when ``workers > 1``, with identical output), so
+        repeated partial flushes, one big flush, and the old inline
+        epilog all build the same tables and series store.  Returns
+        the number of per-GPU summary rows produced.
+        """
+        from repro.obs import runtime
+
+        if not self._pending:
+            return 0
+        tasks, self._pending = self._pending, []
+        results = run_sampling(tasks, self._plan, workers=workers)
+        rows = 0
+        for result in results:
+            # All of the job's GPUs land in the builder as column
+            # fragments — no per-GPU row dict.
+            self._gpu_builder.extend_columns(
+                {
+                    "job_id": np.full(result.num_gpus, result.job_id, dtype=np.int64),
+                    "gpu_index": np.arange(result.num_gpus, dtype=np.int64),
+                    **result.summary,
+                }
+            )
+            rows += result.num_gpus
+            for series in result.series:
+                self._store.add(series)
+        metrics = runtime.get_metrics()
+        if metrics.enabled:
+            mode = "parallel" if workers is not None and workers > 1 else "serial"
+            metrics.counter(
+                "repro_sampling_tasks_total",
+                help="deferred sampling tasks evaluated",
+                mode=mode,
+            ).inc(len(tasks))
+            metrics.counter(
+                "repro_sampling_rows_total",
+                help="per-GPU summary rows produced by deferred sampling",
+            ).inc(rows)
+            metrics.counter(
+                "repro_sampling_series_total",
+                help="dense series materialized by deferred sampling",
+            ).inc(sum(len(result.series) for result in results))
+        return rows
 
     # ------------------------------------------------------------------
     # Dataset assembly
     # ------------------------------------------------------------------
+    @property
+    def store(self) -> TimeSeriesStore:
+        """The dense-series store (flushes pending tasks first)."""
+        self.flush()
+        return self._store
+
     def per_gpu_table(self) -> Table:
         """One row per (job, GPU) with min/mean/max of every metric."""
+        self.flush()
         return self._gpu_builder.finish()
 
     def cpu_table(self) -> Table:
@@ -153,9 +239,9 @@ class MonitoringCollector:
         Minima take the min over GPUs and maxima the max, so bottleneck
         detection still sees the most-loaded device.
         """
-        if not len(self._gpu_builder):
-            return Table.empty(["job_id"])
         per_gpu = self.per_gpu_table()
+        if not per_gpu.num_rows:
+            return Table.empty(["job_id"])
         spec = {}
         for name in METRIC_NAMES:
             spec[f"{name}_min"] = "min"

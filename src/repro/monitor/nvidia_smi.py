@@ -25,7 +25,11 @@ from repro.monitor.timeseries import METRIC_NAMES, GpuTimeSeries
 class ActivityModel(Protocol):
     """Ground truth for one job's GPU activity.
 
-    Implementations live in :mod:`repro.workload.activity`.
+    Implementations live in :mod:`repro.workload.activity`.  A model
+    may additionally offer ``metrics_at_all(times_s)`` — the batched
+    form evaluating every GPU from one ``(num_gpus, n)`` time matrix —
+    which the sampler uses when present and falls back to per-GPU
+    :meth:`metrics_at` calls otherwise.
     """
 
     @property
@@ -77,6 +81,55 @@ class NvidiaSmiSampler:
         self._check_metrics(job_id, metrics)
         return GpuTimeSeries(job_id=job_id, gpu_index=gpu_index, times_s=times, metrics=metrics)
 
+    def sample_series_job(
+        self,
+        job_id: int,
+        model: ActivityModel,
+        duration_s: float,
+        max_samples: int | None = None,
+    ) -> list["GpuTimeSeries"]:
+        """Densely sample every GPU of a job — batched when the model
+        offers ``metrics_at_all``, matching per-GPU
+        :meth:`sample_series` results bit for bit either way.
+        """
+        if duration_s < 0:
+            raise MonitoringError(f"negative duration {duration_s}")
+        count = int(duration_s / self.interval_s) + 1
+        if max_samples is not None and count > max_samples:
+            times = np.linspace(0.0, duration_s, max_samples)
+        else:
+            times = np.arange(count) * self.interval_s
+        num_gpus = model.num_gpus
+        metrics = self._metrics_rows(
+            model, np.broadcast_to(times, (num_gpus, len(times))), job_id=job_id
+        )
+        return [
+            GpuTimeSeries(
+                job_id=job_id,
+                gpu_index=gpu_index,
+                times_s=times,
+                metrics={name: values[gpu_index] for name, values in metrics.items()},
+            )
+            for gpu_index in range(num_gpus)
+        ]
+
+    def summary_sample_count(self, duration_s: float) -> int:
+        """Stratified samples used to summarize one ``duration_s`` run."""
+        if duration_s < 0:
+            raise MonitoringError(f"negative duration {duration_s}")
+        return min(self.summary_samples, max(int(duration_s / self.interval_s) + 1, 2))
+
+    def draw_offsets(
+        self, duration_s: float, num_gpus: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Stratified sample offsets (in ``[0, 1)``) for a whole job.
+
+        One C-ordered ``rng.random((num_gpus, n))`` draw — exactly the
+        stream ``num_gpus`` consecutive single-GPU draws consume, so
+        batched and per-GPU summarization stay interchangeable.
+        """
+        return rng.random((num_gpus, self.summary_sample_count(duration_s)))
+
     def summarize(
         self,
         model: ActivityModel,
@@ -91,21 +144,12 @@ class NvidiaSmiSampler:
         model's analytic extremes so short 100 %-utilization bursts are
         never missed (they define the bottleneck analysis of Fig. 7/8).
         """
-        if duration_s < 0:
-            raise MonitoringError(f"negative duration {duration_s}")
-        n = min(self.summary_samples, max(int(duration_s / self.interval_s) + 1, 2))
-        edges = np.linspace(0.0, duration_s, n + 1)
-        times = edges[:-1] + rng.random(n) * np.diff(edges)
-        metrics = model.metrics_at(times, gpu_index)
-        self._check_metrics(None, metrics)
-        analytic = model.analytic_max(gpu_index)
-        out: dict[str, float] = {}
-        for name in METRIC_NAMES:
-            values = metrics[name]
-            out[f"{name}_min"] = float(values.min())
-            out[f"{name}_mean"] = float(values.mean())
-            out[f"{name}_max"] = float(max(values.max(), analytic.get(name, -np.inf)))
-        return out
+        n = self.summary_sample_count(duration_s)
+        offsets = rng.random(n).reshape(1, n)
+        summary = self.summarize_with_offsets(
+            model, duration_s, offsets, gpu_indices=(gpu_index,)
+        )
+        return {name: float(values[0]) for name, values in summary.items()}
 
     def summarize_job(
         self,
@@ -119,35 +163,76 @@ class NvidiaSmiSampler:
         — column fragments ready for a
         :class:`~repro.frame.TableBuilder`.  The stratified offsets for
         all GPUs come from a single C-ordered ``rng.random((g, n))``
-        draw, which consumes the generator stream exactly like ``g``
-        consecutive :meth:`summarize` calls, so batched and per-GPU
-        summarization produce identical datasets.
+        draw (:meth:`draw_offsets`), which consumes the generator
+        stream exactly like ``g`` consecutive :meth:`summarize` calls,
+        so batched and per-GPU summarization produce identical
+        datasets.
+        """
+        offsets = self.draw_offsets(duration_s, model.num_gpus, rng)
+        return self.summarize_with_offsets(model, duration_s, offsets)
+
+    def summarize_with_offsets(
+        self,
+        model: ActivityModel,
+        duration_s: float,
+        offsets: np.ndarray,
+        gpu_indices: tuple[int, ...] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """The single stratified min/mean/max implementation.
+
+        Deterministic given ``offsets`` (row ``i`` drives GPU
+        ``gpu_indices[i]``, default GPU ``i``), which is what lets the
+        monitoring epilog defer this evaluation — and shard it across
+        a process pool — without touching the RNG stream.  When the
+        model implements ``metrics_at_all`` the whole job is evaluated
+        in one vectorized call; the per-GPU ``metrics_at`` loop remains
+        as the fallback and produces bit-identical output.
         """
         if duration_s < 0:
             raise MonitoringError(f"negative duration {duration_s}")
-        num_gpus = model.num_gpus
-        n = min(self.summary_samples, max(int(duration_s / self.interval_s) + 1, 2))
+        num_rows, n = offsets.shape
         edges = np.linspace(0.0, duration_s, n + 1)
-        widths = np.diff(edges)
-        offsets = rng.random((num_gpus, n))
-        out = {
-            f"{name}_{stat}": np.empty(num_gpus)
-            for name in METRIC_NAMES
-            for stat in ("min", "mean", "max")
-        }
-        for gpu_index in range(num_gpus):
-            times = edges[:-1] + offsets[gpu_index] * widths
-            metrics = model.metrics_at(times, gpu_index)
-            self._check_metrics(None, metrics)
-            analytic = model.analytic_max(gpu_index)
-            for name in METRIC_NAMES:
-                values = metrics[name]
-                out[f"{name}_min"][gpu_index] = values.min()
-                out[f"{name}_mean"][gpu_index] = values.mean()
-                out[f"{name}_max"][gpu_index] = max(
-                    values.max(), analytic.get(name, -np.inf)
-                )
+        times = edges[:-1] + offsets * np.diff(edges)
+        if gpu_indices is None:
+            gpu_indices = tuple(range(num_rows))
+        metrics = self._metrics_rows(model, times, gpu_indices=gpu_indices)
+        analytic = [model.analytic_max(g) for g in gpu_indices]
+        out: dict[str, np.ndarray] = {}
+        for name in METRIC_NAMES:
+            values = metrics[name]
+            analytic_max = np.asarray([a.get(name, -np.inf) for a in analytic])
+            out[f"{name}_min"] = values.min(axis=1)
+            out[f"{name}_mean"] = values.mean(axis=1)
+            out[f"{name}_max"] = np.maximum(values.max(axis=1), analytic_max)
         return out
+
+    def _metrics_rows(
+        self,
+        model: ActivityModel,
+        times: np.ndarray,
+        gpu_indices: tuple[int, ...] | None = None,
+        job_id: int | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Evaluate ``times`` row ``i`` on GPU ``gpu_indices[i]``.
+
+        Takes the model's batched ``metrics_at_all`` when it exists and
+        the evaluation covers every GPU in order; otherwise loops
+        :meth:`ActivityModel.metrics_at` per GPU and stacks the rows.
+        """
+        full_job = gpu_indices is None or gpu_indices == tuple(range(model.num_gpus))
+        batched = getattr(model, "metrics_at_all", None) if full_job else None
+        if batched is not None:
+            metrics = batched(times)
+            self._check_metrics(job_id, metrics)
+            return metrics
+        if gpu_indices is None:
+            gpu_indices = tuple(range(model.num_gpus))
+        rows = [model.metrics_at(times[i], g) for i, g in enumerate(gpu_indices)]
+        for row in rows:
+            self._check_metrics(job_id, row)
+        return {
+            name: np.stack([row[name] for row in rows]) for name in METRIC_NAMES
+        }
 
     @staticmethod
     def _check_metrics(job_id: int | None, metrics: dict[str, np.ndarray]) -> None:

@@ -1,0 +1,108 @@
+"""Deferred batched sampling — the expensive half of the monitor epilog.
+
+The scheduler epilog stays cheap and strictly ordered: it consumes the
+collector RNG in job-completion order (CPU summary, keep-series draw,
+stratified offsets) and enqueues a :class:`SamplingTask` instead of
+evaluating the activity model inline.  Everything a task needs is
+frozen at enqueue time, and ``metrics_at`` / ``analytic_max`` are
+deterministic functions of those inputs, so the task list can be
+evaluated *after* the simulation — serially, or sharded across a
+process pool via :func:`repro.pipeline.parallel.parallel_map` — and
+merged back in job order with bit-for-bit the dataset the old inline
+epilog produced.
+
+Inside each task the sampler takes the model's batched
+``metrics_at_all`` path (one vectorized call per job instead of a
+per-GPU Python loop), for both the stratified summaries and the dense
+series; ``benchmarks/bench_dataset_build.py`` gates that batching at
+>=2x the per-GPU reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from repro.monitor.nvidia_smi import ActivityModel, NvidiaSmiSampler
+from repro.monitor.timeseries import GpuTimeSeries
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Deterministic evaluation parameters shared by every task."""
+
+    #: Dense-series sampling cadence (100 ms in production).
+    gpu_interval_s: float = 0.1
+    #: Dense series are decimated beyond this many samples per GPU.
+    timeseries_max_samples: int = 20000
+
+
+@dataclass
+class SamplingTask:
+    """One job's deferred telemetry evaluation.
+
+    ``offsets`` is the job's stratified ``(num_gpus, n)`` draw — the
+    only random input — taken from the collector RNG in the epilog, so
+    deferral leaves the generator stream untouched.
+    """
+
+    job_id: int
+    model: ActivityModel
+    run_time_s: float
+    offsets: np.ndarray
+    keep_series: bool
+
+    @property
+    def num_gpus(self) -> int:
+        return int(self.offsets.shape[0])
+
+
+@dataclass
+class SamplingResult:
+    """What one task produced, ready to merge into the collector."""
+
+    job_id: int
+    num_gpus: int
+    #: ``{"<metric>_<stat>": (num_gpus,) array}`` column fragments.
+    summary: dict[str, np.ndarray]
+    #: Dense series (one per GPU) when the task kept them, else empty.
+    series: list[GpuTimeSeries]
+
+
+def evaluate_task(plan: SamplingPlan, task: SamplingTask) -> SamplingResult:
+    """Evaluate one task — pure function of ``(plan, task)``."""
+    sampler = NvidiaSmiSampler(plan.gpu_interval_s, max(task.offsets.shape[1], 2))
+    summary = sampler.summarize_with_offsets(task.model, task.run_time_s, task.offsets)
+    series: list[GpuTimeSeries] = []
+    if task.keep_series:
+        series = sampler.sample_series_job(
+            task.job_id,
+            task.model,
+            task.run_time_s,
+            max_samples=plan.timeseries_max_samples,
+        )
+    return SamplingResult(
+        job_id=task.job_id,
+        num_gpus=task.num_gpus,
+        summary=summary,
+        series=series,
+    )
+
+
+def run_sampling(
+    tasks: list[SamplingTask],
+    plan: SamplingPlan,
+    workers: int | None = None,
+) -> list[SamplingResult]:
+    """Evaluate every task, in task (= job-completion) order.
+
+    With ``workers > 1`` the tasks are sharded across a process pool;
+    :func:`~repro.pipeline.parallel.parallel_map` preserves item order
+    and falls back to the serial path when a pool cannot start, so the
+    merged results are identical either way.
+    """
+    from repro.pipeline.parallel import parallel_map
+
+    return parallel_map(partial(evaluate_task, plan), tasks, workers=workers)

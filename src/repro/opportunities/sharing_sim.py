@@ -9,8 +9,16 @@ A compact event-driven queue simulation: jobs arrive with a duration
 and a mean GPU demand, each device hosts up to ``max_jobs_per_gpu``
 residents as long as the summed demand stays under ``headroom`` — an
 empty device accepts any job (exclusive fallback for hot jobs).  FCFS
-with no preemption; runtimes are not stretched (the headroom bound is
-what keeps interference negligible, per the pair-level study).
+with no preemption and *no backfill*: a job can only start once every
+earlier arrival has started, so a pending high-demand job is never
+starved by later light jobs slipping past it.  Head-of-line order is
+what makes sharing provably never worse than exclusive placement —
+sharing starts every job no later than the exclusive fleet does,
+because whenever the exclusive fleet has an empty device at most
+``num_gpus - 1`` jobs are still running, which on the sharing fleet
+also leaves a device empty.  Runtimes are not stretched (the headroom
+bound is what keeps interference negligible, per the pair-level
+study).
 """
 
 from __future__ import annotations
@@ -100,16 +108,17 @@ class GpuSharingSimulator:
             while finish_heap and finish_heap[0][0] <= until:
                 finish_time, _, gpu, demand = heapq.heappop(finish_heap)
                 residents[gpu].remove(demand)
-                # finished capacity may admit pending jobs right away
-                still_pending = []
-                for job in pending:
-                    if not try_place(job, finish_time):
-                        still_pending.append(job)
-                pending[:] = still_pending
+                # Finished capacity admits pending jobs in strict queue
+                # order; the head blocks everything behind it (FCFS, no
+                # backfill).
+                while pending and try_place(pending[0], finish_time):
+                    pending.pop(0)
 
         for job in ordered:
             drain_finishes(job.arrival_s)
-            if not try_place(job, job.arrival_s):
+            # A new arrival queues behind any pending job — it must not
+            # slip past a high-demand head waiting for an empty device.
+            if pending or not try_place(job, job.arrival_s):
                 pending.append(job)
                 max_queue = max(max_queue, len(pending))
         drain_finishes(float("inf"))

@@ -1,9 +1,13 @@
 """The :class:`Session` — single entry point to the dataset engine.
 
 A session owns one pipeline configuration and everything derived from
-it: the staged dataset build (``workload → schedule → monitor →
-assemble``), the on-disk artifact cache, figure execution (optionally
-across a process pool), and per-stage instrumentation.  Consumers —
+it: the staged dataset build (``workload → schedule → sampling →
+monitor → assemble``), the on-disk artifact cache, figure execution
+(optionally across a process pool), and per-stage instrumentation.
+The ``sampling`` stage evaluates the GPU sampling tasks the
+monitoring epilogs deferred during ``schedule`` — it is the expensive,
+embarrassingly parallel part of a cold build, and the session's
+``workers`` setting shards it across a process pool.  Consumers —
 the CLI, figure regeneration, validation, robustness sweeps,
 benchmarks — share one session instead of each re-running the
 generation pipeline:
@@ -36,13 +40,14 @@ from repro.pipeline.parallel import resolve_workers, run_figures_parallel
 from repro.workload.generator import WorkloadConfig
 
 #: The dataset-construction stages, in execution order.
-BUILD_STAGES = ("workload", "schedule", "monitor", "assemble")
+BUILD_STAGES = ("workload", "schedule", "sampling", "monitor", "assemble")
 
 
 def _build_dataset(
     config: WorkloadConfig,
     monitoring: MonitoringConfig | None,
     inst: PipelineInstrumentation,
+    workers: int = 1,
 ):
     """Run the full staged pipeline (the former ``generate_dataset`` body)."""
     import numpy as np
@@ -66,6 +71,12 @@ def _build_dataset(
         result = simulator.run(requests)
         simulator.cluster.check_invariants()
         probe.rows = len(result.records)
+
+    with inst.stage("sampling") as probe:
+        # Evaluate the sampling tasks the epilogs deferred — the
+        # expensive half of monitoring, sharded across a process pool
+        # when workers > 1 with bit-identical output.
+        probe.rows = collector.flush(workers=workers)
 
     with inst.stage("monitor") as probe:
         gpu_summary = collector.job_gpu_table()
@@ -112,9 +123,12 @@ class Session:
         Directory for the on-disk artifact cache.  ``None`` disables
         disk caching (the in-memory memo still applies).
     workers:
-        Process-pool width for figure fan-out; ``1`` means serial.
-        Parallel figure execution requires a disk cache (workers load
-        the shared dataset from it).
+        Process-pool width for the deferred-sampling stage of cold
+        dataset builds and for figure fan-out; ``1`` means serial.
+        ``None`` defers to the ``REPRO_WORKERS`` environment variable
+        (serial when unset).  Parallel figure execution additionally
+        requires a disk cache (workers load the shared dataset from
+        it); the sampling stage does not.
     tracer, metrics:
         The session's observability pair (see :mod:`repro.obs`).
         Defaults to a fresh enabled :class:`~repro.obs.trace.Tracer`
@@ -133,7 +147,7 @@ class Session:
         monitoring: MonitoringConfig | None = None,
         *,
         cache_dir: str | Path | None = None,
-        workers: int | None = 1,
+        workers: int | None = None,
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | NullMetrics | None = None,
     ) -> None:
@@ -190,7 +204,9 @@ class Session:
                     return loaded
                 inst.bump("cache_corrupt")
                 self.cache.evict(self.key)
-            dataset = _build_dataset(self.config, self.monitoring, inst)
+            dataset = _build_dataset(
+                self.config, self.monitoring, inst, workers=self.workers
+            )
             inst.bump("build")
             if self.cache is not None:
                 with inst.stage("cache_store") as probe:

@@ -27,6 +27,7 @@ from repro.slurm.queue import JobQueue
 
 PrologHook = Callable[[JobRequest, float, tuple[int, ...]], None]
 EpilogHook = Callable[[JobRecord], None]
+RunEndHook = Callable[["SimulationResult"], None]
 
 
 @dataclass
@@ -95,6 +96,7 @@ class SlurmSimulator:
         self._attempts: dict[int, int] = {}
         self._prolog_hooks: list[PrologHook] = []
         self._epilog_hooks: list[EpilogHook] = []
+        self._run_end_hooks: list[RunEndHook] = []
         self._peak_queue = 0
         self._node_failures = 0
         self._jobs_killed = 0
@@ -116,8 +118,24 @@ class SlurmSimulator:
         self._prolog_hooks.append(hook)
 
     def add_epilog(self, hook: EpilogHook) -> None:
-        """Register a hook called when a job ends (monitoring stop)."""
+        """Register a hook called when a job ends (monitoring stop).
+
+        Epilogs run synchronously inside the event loop, so they must
+        stay cheap and strictly ordered — the monitoring collector
+        only consumes its RNG and enqueues deferred sampling tasks
+        here; the expensive evaluation happens after :meth:`run`.
+        """
         self._epilog_hooks.append(hook)
+
+    def add_run_end(self, hook: RunEndHook) -> None:
+        """Register a hook called once, when the event loop drains.
+
+        Runs after the last epilog with the finished
+        :class:`SimulationResult` — where deferred work (the
+        collector's sampling queue) gets accounted before the caller
+        decides how to evaluate it.
+        """
+        self._run_end_hooks.append(hook)
 
     # ------------------------------------------------------------------
     def _init_obs(self) -> None:
@@ -215,7 +233,7 @@ class SlurmSimulator:
                 f"simulation drained but {len(self.queue)} jobs still queued"
             )
         self._peak_queue_gauge.set_max(self._peak_queue)
-        return SimulationResult(
+        result = SimulationResult(
             records=self.records,
             makespan_s=self.loop.now,
             events_processed=self.loop.processed,
@@ -224,6 +242,9 @@ class SlurmSimulator:
             node_failures=self._node_failures,
             jobs_killed_by_failures=self._jobs_killed,
         )
+        for hook in self._run_end_hooks:
+            hook(result)
+        return result
 
     # ------------------------------------------------------------------
     def _priority(self, request: JobRequest) -> float:

@@ -172,18 +172,26 @@ class MetricProcess:
             mask |= (times_s >= t0) & (times_s < t1)
         return mask
 
-    def values_at(self, times_s: np.ndarray, scale: float = 1.0) -> np.ndarray:
+    def values_at(
+        self, times_s: np.ndarray, scale: float | np.ndarray = 1.0
+    ) -> np.ndarray:
         """Metric value with per-GPU ``scale`` applied to the smooth
         part, capped below saturation; bursts overlay at full level.
 
         The cap comes *after* scaling so a GPU whose jitter scale
         exceeds 1 cannot push smooth fluctuation into the
         bottleneck-detection band — only explicit bursts saturate.
+
+        ``scale`` may be an array broadcastable against ``times_s``
+        (the batched path passes a ``(num_gpus, 1)`` column against
+        ``(num_gpus, n)`` times); every operation is elementwise, so
+        the batched result is bit-for-bit the per-GPU one.
         """
+        scale = np.asarray(scale, dtype=float)
         smooth = np.clip(self.smooth_at(times_s), 0.0, None) * scale
         values = np.minimum(smooth, self.SMOOTH_CAP)
-        if len(self.burst_windows) and scale > 0:
-            mask = self.burst_mask_at(times_s)
+        if len(self.burst_windows) and np.any(scale > 0):
+            mask = self.burst_mask_at(times_s) & (scale > 0)
             values[mask] = self.burst_level
         return values
 
@@ -315,6 +323,41 @@ class JobActivityModel:
 
         ramp = np.clip(times_s / self.mem_ramp_s, 0.0, 1.0)
         size_scale = 1.0 if scale > 0 else 0.0  # idle GPUs hold ~no memory
+        out["mem_size"] = self.processes["mem_size"].values_at(times_s, size_scale) * ramp
+
+        out["power_w"] = self.power_model.power(
+            out["sm"], out["mem_bw"], out["pcie_tx"], out["pcie_rx"], out["mem_size"]
+        )
+        return out
+
+    def metrics_at_all(self, times_s: np.ndarray) -> dict[str, np.ndarray]:
+        """Batched :meth:`metrics_at` over every GPU of the job.
+
+        ``times_s`` has shape ``(num_gpus, n)``: row ``g`` holds GPU
+        ``g``'s sample offsets (rows may differ — stratified summary
+        draws — or be broadcast copies — dense series).  Returns each
+        metric as a ``(num_gpus, n)`` array whose row ``g`` is
+        bit-for-bit ``metrics_at(times_s[g], g)[metric]``: the whole
+        evaluation is elementwise ufuncs, with the per-GPU scale
+        broadcast as a ``(num_gpus, 1)`` column, so batching changes
+        neither operation order nor rounding.
+        """
+        times_s = np.asarray(times_s, dtype=float)
+        if times_s.ndim != 2 or times_s.shape[0] != self._num_gpus:
+            raise WorkloadError(
+                f"job {self.job_id}: batched times must have shape "
+                f"({self._num_gpus}, n), got {times_s.shape}"
+            )
+        scale = self.gpu_scale[:, None]
+        active = self.schedule.active_at(times_s).astype(float)
+
+        out: dict[str, np.ndarray] = {}
+        for name in GATED_METRICS:
+            out[name] = self.processes[name].values_at(times_s, scale) * active
+
+        ramp = np.clip(times_s / self.mem_ramp_s, 0.0, 1.0)
+        # idle GPUs hold ~no memory, exactly as in metrics_at
+        size_scale = (self.gpu_scale > 0).astype(float)[:, None]
         out["mem_size"] = self.processes["mem_size"].values_at(times_s, size_scale) * ramp
 
         out["power_w"] = self.power_model.power(

@@ -1,0 +1,227 @@
+"""Property tests for deferred batched sampling.
+
+The whole deferral refactor rests on two bit-for-bit contracts:
+
+* batching changes nothing — ``metrics_at_all`` / ``summarize_job``
+  match the per-GPU ``metrics_at`` / ``summarize`` loop exactly,
+  including the RNG stream they consume;
+* deferring changes nothing — a collector that flushes after every
+  epilog (the old inline behavior), one that flushes once at the end,
+  and one that flushes across a process pool all build identical
+  tables and series stores.
+
+Hypothesis drives arbitrary activity models and job mixes through
+both.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.spec import supercloud_spec
+from repro.monitor.collector import MonitoringCollector, MonitoringConfig
+from repro.monitor.nvidia_smi import NvidiaSmiSampler
+from repro.monitor.sampling import SamplingPlan, SamplingTask, evaluate_task
+from repro.monitor.timeseries import METRIC_NAMES
+from repro.slurm.scheduler import SlurmSimulator
+from tests.monitor.test_nvidia_smi import BurstyModel, FlatModel
+from tests.slurm.test_job import make_request
+
+
+def make_model(seed, num_gpus, duration_s, fraction):
+    """A calibrated-shape :class:`JobActivityModel` from one seed."""
+    from repro.workload.activity import (
+        JobActivityModel,
+        PhaseSchedule,
+        PowerModel,
+        build_metric_process,
+    )
+
+    rng = np.random.default_rng(seed)
+    schedule = PhaseSchedule.generate(rng, duration_s, fraction, 60.0, 1.69, 1.26)
+    processes = {
+        name: build_metric_process(
+            rng,
+            level=float(rng.uniform(0, 100)),
+            noise_cov=float(rng.uniform(0, 0.5)),
+            burst_level=float(rng.uniform(0, 100)),
+            schedule=schedule,
+            num_bursts=int(rng.integers(0, 4)),
+        )
+        for name in ("sm", "mem_bw", "mem_size", "pcie_tx", "pcie_rx")
+    }
+    # include an idle GPU (scale 0) whenever there is room for one
+    gpu_scale = rng.uniform(0.2, 1.0, num_gpus)
+    if num_gpus > 1:
+        gpu_scale[-1] = 0.0
+    return JobActivityModel(
+        1, num_gpus, duration_s, schedule, processes, gpu_scale,
+        PowerModel(25.0, 1.25, 0.4, 0.03, 0.2),
+    )
+
+
+class TestBatchedMatchesPerGpu:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 4),
+        st.floats(1.0, 5000.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_metrics_at_all_bit_identical(self, seed, num_gpus, duration, fraction):
+        model = make_model(seed, num_gpus, duration, fraction)
+        times = np.random.default_rng(seed + 1).uniform(
+            0.0, duration, (num_gpus, 64)
+        )
+        batched = model.metrics_at_all(times)
+        for gpu_index in range(num_gpus):
+            single = model.metrics_at(times[gpu_index], gpu_index)
+            for name in METRIC_NAMES:
+                assert np.array_equal(batched[name][gpu_index], single[name]), name
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 4),
+        st.floats(1.0, 5000.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_summarize_job_matches_per_gpu_stream(self, seed, num_gpus, duration):
+        """``summarize_job`` equals ``num_gpus`` consecutive
+        ``summarize`` calls — same values, same RNG stream consumed."""
+        model = make_model(seed, num_gpus, duration, 0.8)
+        sampler = NvidiaSmiSampler(0.1, 64)
+        rng_batched = np.random.default_rng(seed)
+        rng_single = np.random.default_rng(seed)
+        batched = sampler.summarize_job(model, duration, rng_batched)
+        for gpu_index in range(num_gpus):
+            single = sampler.summarize(model, duration, gpu_index, rng_single)
+            for name, values in batched.items():
+                assert values[gpu_index] == single[name], name
+        assert (
+            rng_batched.bit_generator.state == rng_single.bit_generator.state
+        )
+
+    def test_sample_series_job_matches_per_gpu(self):
+        model = make_model(11, 3, 400.0, 0.6)
+        sampler = NvidiaSmiSampler(0.1)
+        all_series = sampler.sample_series_job(7, model, 400.0, max_samples=200)
+        assert len(all_series) == 3
+        for gpu_index, series in enumerate(all_series):
+            single = sampler.sample_series(7, model, 400.0, gpu_index, max_samples=200)
+            assert series.job_id == 7 and series.gpu_index == gpu_index
+            assert np.array_equal(series.times_s, single.times_s)
+            for name in METRIC_NAMES:
+                assert np.array_equal(series.metrics[name], single.metrics[name])
+
+    def test_protocol_fallback_without_metrics_at_all(self):
+        """Test doubles without the batched method keep working and
+        match their own per-GPU evaluation."""
+        sampler = NvidiaSmiSampler(0.1, 32)
+        for model in (FlatModel(2), BurstyModel(2)):
+            offsets = np.random.default_rng(3).random((2, 32))
+            summary = sampler.summarize_with_offsets(model, 120.0, offsets)
+            assert summary["sm_max"].shape == (2,)
+
+
+def _evaluated(task):
+    plan = SamplingPlan(gpu_interval_s=0.1, timeseries_max_samples=100)
+    return evaluate_task(plan, task)
+
+
+class TestEvaluateTask:
+    def test_deterministic(self):
+        model = make_model(5, 2, 300.0, 0.7)
+        offsets = np.random.default_rng(5).random((2, 32))
+        task = SamplingTask(3, model, 300.0, offsets, keep_series=True)
+        first, second = _evaluated(task), _evaluated(task)
+        assert first.job_id == second.job_id == 3
+        for name, values in first.summary.items():
+            assert np.array_equal(values, second.summary[name]), name
+        assert len(first.series) == len(second.series) == 2
+
+    def test_no_series_when_not_kept(self):
+        model = make_model(5, 2, 300.0, 0.7)
+        offsets = np.random.default_rng(5).random((2, 32))
+        task = SamplingTask(3, model, 300.0, offsets, keep_series=False)
+        assert _evaluated(task).series == []
+
+
+def _gpu_request(job_id, num_gpus, runtime_s):
+    request = make_request(job_id=job_id, num_gpus=num_gpus, runtime_s=runtime_s)
+    request.tags["activity"] = FlatModel(num_gpus)
+    return request
+
+
+def _run_collector(shape, collector):
+    """Simulate a job mix described by ``shape`` on a fresh cluster."""
+    requests = [
+        _gpu_request(job_id, num_gpus, runtime)
+        if num_gpus
+        else make_request(job_id=job_id, num_gpus=0, cores=2, runtime_s=runtime)
+        for job_id, (num_gpus, runtime) in enumerate(shape, start=1)
+    ]
+    simulator = SlurmSimulator(supercloud_spec(2))
+    collector.attach(simulator)
+    simulator.run(requests)
+    return collector
+
+
+def _snapshot(collector):
+    per_gpu = collector.per_gpu_table().to_dict()
+    cpu = collector.cpu_table().to_dict()
+    series = {
+        (s.job_id, s.gpu_index): (s.times_s, s.metrics) for s in collector.store
+    }
+    return per_gpu, cpu, series
+
+
+def _assert_same(left, right):
+    assert left[0] == right[0]  # per-GPU summary table
+    assert left[1] == right[1]  # CPU table
+    assert left[2].keys() == right[2].keys()
+    for key, (times, metrics) in left[2].items():
+        other_times, other_metrics = right[2][key]
+        assert np.array_equal(times, other_times)
+        for name in METRIC_NAMES:
+            assert np.array_equal(metrics[name], other_metrics[name]), name
+
+
+class _InlineCollector(MonitoringCollector):
+    """The pre-deferral behavior: evaluate inside every epilog."""
+
+    def epilog(self, record):
+        super().epilog(record)
+        self.flush()
+
+
+job_shapes = st.lists(
+    st.tuples(st.integers(0, 3), st.floats(1.0, 500.0)),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestDeferralIsInvisible:
+    @given(job_shapes)
+    @settings(max_examples=15, deadline=None)
+    def test_inline_deferred_parallel_identical(self, shape):
+        config = MonitoringConfig(timeseries_fraction=0.5, timeseries_max_samples=50)
+        inline = _run_collector(shape, _InlineCollector(config))
+        deferred = _run_collector(shape, MonitoringCollector(config))
+        pooled = _run_collector(shape, MonitoringCollector(config))
+        assert inline.pending_tasks == 0
+        pooled.flush(workers=2)
+        inline_snap = _snapshot(inline)
+        _assert_same(inline_snap, _snapshot(deferred))
+        _assert_same(inline_snap, _snapshot(pooled))
+
+    def test_accessors_flush_pending(self):
+        collector = _run_collector([(2, 100.0)], MonitoringCollector())
+        assert collector.pending_tasks == 1
+        assert collector.per_gpu_table().num_rows == 2
+        assert collector.pending_tasks == 0
+
+    def test_flush_reports_row_count_and_is_idempotent(self):
+        collector = _run_collector([(2, 100.0), (1, 50.0)], MonitoringCollector())
+        assert collector.flush() == 3
+        assert collector.flush() == 0

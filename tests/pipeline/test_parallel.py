@@ -1,10 +1,21 @@
 """Tests for the process-parallel fan-out helpers."""
 
+import pickle
+
+import pytest
+
 from repro.pipeline import parallel_map, resolve_workers
+from repro.pipeline.parallel import ParallelTaskError
 
 
 def _square(x: int) -> int:
     return x * x
+
+
+def _fail_on_two(x: int) -> int:
+    if x == 2:
+        raise ValueError(f"bad item {x}")
+    return x
 
 
 class TestResolveWorkers:
@@ -18,6 +29,46 @@ class TestResolveWorkers:
 
     def test_capped(self):
         assert resolve_workers(10_000) == 64
+
+    def test_none_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert resolve_workers(None) == 6
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert resolve_workers(2) == 2
+
+    def test_malformed_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert resolve_workers(None) == 1
+
+    def test_env_capped_and_normalised(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "100000")
+        assert resolve_workers(None) == 64
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        assert resolve_workers(None) == 1
+
+
+class TestParallelTaskError:
+    def test_worker_failure_carries_index_and_traceback(self):
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(_fail_on_two, [0, 1, 2, 3], workers=2)
+        assert excinfo.value.index == 2
+        assert "bad item 2" in excinfo.value.detail
+        assert "ValueError" in str(excinfo.value)
+        assert "task 2" in str(excinfo.value)
+
+    def test_serial_path_raises_original(self):
+        with pytest.raises(ValueError, match="bad item 2"):
+            parallel_map(_fail_on_two, [0, 1, 2, 3], workers=1)
+
+    def test_survives_pickling(self):
+        err = ParallelTaskError(5, "Traceback ...")
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, ParallelTaskError)
+        assert clone.index == 5
+        assert clone.detail == "Traceback ..."
+        assert str(clone) == str(err)
 
 
 class TestParallelMap:

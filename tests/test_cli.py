@@ -28,9 +28,27 @@ class TestParser:
 
     def test_session_flag_defaults(self):
         args = build_parser().parse_args(["report"])
-        assert args.workers == 1
+        assert args.workers is None  # defers to $REPRO_WORKERS, else serial
         assert args.cache_dir is None
         assert args.no_cache is False
+
+    def test_workers_default_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        args = build_parser().parse_args(["report"])
+        session = DatasetOptions.from_args(args).session()
+        assert session.workers == 3
+
+    def test_bench_list(self, capsys):
+        rc = main(["bench", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "benchmarks/bench_frame.py" in out
+        assert "benchmarks/bench_dataset_build.py" in out
+
+    def test_bench_unknown_target(self, capsys):
+        rc = main(["bench", "no-such-bench"])
+        assert rc == 2
+        assert "unknown bench target" in capsys.readouterr().out
 
     def test_session_flags_parsed(self, tmp_path):
         args = build_parser().parse_args(

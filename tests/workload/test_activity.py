@@ -214,6 +214,23 @@ class TestJobActivityModel:
         for name in first:
             assert (first[name] == second[name]).all()
 
+    def test_metrics_at_all_matches_per_gpu(self, rng):
+        model = self.make_model(rng, num_gpus=3, gpu_scale=np.array([1.0, 0.5, 0.0]))
+        times = rng.uniform(0, 600, (3, 50))
+        batched = model.metrics_at_all(times)
+        for gpu_index in range(3):
+            single = model.metrics_at(times[gpu_index], gpu_index)
+            for name in single:
+                assert batched[name].shape == (3, 50)
+                assert (batched[name][gpu_index] == single[name]).all()
+
+    def test_metrics_at_all_rejects_bad_shape(self, rng):
+        model = self.make_model(rng, num_gpus=2, gpu_scale=np.ones(2))
+        with pytest.raises(WorkloadError, match="shape"):
+            model.metrics_at_all(np.zeros(5))
+        with pytest.raises(WorkloadError, match="shape"):
+            model.metrics_at_all(np.zeros((3, 5)))
+
 
 @given(
     st.floats(10.0, 1e5),
