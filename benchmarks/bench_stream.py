@@ -1,0 +1,191 @@
+"""Streaming frame-engine gates: bounded memory, matching answers.
+
+The out-of-core path exists so that figure-grade statistics can be
+computed over series larger than what we are willing to materialize.
+These gates pin both halves of that contract:
+
+* **bounded memory** — a one-pass quantile sketch over a synthetic
+  series ~25x larger than one chunk must peak (tracemalloc, which sees
+  every numpy buffer) at a small multiple of the chunk size, nowhere
+  near the materialized footprint;
+* **matching answers** — streaming group-by aggregates on the bench
+  dataset must agree with the materialized kernels: bit-for-bit for
+  the exact verbs (count/min/max), within float tolerance for
+  sum/mean/std (per-chunk partials legitimately re-associate the
+  reduction), and within the sketch's *tracked* rank-error bound for
+  quantiles.
+
+``REPRO_BENCH_FULL=1`` adds a scale-0.5 end-to-end smoke: build, spill
+``per_gpu`` to disk, and stream fig04's five CDFs off the spill under
+a tracemalloc budget.
+
+Under ``python -m repro bench`` the suite reports throughput and peak
+memory via :func:`repro.bench.record_bench_stat` into BENCH_<n>.json.
+"""
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.bench import record_bench_stat
+from repro.frame import ChunkedTable, QuantileSketch, Table
+
+CHUNK_ROWS = 65536
+NUM_CHUNKS = 48
+CHUNK_BYTES = CHUNK_ROWS * 8  # one float64 column per chunk
+
+
+def _synthetic_chunks():
+    """Deterministic lognormal chunks, produced lazily per iteration."""
+    rng = np.random.default_rng(20220214)
+    for _ in range(NUM_CHUNKS):
+        yield Table({"v": rng.lognormal(mean=3.0, sigma=1.2, size=CHUNK_ROWS)})
+
+
+def test_sketch_one_pass_bounded_memory():
+    """One-pass percentiles over ~3.1M samples peak far below the
+    materialized footprint, and land within the tracked rank bound."""
+    chunked = ChunkedTable(_synthetic_chunks, num_rows=NUM_CHUNKS * CHUNK_ROWS)
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    sketch = chunked.sketch("v")
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    total_rows = NUM_CHUNKS * CHUNK_ROWS
+    materialized_bytes = total_rows * 8
+    budget = 8 * CHUNK_BYTES  # a handful of in-flight chunk-sized buffers
+    assert peak < budget, (
+        f"one-pass sketch peaked at {peak / 1e6:.1f} MB; budget "
+        f"{budget / 1e6:.1f} MB (materialized would be "
+        f"{materialized_bytes / 1e6:.1f} MB)"
+    )
+    assert sketch.num_samples == total_rows
+
+    # Accuracy against the true ranks (materialized only *after* the
+    # memory gate): the sketch's own error bound must hold.
+    values = np.sort(np.concatenate([np.asarray(c["v"]) for c in chunked.chunks()]))
+    bound = sketch.rank_error_bound()
+    assert bound < 0.02 * total_rows, f"rank bound {bound} too loose"
+    for p in (0.25, 0.5, 0.75, 0.95, 0.99):
+        estimate = sketch.quantile(p)
+        true_rank = np.searchsorted(values, estimate, side="right")
+        assert abs(true_rank - p * total_rows) <= bound + 1, (
+            f"q{p}: estimate {estimate} at rank {true_rank}, "
+            f"target {p * total_rows:.0f}, bound {bound}"
+        )
+
+    record_bench_stat(
+        "stream_sketch",
+        rows=total_rows,
+        rows_per_s=round(total_rows / elapsed, 1),
+        peak_tracemalloc_bytes=int(peak),
+        materialized_bytes=materialized_bytes,
+        rank_error_bound=int(bound),
+    )
+
+
+def test_streaming_aggregate_matches_materialized(dataset):
+    """Chunked group-by on the bench dataset vs the vectorized kernel:
+    exact verbs bit-for-bit, accumulated verbs within tolerance."""
+    spec = {"run_time_s": ("sum", "count", "mean", "min", "max", "std")}
+    materialized = dataset.gpu_jobs.group_by("user").aggregate(spec)
+
+    start = time.perf_counter()
+    streamed = (
+        dataset.gpu_jobs.to_chunked(chunk_rows=512).group_by("user").aggregate(spec)
+    )
+    elapsed = time.perf_counter() - start
+
+    assert list(streamed["user"]) == list(materialized["user"])
+    for exact in ("run_time_s_count", "run_time_s_min", "run_time_s_max"):
+        assert np.array_equal(
+            np.asarray(streamed[exact]), np.asarray(materialized[exact])
+        ), exact
+    for accumulated in ("run_time_s_sum", "run_time_s_mean", "run_time_s_std"):
+        np.testing.assert_allclose(
+            np.asarray(streamed[accumulated], dtype=float),
+            np.asarray(materialized[accumulated], dtype=float),
+            rtol=1e-9,
+            err_msg=accumulated,
+        )
+
+    counts = dataset.gpu_jobs.to_chunked(chunk_rows=512).value_counts(
+        "lifecycle_class"
+    )
+    naive = {}
+    for label in dataset.gpu_jobs["lifecycle_class"]:
+        naive[label] = naive.get(label, 0) + 1
+    assert dict(zip(counts["lifecycle_class"], counts["count"])) == naive
+
+    record_bench_stat(
+        "stream_aggregate",
+        rows=dataset.gpu_jobs.num_rows,
+        groups=streamed.num_rows,
+        rows_per_s=round(dataset.gpu_jobs.num_rows / max(elapsed, 1e-9), 1),
+    )
+
+
+def test_streaming_figures_match_materialized(dataset):
+    """fig03/fig04 on ``streaming_view()``: threshold fractions are
+    bit-identical, sketched quantiles within the paper-grade tolerance."""
+    from repro.figures import fig03, fig04
+
+    exact03 = fig03.run(dataset)
+    exact04 = fig04.run(dataset)
+    view = dataset.streaming_view(chunk_rows=1024)
+    stream03 = fig03.run(view)
+    stream04 = fig04.run(view)
+
+    for exact, streamed in ((exact03, stream03), (exact04, stream04)):
+        for ours, theirs in zip(exact.comparisons, streamed.comparisons):
+            assert ours.name == theirs.name
+            if "waiting <1 min" in ours.name or "waiting >1 min" in ours.name:
+                # column_fraction accumulates integer counts: bit-exact.
+                assert ours.measured == theirs.measured, ours.name
+            else:
+                assert theirs.measured == pytest.approx(
+                    ours.measured, rel=0.05, abs=0.75
+                ), ours.name
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_FULL"),
+    reason="set REPRO_BENCH_FULL=1 for the scale-0.5 out-of-core smoke",
+)
+def test_full_scale_spill_and_stream(tmp_path):
+    """Scale-0.5 build: spill per_gpu to disk, stream fig04 off the
+    spill with bounded working memory."""
+    from repro.analysis.stats import column_ecdf
+    from repro.pipeline import Session
+    from repro.workload.generator import WorkloadConfig
+
+    dataset = Session(WorkloadConfig(scale=0.5, seed=20220214)).dataset()
+    spilled = dataset.per_gpu.to_chunked(chunk_rows=4096).spill(tmp_path / "per_gpu")
+    chunk_budget_bytes = 4096 * len(dataset.per_gpu.column_names) * 8
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    sketch = column_ecdf(spilled, "sm_mean")
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert sketch.num_samples == dataset.per_gpu.num_rows
+    assert peak < 16 * chunk_budget_bytes, (
+        f"streaming off the spill peaked at {peak / 1e6:.1f} MB "
+        f"(chunk ~{chunk_budget_bytes / 1e6:.2f} MB)"
+    )
+    exact = np.asarray(dataset.per_gpu["sm_mean"], dtype=float)
+    exact = exact[np.isfinite(exact)]
+    assert sketch.median() == pytest.approx(float(np.median(exact)), rel=0.05, abs=1.0)
+    record_bench_stat(
+        "stream_full_scale",
+        rows=int(dataset.per_gpu.num_rows),
+        peak_tracemalloc_bytes=int(peak),
+    )

@@ -58,6 +58,62 @@ def ecdf(values) -> Ecdf:
     return Ecdf(ordered, probs)
 
 
+def column_ecdf(source, name: str, *, transform=None, k: int | None = None):
+    """The distribution of one column, exact or sketched by source type.
+
+    For a materialized :class:`~repro.frame.Table` this is the exact
+    :func:`ecdf` of the column; for a
+    :class:`~repro.frame.ChunkedTable` it is a one-pass
+    :class:`~repro.frame.QuantileSketch` (same query surface:
+    ``values``/``probabilities``/``evaluate``/``quantile``/``median``/
+    ``fraction_above``), so figure code can consume either without
+    branching.  ``transform`` is applied vectorized per chunk (e.g.
+    seconds to minutes); non-finite samples are dropped on both paths.
+    """
+    from repro.frame import DEFAULT_SKETCH_K, ChunkedTable, QuantileSketch
+
+    if isinstance(source, ChunkedTable):
+        sketch = QuantileSketch(k=DEFAULT_SKETCH_K if k is None else k)
+        for chunk in source.chunks():
+            arr = np.asarray(chunk.column(name), dtype=float)
+            if transform is not None:
+                arr = transform(arr)
+            sketch.update(arr)
+        if sketch.num_samples == 0:
+            raise AnalysisError("cannot build an ECDF from zero finite samples")
+        return sketch
+    arr = np.asarray(source.column(name), dtype=float)
+    if transform is not None:
+        arr = transform(arr)
+    return ecdf(arr)
+
+
+def column_fraction(source, name: str, predicate) -> float:
+    """The exact mean of a boolean predicate over one column.
+
+    ``predicate`` maps a float array to a boolean array.  Streaming a
+    :class:`~repro.frame.ChunkedTable` accumulates integer true/total
+    counts, so the result is bit-for-bit the materialized
+    ``predicate(column).mean()``.
+    """
+    from repro.frame import ChunkedTable
+
+    if isinstance(source, ChunkedTable):
+        true_count = 0
+        total = 0
+        for chunk in source.chunks():
+            hits = np.asarray(predicate(np.asarray(chunk.column(name), dtype=float)))
+            true_count += int(hits.sum())
+            total += int(hits.size)
+        if total == 0:
+            raise AnalysisError("cannot take a fraction of zero samples")
+        return true_count / total
+    hits = np.asarray(predicate(np.asarray(source.column(name), dtype=float)))
+    if hits.size == 0:
+        raise AnalysisError("cannot take a fraction of zero samples")
+    return float(hits.mean())
+
+
 def coefficient_of_variation(values) -> float:
     """Standard deviation as a fraction of the mean (paper's CoV).
 

@@ -1,0 +1,171 @@
+"""Machine-readable results for the performance-smoke suite.
+
+``python -m repro bench`` has always printed a human pass/fail table;
+this module adds the durable artifact: every run also writes a
+``BENCH_<n>.json`` at the repo root recording, per benchmark suite,
+the wall time, pass/fail, and whatever throughput/memory statistics
+the suite chose to report.  The JSON is append-only history — each run
+picks the next free ``<n>`` — so regressions can be diffed across
+commits without re-running old code.
+
+Suites report statistics through :func:`record_bench_stat`: while a
+suite runs, the runner exports ``REPRO_BENCH_STATS_DIR`` and each call
+drops a small JSON sidecar there (one file per stat name, last write
+wins); the runner sweeps the directory afterwards and merges the
+sidecars into that suite's entry.  Outside the runner the helper is a
+no-op, so benchmark files behave identically under plain pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Environment variable the runner sets while a suite's subprocess runs.
+STATS_DIR_ENV = "REPRO_BENCH_STATS_DIR"
+
+#: Written BENCH files match this (``BENCH_6.json``, ``BENCH_12.json``, …).
+_BENCH_FILE_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: The first id ever used, so history starts where the repo's numbered
+#: growth issues left off.
+FIRST_BENCH_ID = 6
+
+
+def record_bench_stat(name: str, **stats) -> None:
+    """Report a named statistic block from inside a benchmark suite.
+
+    ``stats`` values must be JSON-serializable (numbers, strings,
+    flat dicts).  Typical use from a benchmark body::
+
+        record_bench_stat("stream_sketch", rows_per_s=2.1e7,
+                          peak_tracemalloc_bytes=3_400_000)
+
+    No-op unless ``REPRO_BENCH_STATS_DIR`` is set (i.e. unless running
+    under ``python -m repro bench``), so suites stay plain pytest
+    files.
+    """
+    stats_dir = os.environ.get(STATS_DIR_ENV)
+    if not stats_dir:
+        return
+    path = Path(stats_dir) / f"{name}.json"
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(stats, sort_keys=True))
+    except OSError:
+        # A broken stats dir must never fail the benchmark itself.
+        return
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of one benchmark file run in its own pytest subprocess."""
+
+    name: str
+    path: str
+    passed: bool
+    seconds: float
+    stats: dict = field(default_factory=dict)
+    stdout_tail: str = ""
+    stderr_tail: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "passed": self.passed,
+            "seconds": round(self.seconds, 3),
+            "stats": self.stats,
+        }
+
+
+def run_suite(name: str, rel_path: str, root: Path, env: dict) -> SuiteResult:
+    """Run one benchmark file in a pytest subprocess, collecting stats.
+
+    The subprocess gets a fresh ``REPRO_BENCH_STATS_DIR``; sidecar JSON
+    files written there by :func:`record_bench_stat` are merged into
+    the result keyed by stat name.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stats-") as stats_dir:
+        sub_env = dict(env)
+        sub_env[STATS_DIR_ENV] = stats_dir
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", rel_path],
+            cwd=root,
+            env=sub_env,
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - start
+        stats = _sweep_stats(Path(stats_dir))
+    return SuiteResult(
+        name=name,
+        path=rel_path,
+        passed=proc.returncode == 0,
+        seconds=elapsed,
+        stats=stats,
+        stdout_tail=proc.stdout[-4000:],
+        stderr_tail=proc.stderr[-2000:],
+    )
+
+
+def _sweep_stats(stats_dir: Path) -> dict:
+    stats: dict = {}
+    try:
+        sidecars = sorted(stats_dir.glob("*.json"))
+    except OSError:
+        return stats
+    for sidecar in sidecars:
+        try:
+            stats[sidecar.stem] = json.loads(sidecar.read_text())
+        except (OSError, ValueError):
+            stats[sidecar.stem] = {"error": "unreadable stats sidecar"}
+    return stats
+
+
+def next_bench_path(root: Path) -> Path:
+    """The next free ``BENCH_<n>.json`` at the repo root.
+
+    Existing history is never overwritten: the id is one past the
+    largest already present (starting at :data:`FIRST_BENCH_ID`).
+    """
+    highest = FIRST_BENCH_ID - 1
+    try:
+        entries = list(root.iterdir())
+    except OSError:
+        entries = []
+    for entry in entries:
+        match = _BENCH_FILE_RE.match(entry.name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return root / f"BENCH_{highest + 1}.json"
+
+
+def write_bench_json(results: list[SuiteResult], path: Path) -> dict:
+    """Serialize a bench run to ``path`` and return the payload."""
+    from repro import __version__
+    from repro.obs.runtime import peak_rss_bytes
+
+    payload = {
+        "schema": 1,
+        "version": __version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "0.05"),
+        "bench_seed": os.environ.get("REPRO_BENCH_SEED", "20220214"),
+        "runner_peak_rss_bytes": peak_rss_bytes(),
+        "passed": all(r.passed for r in results),
+        "total_seconds": round(sum(r.seconds for r in results), 3),
+        "suites": [r.to_json() for r in results],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return payload

@@ -252,6 +252,7 @@ PERF_SMOKE = (
     ("pipeline", "benchmarks/bench_pipeline.py"),
     ("obs", "benchmarks/bench_obs.py"),
     ("dataset-build", "benchmarks/bench_dataset_build.py"),
+    ("stream", "benchmarks/bench_stream.py"),
 )
 
 
@@ -260,13 +261,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     Each benchmark file runs in its own pytest subprocess (the gates
     time real work; sharing an interpreter would let one benchmark's
-    warm caches skew another's baseline).
+    warm caches skew another's baseline).  Unless ``--no-json``, the
+    run is also serialized to ``BENCH_<n>.json`` at the repo root
+    (``--json-out`` overrides the path) with per-suite wall times and
+    the throughput/memory stats the suites report — see
+    ``repro.bench``.
     """
     import os
-    import subprocess
-    import time
 
     import repro
+    from repro.bench import next_bench_path, run_suite, write_bench_json
 
     root = Path(repro.__file__).resolve().parents[2]
     selected = list(PERF_SMOKE)
@@ -286,30 +290,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(root / "src"), env.get("PYTHONPATH")) if p
     )
-    rows = []
+    results = []
     for name, rel_path in selected:
-        start = time.perf_counter()
-        proc = subprocess.run(
-            [sys.executable, "-m", "pytest", "-q", rel_path],
-            cwd=root,
-            env=env,
-            capture_output=True,
-            text=True,
-        )
-        elapsed = time.perf_counter() - start
-        rows.append((name, rel_path, proc.returncode == 0, elapsed))
-        if proc.returncode != 0:
+        result = run_suite(name, rel_path, root, env)
+        results.append(result)
+        if not result.passed:
             print(f"--- {name}: {rel_path} failed ---")
-            print(proc.stdout[-4000:])
-            print(proc.stderr[-2000:])
+            print(result.stdout_tail)
+            print(result.stderr_tail)
     print(f"{'target':<14} {'result':<6} {'seconds':>8}")
-    for name, _, passed, elapsed in rows:
-        print(f"{name:<14} {'pass' if passed else 'FAIL':<6} {elapsed:>8.1f}")
-    failed = [name for name, _, passed, _ in rows if not passed]
+    for result in results:
+        status = "pass" if result.passed else "FAIL"
+        print(f"{result.name:<14} {status:<6} {result.seconds:>8.1f}")
+    if not args.no_json:
+        json_path = Path(args.json_out) if args.json_out else next_bench_path(root)
+        write_bench_json(results, json_path)
+        print(f"wrote {json_path}")
+    failed = [r.name for r in results if not r.passed]
     if failed:
-        print(f"{len(failed)}/{len(rows)} benchmark gates failed: {', '.join(failed)}")
+        print(
+            f"{len(failed)}/{len(results)} benchmark gates failed: {', '.join(failed)}"
+        )
         return 1
-    print(f"{len(rows)}/{len(rows)} benchmark gates passed")
+    print(f"{len(results)}/{len(results)} benchmark gates passed")
     return 0
 
 
@@ -397,6 +400,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--list", action="store_true",
         help="list the bench targets instead of running them",
+    )
+    bench.add_argument(
+        "--json-out", metavar="FILE",
+        help="write the machine-readable results here instead of the "
+             "next free BENCH_<n>.json at the repo root",
+    )
+    bench.add_argument(
+        "--no-json", action="store_true",
+        help="skip writing the machine-readable BENCH_<n>.json",
     )
     bench.set_defaults(fn=_cmd_bench)
     return parser

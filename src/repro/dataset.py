@@ -65,6 +65,24 @@ class SupercloudDataset:
             f"{len(self.timeseries.job_ids())} jobs with dense time series"
         )
 
+    def streaming_view(self, chunk_rows: int | None = None) -> "SupercloudDataset":
+        """A copy whose job tables are chunked views of the same data.
+
+        The figure producers that opted into the streaming path (fig03,
+        fig04) consume either representation; the rest require the
+        materialized tables.  ``timeseries``/``records`` are shared,
+        and :meth:`repro.monitor.timeseries.TimeSeriesStore.scan_table`
+        streams the dense samples.
+        """
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            jobs=self.jobs.to_chunked(chunk_rows),
+            gpu_jobs=self.gpu_jobs.to_chunked(chunk_rows),
+            per_gpu=self.per_gpu.to_chunked(chunk_rows),
+        )
+
 
 def generate_dataset(
     config: WorkloadConfig | None = None,

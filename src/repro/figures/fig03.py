@@ -1,10 +1,18 @@
-"""Fig 3: run times and queue waits of GPU vs CPU jobs."""
+"""Fig 3: run times and queue waits of GPU vs CPU jobs.
+
+This producer is a streaming proof-of-concept consumer: it reads the
+job tables only through :func:`~repro.analysis.stats.column_ecdf` and
+:func:`~repro.analysis.stats.column_fraction`, so it accepts either
+the materialized dataset or ``dataset.streaming_view()`` — exact CDFs
+in the first case, one-pass quantile sketches (tracked rank-error
+bound) with bit-identical threshold fractions in the second.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.stats import ecdf
+from repro.analysis.stats import column_ecdf, column_fraction
 from repro.dataset import SupercloudDataset
 from repro.figures.base import Comparison, FigureResult
 
@@ -14,12 +22,11 @@ def run(dataset: SupercloudDataset) -> FigureResult:
     gpu = dataset.gpu_jobs
     cpu = dataset.jobs.filter(lambda t: np.asarray(t["num_gpus"]) == 0)
 
-    gpu_runtime = ecdf(np.asarray(gpu["run_time_s"], dtype=float) / 60.0)
-    cpu_runtime = ecdf(np.asarray(cpu["run_time_s"], dtype=float) / 60.0)
-    gpu_wait_frac = ecdf(np.asarray(gpu["wait_fraction"], dtype=float))
-    cpu_wait_frac = ecdf(np.asarray(cpu["wait_fraction"], dtype=float))
-    gpu_wait = np.asarray(gpu["wait_time_s"], dtype=float)
-    cpu_wait = np.asarray(cpu["wait_time_s"], dtype=float)
+    to_minutes = lambda seconds: seconds / 60.0  # noqa: E731
+    gpu_runtime = column_ecdf(gpu, "run_time_s", transform=to_minutes)
+    cpu_runtime = column_ecdf(cpu, "run_time_s", transform=to_minutes)
+    gpu_wait_frac = column_ecdf(gpu, "wait_fraction")
+    cpu_wait_frac = column_ecdf(cpu, "wait_fraction")
 
     comparisons = [
         Comparison("GPU runtime p25", 4.0, gpu_runtime.quantile(0.25), " min"),
@@ -32,8 +39,16 @@ def run(dataset: SupercloudDataset) -> FigureResult:
         Comparison(
             "CPU jobs waiting <2% of service", 0.20, float(cpu_wait_frac.evaluate(0.02))
         ),
-        Comparison("GPU jobs waiting <1 min", 0.70, float((gpu_wait < 60.0).mean())),
-        Comparison("CPU jobs waiting >1 min", 0.70, float((cpu_wait > 60.0).mean())),
+        Comparison(
+            "GPU jobs waiting <1 min",
+            0.70,
+            column_fraction(gpu, "wait_time_s", lambda w: w < 60.0),
+        ),
+        Comparison(
+            "CPU jobs waiting >1 min",
+            0.70,
+            column_fraction(cpu, "wait_time_s", lambda w: w > 60.0),
+        ),
     ]
     return FigureResult(
         figure_id="fig03",

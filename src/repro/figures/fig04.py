@@ -1,10 +1,18 @@
-"""Fig 4: distribution of average GPU resource utilization."""
+"""Fig 4: distribution of average GPU resource utilization.
+
+A streaming proof-of-concept consumer (like fig03): every distribution
+is read through :func:`~repro.analysis.stats.column_ecdf`, so a
+materialized ``gpu_jobs`` table yields exact CDFs while a
+``dataset.streaming_view()`` yields one-pass quantile sketches with
+the same query surface — including ``values``/``probabilities`` for
+the KS-against-uniform deviation below.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.stats import ecdf
+from repro.analysis.stats import column_ecdf
 from repro.dataset import SupercloudDataset
 from repro.figures.base import Comparison, FigureResult
 
@@ -12,11 +20,11 @@ from repro.figures.base import Comparison, FigureResult
 def run(dataset: SupercloudDataset) -> FigureResult:
     """Fig 4(a): SM / memory-BW / memory-size CDFs; Fig 4(b): PCIe."""
     gpu = dataset.gpu_jobs
-    sm = ecdf(gpu["sm_mean"])
-    mem = ecdf(gpu["mem_bw_mean"])
-    size = ecdf(gpu["mem_size_mean"])
-    tx = ecdf(gpu["pcie_tx_mean"])
-    rx = ecdf(gpu["pcie_rx_mean"])
+    sm = column_ecdf(gpu, "sm_mean")
+    mem = column_ecdf(gpu, "mem_bw_mean")
+    size = column_ecdf(gpu, "mem_size_mean")
+    tx = column_ecdf(gpu, "pcie_tx_mean")
+    rx = column_ecdf(gpu, "pcie_rx_mean")
 
     comparisons = [
         Comparison("SM util median", 16.0, sm.median(), "%"),
@@ -29,6 +37,8 @@ def run(dataset: SupercloudDataset) -> FigureResult:
     # PCIe uniformity: the paper reads the linear CDF as a uniform
     # bandwidth distribution.  Quantify with the max CDF deviation from
     # a straight line over the occupied support (a KS-against-uniform).
+    # On the streaming path the sketch's summary points play the role
+    # of the sample points.
     for name, dist in (("Tx", tx), ("Rx", rx)):
         support = dist.values[-1] - dist.values[0]
         if support > 0:

@@ -4,10 +4,18 @@ The paper's analysis pipeline was written against pandas (accelerated
 with Modin).  pandas is not available in this environment, so
 :mod:`repro.frame` provides the subset of columnar operations the
 characterization actually needs: typed columns, boolean filtering,
-sorting, group-by with aggregation, joins, and CSV/JSONL persistence.
+sorting, group-by with aggregation, joins, CSV/JSONL/NPZ persistence —
+and, for inputs larger than memory, *chunked* execution behind the
+same verbs (:class:`ChunkedTable`, :class:`QuantileSketch`; see
+``docs/frame.md``).
 
-The central type is :class:`Table`; :class:`GroupBy` is returned by
-:meth:`Table.group_by`.
+This package is the single public surface: import every name from
+``repro.frame`` itself.  The submodules (``repro.frame.table``,
+``repro.frame.io``, ...) are implementation detail; touching them
+directly is deprecated and warns.  The one documented exception is
+:mod:`repro.frame.reference` — the intentionally-naive oracle the
+property tests and benchmarks compare against, which is not part of
+the API and never will be.
 
 Example
 -------
@@ -15,22 +23,50 @@ Example
 >>> t = Table({"user": ["a", "b", "a"], "runtime_s": [60.0, 120.0, 30.0]})
 >>> t.group_by("user").mean("runtime_s").sort_by("user").column("runtime_s_mean")
 array([ 45., 120.])
+
+Streaming the same aggregate chunk-by-chunk:
+
+>>> t.to_chunked(chunk_rows=2).group_by("user").mean("runtime_s").sort_by(
+...     "user").column("runtime_s_mean")
+array([ 45., 120.])
 """
 
 from repro.frame.builder import TableBuilder
+from repro.frame.chunked import DEFAULT_CHUNK_ROWS, ChunkedTable, StreamingGroupBy, concat_chunked
 from repro.frame.column import as_column, column_dtype, is_string_column
 from repro.frame.factorize import Factorization, factorize_columns
-from repro.frame.groupby import GroupBy
-from repro.frame.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.frame.groupby import (
+    EXACT_STREAMING_REDUCERS,
+    STREAMABLE_REDUCERS,
+    GroupBy,
+    StreamingAggregateState,
+)
+from repro.frame.io import (
+    read_csv,
+    read_jsonl,
+    read_table_npz,
+    scan_csv,
+    scan_jsonl,
+    write_csv,
+    write_jsonl,
+    write_table_npz,
+)
+from repro.frame.sketch import DEFAULT_SKETCH_K, QuantileSketch, StreamingMoments
 from repro.frame.table import Table, concat_tables
 
 __all__ = [
     "Table",
     "TableBuilder",
+    "ChunkedTable",
+    "StreamingGroupBy",
+    "StreamingAggregateState",
+    "QuantileSketch",
+    "StreamingMoments",
     "GroupBy",
     "Factorization",
     "factorize_columns",
     "concat_tables",
+    "concat_chunked",
     "as_column",
     "column_dtype",
     "is_string_column",
@@ -38,4 +74,51 @@ __all__ = [
     "read_jsonl",
     "write_csv",
     "write_jsonl",
+    "read_table_npz",
+    "write_table_npz",
+    "scan_csv",
+    "scan_jsonl",
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_SKETCH_K",
+    "STREAMABLE_REDUCERS",
+    "EXACT_STREAMING_REDUCERS",
 ]
+
+#: Submodules kept importable for compatibility but deprecated as
+#: import targets.  The eager imports above bound each one as a package
+#: attribute; removing those bindings routes plain attribute access
+#: (``repro.frame.io``) through :func:`__getattr__` below, which warns.
+#: ``from repro.frame.<sub> import X`` bypasses ``__getattr__`` by
+#: design (the import system reads ``sys.modules`` directly) — the
+#: in-repo importers were migrated instead.
+_DEPRECATED_SUBMODULES = (
+    "builder",
+    "chunked",
+    "column",
+    "factorize",
+    "groupby",
+    "io",
+    "sketch",
+    "table",
+    "reference",
+)
+
+for _name in _DEPRECATED_SUBMODULES:
+    globals().pop(_name, None)
+del _name
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_SUBMODULES:
+        import importlib
+        import warnings
+
+        warnings.warn(
+            f"importing repro.frame.{name} directly is deprecated; "
+            "repro.frame is the public surface (repro.frame.reference stays "
+            "available as the test oracle only)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return importlib.import_module(f"repro.frame.{name}")
+    raise AttributeError(f"module 'repro.frame' has no attribute {name!r}")

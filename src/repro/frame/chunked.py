@@ -1,0 +1,491 @@
+"""Out-of-core execution: :class:`ChunkedTable` and its streaming verbs.
+
+A :class:`ChunkedTable` is a re-iterable stream of bounded-size
+:class:`~repro.frame.table.Table` batches behind (a subset of) the same
+verbs.  Transformations (``select``/``drop``/``rename``/``filter``/
+``with_column``/``join`` against a broadcast table) stay lazy — each
+builds a new chunked view whose chunks are produced on demand — while
+terminal operations (``group_by(...).aggregate``, ``value_counts``,
+``sketch``, ``moments``, ``materialize``, ``spill``) run one bounded-
+memory pass.
+
+Memory contract (the full verb-by-verb table lives in
+docs/performance.md):
+
+* lazy verbs hold at most one chunk at a time plus O(1) state;
+* ``group_by`` aggregation holds O(groups) state
+  (:class:`~repro.frame.groupby.StreamingAggregateState`);
+* ``sketch`` holds O(k log(n/k)) state;
+* ``spill`` streams chunks to ``.npz`` files and returns a file-backed
+  view (re-iterable without re-running the producing pipeline);
+* ``materialize``/``head``/``sort_by``-style whole-table operations are
+  the explicit escape hatch back to :class:`Table`.
+
+Exactness: chunked ``filter``/``join``/``value_counts``/``head`` and
+the ``count``/``min``/``max``/``first``/``last`` reducers are
+bit-for-bit identical to running the materialized kernel on
+``materialize()``; ``sum``/``mean``/``std`` accumulate float partials
+(deterministic for a fixed chunking); sketch quantiles carry a tracked
+rank-error bound.  The streaming property suite pins all of this
+against :mod:`repro.frame.reference`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame.groupby import StreamingAggregateState
+from repro.frame.sketch import DEFAULT_SKETCH_K, QuantileSketch, StreamingMoments
+from repro.frame.table import Table, _unwrap, concat_tables
+from repro.obs.runtime import get_metrics, get_tracer, record_peak_rss
+
+__all__ = ["ChunkedTable", "concat_chunked", "DEFAULT_CHUNK_ROWS"]
+
+#: Default rows per chunk: ~0.5 MiB per float64 column.
+DEFAULT_CHUNK_ROWS = 65536
+
+ChunkSource = Callable[[], Iterator[Table]]
+
+
+class ChunkedTable:
+    """A re-iterable stream of table chunks behind the ``Table`` verbs.
+
+    Construct via :meth:`Table.to_chunked`, :meth:`ChunkedTable.scan`,
+    :func:`concat_chunked`, or directly from a sequence of tables / a
+    zero-argument factory returning a fresh chunk iterator.  Factories
+    make the view re-iterable without buffering: every pass calls the
+    factory again (e.g. re-reads the spill files).
+    """
+
+    def __init__(
+        self,
+        chunks: Sequence[Table] | ChunkSource,
+        *,
+        column_names: Sequence[str] | None = None,
+        num_rows: int | None = None,
+    ) -> None:
+        if callable(chunks):
+            self._source: ChunkSource | None = chunks
+            self._chunks: tuple[Table, ...] | None = None
+        else:
+            self._source = None
+            self._chunks = tuple(chunks)
+        self._column_names = None if column_names is None else tuple(column_names)
+        self._num_rows = num_rows
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: Table, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> "ChunkedTable":
+        """Split a materialized table into a chunked view (zero-copy rows
+        are not possible with fancy indexing, but chunks are produced
+        lazily so only one slice is alive at a time)."""
+        if chunk_rows < 1:
+            raise FrameError(f"chunk_rows must be >= 1, got {chunk_rows}")
+
+        def produce() -> Iterator[Table]:
+            for start in range(0, table.num_rows, chunk_rows):
+                yield table.take(np.arange(start, min(start + chunk_rows, table.num_rows)))
+
+        return cls(produce, column_names=table.column_names, num_rows=table.num_rows)
+
+    @classmethod
+    def scan(cls, source: Any, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> "ChunkedTable":
+        """Open ``source`` as a chunked view.
+
+        Accepts a :class:`Table` (split into chunks), a ``.csv`` or
+        ``.jsonl`` path (streamed off disk), a directory of spill
+        ``.npz`` files, or an iterable of tables.
+        """
+        from repro.frame.io import read_table_npz, scan_csv, scan_jsonl
+
+        if isinstance(source, Table):
+            return cls.from_table(source, chunk_rows)
+        if isinstance(source, ChunkedTable):
+            return source
+        if isinstance(source, (str, Path)):
+            path = Path(source)
+            if path.is_dir():
+                files = sorted(path.glob("*.npz"))
+                if not files:
+                    raise FrameError(f"no .npz spill files under {path}")
+                return cls(lambda: (read_table_npz(f) for f in files))
+            if path.suffix == ".csv":
+                return cls(lambda: scan_csv(path, chunk_rows))
+            if path.suffix == ".jsonl":
+                return cls(lambda: scan_jsonl(path, chunk_rows))
+            raise FrameError(
+                f"cannot scan {path}: expected a .csv/.jsonl file or a directory of .npz chunks"
+            )
+        try:
+            chunks = tuple(source)
+        except TypeError:
+            raise FrameError(f"cannot scan source of type {type(source).__name__}") from None
+        return cls(chunks)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def chunks(self) -> Iterator[Table]:
+        """Iterate the non-empty chunks (a fresh pass every call)."""
+        produced = self._chunks if self._source is None else self._source()
+        names = self._column_names
+        for chunk in produced:
+            if chunk.num_rows == 0:
+                continue
+            if names is None:
+                names = self._column_names = chunk.column_names
+            elif chunk.column_names != names:
+                raise FrameError(
+                    f"chunk columns {chunk.column_names} differ from {names}"
+                )
+            yield chunk
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names (peeks the first chunk when not yet known)."""
+        if self._column_names is None:
+            for _ in self.chunks():
+                break
+            if self._column_names is None:
+                self._column_names = ()
+        return self._column_names
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows; counted with one streaming pass when unknown."""
+        if self._num_rows is None:
+            self._num_rows = sum(chunk.num_rows for chunk in self.chunks())
+        return self._num_rows
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.column_names
+
+    def __repr__(self) -> str:
+        rows = "?" if self._num_rows is None else str(self._num_rows)
+        names = ", ".join(self.column_names[:8])
+        return f"ChunkedTable({rows} rows: {names})"
+
+    def column(self, name: str) -> np.ndarray:
+        raise FrameError(
+            f"a ChunkedTable has no materialized column {name!r}; call "
+            "materialize() for the full array, or stream it via sketch()/moments()"
+        )
+
+    __getitem__ = column
+
+    # ------------------------------------------------------------------
+    # Lazy transformations
+    # ------------------------------------------------------------------
+    def map_chunks(self, fn: Callable[[Table], Table], *, preserves_rows: bool = False) -> "ChunkedTable":
+        """A lazy chunked view applying ``fn`` to every chunk."""
+        out = ChunkedTable(lambda: (fn(chunk) for chunk in self.chunks()))
+        if preserves_rows:
+            out._num_rows = self._num_rows
+        return out
+
+    def select(self, names: Sequence[str]) -> "ChunkedTable":
+        names = tuple(names)
+        out = self.map_chunks(lambda c: c.select(names), preserves_rows=True)
+        out._column_names = names
+        return out
+
+    def drop(self, names: Sequence[str]) -> "ChunkedTable":
+        dropped = set(names)
+        keep = tuple(n for n in self.column_names if n not in dropped)
+        missing = dropped - set(self.column_names)
+        if missing:
+            raise FrameError(f"cannot drop missing column(s) {sorted(missing)}")
+        return self.select(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "ChunkedTable":
+        mapping = dict(mapping)
+        out = self.map_chunks(lambda c: c.rename(mapping), preserves_rows=True)
+        if self._column_names is not None:
+            out._column_names = tuple(mapping.get(n, n) for n in self._column_names)
+        return out
+
+    def with_column(self, name: str, fn: Callable[[Table], Any]) -> "ChunkedTable":
+        """Add/replace a column computed per chunk (``fn`` must be a
+        callable of the chunk — broadcast scalars cannot know chunk
+        lengths up front)."""
+        if not callable(fn):
+            raise FrameError("ChunkedTable.with_column requires a callable of the chunk")
+        out = self.map_chunks(lambda c: c.with_computed(name, fn), preserves_rows=True)
+        if self._column_names is not None:
+            names = self._column_names
+            out._column_names = names if name in names else names + (name,)
+        return out
+
+    def filter(self, mask: Callable[[Table], Any]) -> "ChunkedTable":
+        """Keep rows where the per-chunk predicate is True.
+
+        Only callables are accepted: a whole-table boolean mask would
+        require knowing global row positions, which a stream does not
+        have.
+        """
+        if not callable(mask):
+            raise FrameError(
+                "ChunkedTable.filter requires a callable predicate; whole-table "
+                "masks need materialize()"
+            )
+        out = self.map_chunks(lambda c: c.filter(mask))
+        # Filtering never changes the schema, so an all-filtered-out
+        # stream still materializes with its columns intact.
+        out._column_names = self._column_names
+        return out
+
+    def join(self, other: Table, on: str, how: str = "inner", suffix: str = "_right") -> "ChunkedTable":
+        """Broadcast-join a *materialized* table onto every chunk.
+
+        The right side must be a small :class:`Table` (it is held in
+        memory and probed once per chunk); joining two chunked tables
+        would need a shuffle, which this engine does not do.
+        """
+        if isinstance(other, ChunkedTable):
+            raise FrameError(
+                "ChunkedTable.join requires a materialized right side; "
+                "materialize() the smaller table first"
+            )
+        return self.map_chunks(lambda c: c.join(other, on=on, how=how, suffix=suffix))
+
+    def head(self, n: int = 5) -> Table:
+        """The first ``n`` rows, materialized (stops the scan early)."""
+        taken: list[Table] = []
+        remaining = n
+        for chunk in self.chunks():
+            if remaining <= 0:
+                break
+            taken.append(chunk.head(remaining))
+            remaining -= taken[-1].num_rows
+        return concat_tables(taken)
+
+    # ------------------------------------------------------------------
+    # Terminal operations
+    # ------------------------------------------------------------------
+    def group_by(self, *names: str) -> "StreamingGroupBy":
+        """Streaming group-by; see :class:`StreamingGroupBy`."""
+        return StreamingGroupBy(self, names)
+
+    def value_counts(self, name: str) -> Table:
+        """Count occurrences of each value, most frequent first (ties
+        broken by the value's string form) — bit-for-bit the
+        materialized :meth:`Table.value_counts` contract, in one
+        O(distinct values) pass."""
+        counts: dict[Any, int] = {}
+        rows = 0
+        chunks = 0
+        tracer = get_tracer()
+        with tracer.span("frame.stream.value_counts", category="frame", column=name) as span:
+            for chunk in self.chunks():
+                chunks += 1
+                rows += chunk.num_rows
+                partial = chunk.value_counts(name)
+                for value, count in zip(
+                    (_unwrap(v) for v in partial.column(name)),
+                    partial.column("count").tolist(),
+                ):
+                    counts[value] = counts.get(value, 0) + count
+            span.set(chunks=chunks, rows=rows, groups=len(counts))
+        _count_stream_op("value_counts", chunks, rows)
+        if not counts:
+            return Table.from_rows([])
+        values = list(counts)
+        totals = np.asarray(list(counts.values()), dtype=np.int64)
+        labels = np.asarray([str(v) for v in values])
+        order = np.lexsort((labels, -totals))
+        column = np.empty(len(values), dtype=object)
+        column[:] = values
+        out = Table({name: column[order], "count": totals[order]})
+        return out
+
+    def sketch(self, name: str, k: int = DEFAULT_SKETCH_K) -> QuantileSketch:
+        """One-pass mergeable quantile/ECDF sketch of a column."""
+        sketch = QuantileSketch(k=k)
+        chunks = 0
+        tracer = get_tracer()
+        with tracer.span("frame.stream.sketch", category="frame", column=name, k=k) as span:
+            for chunk in self.chunks():
+                chunks += 1
+                sketch.update(chunk.column(name))
+            span.set(chunks=chunks, rows=sketch.num_samples)
+        _count_stream_op("sketch", chunks, sketch.num_samples)
+        return sketch
+
+    def moments(self, name: str) -> StreamingMoments:
+        """One-pass count/sum/min/max/mean/std of a column."""
+        moments = StreamingMoments()
+        chunks = 0
+        tracer = get_tracer()
+        with tracer.span("frame.stream.moments", category="frame", column=name) as span:
+            for chunk in self.chunks():
+                chunks += 1
+                moments.update(chunk.column(name))
+            span.set(chunks=chunks, rows=moments.count)
+        _count_stream_op("moments", chunks, moments.count)
+        return moments
+
+    def materialize(self) -> Table:
+        """Concatenate every chunk back into one :class:`Table`."""
+        tracer = get_tracer()
+        with tracer.span("frame.stream.materialize", category="frame") as span:
+            parts = list(self.chunks())
+            if parts:
+                table = concat_tables(parts)
+            else:
+                table = Table({name: [] for name in (self._column_names or ())})
+            span.set(chunks=len(parts), rows=table.num_rows)
+        _count_stream_op("materialize", len(parts), table.num_rows)
+        self._num_rows = table.num_rows
+        record_peak_rss()
+        return table
+
+    def spill(self, directory: str | Path | None = None) -> "ChunkedTable":
+        """Stream every chunk to ``.npz`` files; return the file-backed view.
+
+        Re-iterating the result re-reads the files instead of re-running
+        the producing pipeline, so a spilled view can be scanned many
+        times for the cost of one upstream pass.  Emits
+        ``repro_frame_spill_chunks_total`` / ``repro_frame_spill_bytes_total``.
+        """
+        from repro.frame.io import read_table_npz, write_table_npz
+
+        target = Path(
+            tempfile.mkdtemp(prefix="repro-spill-") if directory is None else directory
+        )
+        target.mkdir(parents=True, exist_ok=True)
+        paths: list[Path] = []
+        rows = 0
+        spilled_bytes = 0
+        tracer = get_tracer()
+        with tracer.span("frame.stream.spill", category="frame", directory=str(target)) as span:
+            for chunk in self.chunks():
+                path = write_table_npz(chunk, target / f"chunk_{len(paths):06d}.npz")
+                paths.append(path)
+                rows += chunk.num_rows
+                spilled_bytes += path.stat().st_size
+            span.set(chunks=len(paths), rows=rows, bytes=spilled_bytes)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_frame_spill_chunks_total",
+                help="table chunks spilled to disk by the streaming engine",
+            ).inc(len(paths))
+            metrics.counter(
+                "repro_frame_spill_bytes_total",
+                help="bytes of spill files written by the streaming engine",
+            ).inc(spilled_bytes)
+        _count_stream_op("spill", len(paths), rows)
+        record_peak_rss()
+        self._num_rows = rows
+        return ChunkedTable(
+            lambda: (read_table_npz(p) for p in paths),
+            column_names=self._column_names,
+            num_rows=rows,
+        )
+
+
+class StreamingGroupBy:
+    """Streaming group-by over a :class:`ChunkedTable`.
+
+    Mirrors the :class:`~repro.frame.groupby.GroupBy` aggregation
+    surface (``aggregate``/``sizes``/``mean``/``sum``) with O(groups)
+    state.  Iteration over group sub-tables is a materialized-only
+    feature: the stream cannot hand out per-group row sets without
+    buffering them.
+    """
+
+    def __init__(self, source: ChunkedTable, keys: Sequence[str]) -> None:
+        if not keys:
+            raise FrameError("group_by requires at least one key column")
+        self._source = source
+        self._keys = tuple(keys)
+
+    def _run(self, spec: Mapping[str, Sequence[str] | str]) -> StreamingAggregateState:
+        state = StreamingAggregateState(self._keys, spec)
+        chunks = 0
+        rows = 0
+        tracer = get_tracer()
+        with tracer.span(
+            "frame.stream.aggregate", category="frame", keys=",".join(self._keys)
+        ) as span:
+            for chunk in self._source.chunks():
+                chunks += 1
+                rows += chunk.num_rows
+                state.update(chunk)
+            span.set(chunks=chunks, rows=rows, groups=state.num_groups)
+        _count_stream_op("aggregate", chunks, rows)
+        record_peak_rss()
+        return state
+
+    def aggregate(self, spec: Mapping[str, Sequence[str] | str]) -> Table:
+        """Aggregate columns per group; see :meth:`GroupBy.aggregate`.
+
+        Supports the streamable reducers
+        (:data:`~repro.frame.groupby.STREAMABLE_REDUCERS`); ``median``
+        requires ``materialize()`` or a quantile sketch.
+        """
+        return self._run(spec).result()
+
+    def sizes(self) -> Table:
+        """Group keys and row counts, like :meth:`GroupBy.sizes`."""
+        return self._run({}).sizes()
+
+    def mean(self, column: str) -> Table:
+        return self.aggregate({column: "mean"})
+
+    def sum(self, column: str) -> Table:
+        return self.aggregate({column: "sum"})
+
+
+def concat_chunked(sources: Iterable[Table | ChunkedTable]) -> ChunkedTable:
+    """Chain tables and chunked tables into one lazy chunked view.
+
+    The inputs are *not* materialized together: chunks stream through
+    in order, so the result's memory high-water mark is one chunk.
+    """
+    parts = list(sources)
+    for part in parts:
+        if not isinstance(part, (Table, ChunkedTable)):
+            raise FrameError(
+                f"concat_chunked accepts Table or ChunkedTable, got {type(part).__name__}"
+            )
+
+    def produce() -> Iterator[Table]:
+        for part in parts:
+            if isinstance(part, Table):
+                if part.num_rows:
+                    yield part
+            else:
+                yield from part.chunks()
+
+    known: int | None = 0
+    for part in parts:
+        part_rows = part.num_rows if isinstance(part, Table) else part._num_rows
+        if part_rows is None:
+            known = None
+            break
+        known += part_rows
+    return ChunkedTable(produce, num_rows=known)
+
+
+def _count_stream_op(op: str, chunks: int, rows: int) -> None:
+    """Per-terminal-op chunk/row counters for the metric catalog."""
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_frame_stream_chunks_total",
+            help="chunks consumed by streaming frame operations",
+            op=op,
+        ).inc(chunks)
+        metrics.counter(
+            "repro_frame_stream_rows_total",
+            help="rows consumed by streaming frame operations",
+            op=op,
+        ).inc(rows)

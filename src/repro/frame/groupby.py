@@ -200,6 +200,270 @@ class GroupBy:
         return self.aggregate({column: "sum"})
 
 
+# ----------------------------------------------------------------------
+# Streaming (chunk-at-a-time) aggregation
+# ----------------------------------------------------------------------
+#: Reducers with a mergeable partial state.  ``median`` is the one
+#: builtin without one — it needs the whole group (materialize, or use
+#: a :class:`repro.frame.sketch.QuantileSketch`).
+STREAMABLE_REDUCERS = ("sum", "count", "mean", "min", "max", "std", "first", "last")
+
+#: Streamable reducers whose chunked result is bit-for-bit identical to
+#: the materialized kernel regardless of chunking.  ``sum``/``mean``/
+#: ``std`` accumulate float partials instead (deterministic for a fixed
+#: chunking, exact when the addends are exactly representable; see
+#: docs/performance.md for the full contract).
+EXACT_STREAMING_REDUCERS = ("count", "min", "max", "first", "last")
+
+
+class StreamingAggregateState:
+    """Mergeable partial-aggregate state for a chunked group-by.
+
+    Feed chunks with :meth:`update`; combine parallel partials with
+    :meth:`merge`; read the one-row-per-group table with
+    :meth:`result`.  Group order is first-seen order across the update
+    stream, matching :class:`GroupBy` on the concatenated input.  State
+    size is O(groups), independent of total rows.
+    """
+
+    def __init__(self, keys: Sequence[str], spec: Mapping[str, Sequence[str] | str]) -> None:
+        if not keys:
+            raise FrameError("group_by requires at least one key column")
+        self._keys = tuple(keys)
+        normalized: list[tuple[str, str]] = []
+        need: dict[str, set[str]] = {}
+        for column, reducers in spec.items():
+            if isinstance(reducers, str):
+                reducers = [reducers]
+            for name in reducers:
+                if name not in _BUILTIN_REDUCERS:
+                    raise FrameError(
+                        f"unknown reducer {name!r}; choose from {sorted(_BUILTIN_REDUCERS)}"
+                    )
+                if name not in STREAMABLE_REDUCERS:
+                    raise FrameError(
+                        f"reducer {name!r} has no mergeable partial state; "
+                        "materialize() the chunked table or use a QuantileSketch"
+                    )
+                normalized.append((column, name))
+                need.setdefault(column, set()).add(name)
+        self._normalized = normalized
+        self._need = need
+        self._lookup: dict[tuple[Any, ...], int] = {}
+        self._key_values: list[list[Any]] = [[] for _ in self._keys]
+        self._counts = np.zeros(0, dtype=np.int64)
+        self._sums: dict[str, np.ndarray] = {}
+        self._sumsqs: dict[str, np.ndarray] = {}
+        self._mins: dict[str, np.ndarray] = {}
+        self._maxs: dict[str, np.ndarray] = {}
+        self._firsts: dict[str, list[Any]] = {}
+        self._lasts: dict[str, list[Any]] = {}
+        for column, stats in need.items():
+            if stats & {"sum", "mean", "std"}:
+                self._sums[column] = np.zeros(0, dtype=float)
+            if "std" in stats:
+                self._sumsqs[column] = np.zeros(0, dtype=float)
+            if "min" in stats:
+                self._mins[column] = np.zeros(0, dtype=float)
+            if "max" in stats:
+                self._maxs[column] = np.zeros(0, dtype=float)
+            if "first" in stats:
+                self._firsts[column] = []
+            if "last" in stats:
+                self._lasts[column] = []
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._lookup)
+
+    # ------------------------------------------------------------------
+    def update(self, table: Table) -> "StreamingAggregateState":
+        """Absorb one chunk."""
+        if table.num_rows == 0:
+            return self
+        record_kernel("stream_aggregate", table.num_rows)
+        fact = factorize_columns([table.column(k) for k in self._keys])
+        reps = [table.column(k)[fact.first_rows] for k in self._keys]
+        rep_rows = list(zip(*(col.tolist() for col in reps)))
+        lookup = self._lookup
+        gids = np.empty(fact.num_groups, dtype=np.intp)
+        new_flags = np.zeros(fact.num_groups, dtype=bool)
+        for g, key in enumerate(rep_rows):
+            gid = lookup.get(key)
+            if gid is None:
+                gid = lookup[key] = len(lookup)
+                for store, col in zip(self._key_values, reps):
+                    store.append(col[g])
+                new_flags[g] = True
+            gids[g] = gid
+        total = len(lookup)
+        new_gids = gids[new_flags]
+        old_mask = ~new_flags
+
+        self._counts = _extend(self._counts, total, 0)
+        self._counts[gids] += fact.sizes
+
+        starts = fact.starts[:-1]
+        sorted_cache: dict[str, np.ndarray] = {}
+        for column, stats in self._need.items():
+            values = sorted_cache.get(column)
+            if values is None:
+                values = sorted_cache[column] = table.column(column)[fact.order]
+            if "first" in stats:
+                firsts = self._firsts[column]
+                chunk_firsts = values[starts]
+                for g in np.flatnonzero(new_flags):
+                    firsts.append(chunk_firsts[g])
+            if "last" in stats:
+                lasts = self._lasts[column]
+                lasts.extend([None] * (total - len(lasts)))
+                chunk_lasts = values[fact.starts[1:] - 1]
+                for g in range(fact.num_groups):
+                    lasts[gids[g]] = chunk_lasts[g]
+            if not stats - {"first", "last", "count"}:
+                continue
+            floats = values.astype(float)
+            if column in self._sums:
+                partial = np.add.reduceat(floats, starts)
+                arr = self._sums[column] = _extend(self._sums[column], total, 0.0)
+                arr[new_gids] = partial[new_flags]
+                arr[gids[old_mask]] += partial[old_mask]
+            if column in self._sumsqs:
+                partial = np.add.reduceat(floats * floats, starts)
+                arr = self._sumsqs[column] = _extend(self._sumsqs[column], total, 0.0)
+                arr[new_gids] = partial[new_flags]
+                arr[gids[old_mask]] += partial[old_mask]
+            if column in self._mins:
+                partial = np.minimum.reduceat(floats, starts)
+                arr = self._mins[column] = _extend(self._mins[column], total, np.inf)
+                arr[new_gids] = partial[new_flags]
+                old = gids[old_mask]
+                arr[old] = np.minimum(arr[old], partial[old_mask])
+            if column in self._maxs:
+                partial = np.maximum.reduceat(floats, starts)
+                arr = self._maxs[column] = _extend(self._maxs[column], total, -np.inf)
+                arr[new_gids] = partial[new_flags]
+                old = gids[old_mask]
+                arr[old] = np.maximum(arr[old], partial[old_mask])
+        return self
+
+    def merge(self, other: "StreamingAggregateState") -> "StreamingAggregateState":
+        """Fold another state into this one (parallel chunk partials).
+
+        Groups unseen by ``self`` are appended in ``other``'s first-seen
+        order, so merging states built from a partitioned stream gives
+        the same group set (order depends on the merge order).
+        """
+        if other._keys != self._keys or other._normalized != self._normalized:
+            raise FrameError("cannot merge streaming states with different specs")
+        if not other._lookup:
+            return self
+        remap = np.empty(len(other._lookup), dtype=np.intp)
+        new_other: list[int] = []
+        for key, theirs in other._lookup.items():
+            gid = self._lookup.get(key)
+            if gid is None:
+                gid = self._lookup[key] = len(self._lookup)
+                for store, theirs_store in zip(self._key_values, other._key_values):
+                    store.append(theirs_store[theirs])
+                new_other.append(theirs)
+            remap[theirs] = gid
+        total = len(self._lookup)
+        self._counts = _extend(self._counts, total, 0)
+        np.add.at(self._counts, remap, other._counts)
+        for ours, theirs, fill, combine in (
+            (self._sums, other._sums, 0.0, "add"),
+            (self._sumsqs, other._sumsqs, 0.0, "add"),
+            (self._mins, other._mins, np.inf, "min"),
+            (self._maxs, other._maxs, -np.inf, "max"),
+        ):
+            for column, their_arr in theirs.items():
+                arr = ours[column] = _extend(ours[column], total, fill)
+                if combine == "add":
+                    np.add.at(arr, remap, their_arr)
+                elif combine == "min":
+                    np.minimum.at(arr, remap, their_arr)
+                else:
+                    np.maximum.at(arr, remap, their_arr)
+        for column, their_firsts in other._firsts.items():
+            firsts = self._firsts[column]
+            for theirs in new_other:
+                firsts.append(their_firsts[theirs])
+        for column, their_lasts in other._lasts.items():
+            lasts = self._lasts[column]
+            lasts.extend([None] * (total - len(lasts)))
+            for theirs, value in enumerate(their_lasts):
+                lasts[remap[theirs]] = value
+        return self
+
+    # ------------------------------------------------------------------
+    def result(self) -> Table:
+        """The aggregate table: key columns plus ``{column}_{reducer}``."""
+        total = len(self._lookup)
+        if total == 0:
+            return Table.from_rows([])
+        data: dict[str, Any] = {
+            name: _key_column(store)
+            for name, store in zip(self._keys, self._key_values)
+        }
+        counts = self._counts[:total]
+        for column, name in self._normalized:
+            out = f"{column}_{name}"
+            if name == "count":
+                data[out] = counts.copy()
+            elif name == "sum":
+                data[out] = self._sums[column][:total].copy()
+            elif name == "mean":
+                data[out] = self._sums[column][:total] / counts
+            elif name == "std":
+                mean = self._sums[column][:total] / counts
+                variance = self._sumsqs[column][:total] / counts - mean * mean
+                data[out] = np.sqrt(np.where(np.isnan(variance), np.nan, np.maximum(variance, 0.0)))
+            elif name == "min":
+                data[out] = self._mins[column][:total].copy()
+            elif name == "max":
+                data[out] = self._maxs[column][:total].copy()
+            elif name == "first":
+                data[out] = _key_column(self._firsts[column])
+            elif name == "last":
+                data[out] = _key_column(self._lasts[column])
+        return Table(data)
+
+    def sizes(self) -> Table:
+        """Key columns plus a ``count`` column, like :meth:`GroupBy.sizes`."""
+        total = len(self._lookup)
+        if total == 0:
+            return Table.from_rows([])
+        data: dict[str, Any] = {
+            name: _key_column(store)
+            for name, store in zip(self._keys, self._key_values)
+        }
+        data["count"] = self._counts[:total].copy()
+        return Table(data)
+
+
+def _extend(arr: np.ndarray, n: int, fill: Any) -> np.ndarray:
+    """Grow a running per-group array to ``n`` slots, filling new ones."""
+    if n <= len(arr):
+        return arr
+    grown = np.full(n, fill, dtype=arr.dtype)
+    grown[: len(arr)] = arr
+    return grown
+
+
+def _key_column(values: list[Any]) -> np.ndarray:
+    """Materialize collected per-group scalars as a column.
+
+    The scalars were plucked from per-chunk numpy columns, so rebuild
+    through a list round-trip: numeric lists become typed arrays,
+    anything else an object column — the same coercion
+    :class:`~repro.frame.Table` applies to user input.
+    """
+    from repro.frame.column import as_column
+
+    return as_column([_unwrap(v) for v in values])
+
+
 def _reduce_segments(values: np.ndarray, fact: Factorization, name: str) -> np.ndarray:
     """Reduce a code-sorted value column into one value per group.
 

@@ -1,8 +1,16 @@
-"""CSV and JSONL persistence for :class:`repro.frame.Table`.
+"""CSV, JSONL, and NPZ persistence for :class:`repro.frame.Table`.
 
 The epilog of the monitoring substrate writes per-node files back to a
 central location (mirroring the paper's data collection); these helpers
 are the serialization layer.  CSV readers infer numeric columns.
+
+Two access patterns are supported: the classic whole-table
+``read_*``/``write_*`` pair, and the *streaming* ``scan_csv``/
+``scan_jsonl`` generators that yield bounded-size :class:`Table`
+chunks for :class:`repro.frame.chunked.ChunkedTable`.  The NPZ codec
+(``write_table_npz``/``read_table_npz``) is the spill format of the
+chunked engine: numeric columns round-trip bit-for-bit, object columns
+via pickle.
 """
 
 from __future__ import annotations
@@ -10,7 +18,9 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
+
+import numpy as np
 
 from repro.errors import FrameError
 from repro.frame.table import Table, _unwrap
@@ -66,6 +76,103 @@ def read_jsonl(path: str | Path) -> Table:
             if line:
                 rows.append(json.loads(line))
     return Table.from_rows(rows)
+
+
+def scan_csv(path: str | Path, chunk_rows: int = 65536) -> Iterator[Table]:
+    """Stream a CSV written by :func:`write_csv` as bounded-size tables.
+
+    Each yielded chunk holds at most ``chunk_rows`` rows and shares the
+    header's column set.  Cell typing is per-chunk (the same
+    int/float/bool/str inference as :func:`read_csv`), so a column may
+    surface as numeric in one chunk and object in another; the chunked
+    verbs are dtype-tolerant by design.
+    """
+    if chunk_rows < 1:
+        raise FrameError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise FrameError(f"CSV file {path} is empty") from None
+        columns: dict[str, list[Any]] = {name: [] for name in header}
+        filled = 0
+        for raw in reader:
+            if len(raw) != len(header):
+                raise FrameError(
+                    f"CSV row has {len(raw)} cells, header has {len(header)}"
+                )
+            for name, cell in zip(header, raw):
+                columns[name].append(_parse(cell))
+            filled += 1
+            if filled == chunk_rows:
+                yield Table(columns)
+                columns = {name: [] for name in header}
+                filled = 0
+        if filled:
+            yield Table(columns)
+
+
+def scan_jsonl(path: str | Path, chunk_rows: int = 65536) -> Iterator[Table]:
+    """Stream a JSONL file as bounded-size tables.
+
+    The column set is fixed by the first row (later rows may omit keys,
+    which become ``None``; extra keys raise), so every chunk is
+    concat-compatible.
+    """
+    if chunk_rows < 1:
+        raise FrameError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    path = Path(path)
+    columns: list[str] | None = None
+    rows: list[dict[str, Any]] = []
+    with path.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if columns is None:
+                columns = list(row)
+            else:
+                extra = [k for k in row if k not in columns]
+                if extra:
+                    raise FrameError(
+                        f"JSONL row introduces new column(s) {extra} after the "
+                        f"first row fixed {columns}"
+                    )
+            rows.append(row)
+            if len(rows) == chunk_rows:
+                yield Table.from_rows(rows, columns=columns)
+                rows = []
+    if rows and columns is not None:
+        yield Table.from_rows(rows, columns=columns)
+
+
+def write_table_npz(table: Table, path: str | Path) -> Path:
+    """Write one table as a ``.npz`` archive (the spill codec).
+
+    Numeric columns round-trip bit-for-bit; object columns go through
+    pickle.  Column order is preserved via a ``__names__`` manifest.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        raise FrameError(f"spill files must end in .npz, got {path.name}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {
+        f"c{i}": table.column(name) for i, name in enumerate(table.column_names)
+    }
+    names = np.asarray(table.column_names, dtype=object)
+    with path.open("wb") as fh:
+        np.savez(fh, __names__=names, **arrays)
+    return path
+
+
+def read_table_npz(path: str | Path) -> Table:
+    """Read a table written by :func:`write_table_npz`."""
+    with np.load(Path(path), allow_pickle=True) as archive:
+        names = [str(n) for n in archive["__names__"]]
+        return Table({name: archive[f"c{i}"] for i, name in enumerate(names)})
 
 
 def _serialize(value: Any) -> Any:

@@ -65,6 +65,28 @@ class Table:
         """Return a zero-row table with the given column names."""
         return cls({name: np.empty(0, dtype=object) for name in columns})
 
+    @classmethod
+    def scan(cls, source: Any, chunk_rows: int | None = None) -> "ChunkedTable":
+        """Open ``source`` as an out-of-core :class:`ChunkedTable`.
+
+        Accepts a :class:`Table`, a ``.csv``/``.jsonl`` path, a
+        directory of spill ``.npz`` chunks, or an iterable of tables —
+        see :meth:`repro.frame.chunked.ChunkedTable.scan`.
+        """
+        from repro.frame.chunked import DEFAULT_CHUNK_ROWS, ChunkedTable
+
+        return ChunkedTable.scan(
+            source, DEFAULT_CHUNK_ROWS if chunk_rows is None else chunk_rows
+        )
+
+    def to_chunked(self, chunk_rows: int | None = None) -> "ChunkedTable":
+        """Split this table into a :class:`ChunkedTable` view."""
+        from repro.frame.chunked import DEFAULT_CHUNK_ROWS, ChunkedTable
+
+        return ChunkedTable.from_table(
+            self, DEFAULT_CHUNK_ROWS if chunk_rows is None else chunk_rows
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -43,6 +43,12 @@ class MonitoringConfig:
     timeseries_fraction: float = 2149.0 / 47120.0
     #: Dense series are decimated beyond this many samples per GPU.
     timeseries_max_samples: int = 20000
+    #: When set, per-GPU summary rows rotate into sealed chunks of this
+    #: many rows as sampling flushes (the streaming path for
+    #: :meth:`MonitoringCollector.per_gpu_chunked`).  ``None`` keeps the
+    #: single-builder behavior; either way :meth:`per_gpu_table` returns
+    #: bit-identical rows.
+    summary_chunk_rows: int | None = None
     seed: int = 20220402
 
 
@@ -70,6 +76,7 @@ class MonitoringCollector:
         )
         self._store = TimeSeriesStore()
         self._gpu_builder = TableBuilder(columns=["job_id", "gpu_index"])
+        self._gpu_chunks: list[Table] = []
         self._cpu_builder = TableBuilder(columns=["job_id"])
         self._started: dict[int, tuple[float, tuple[int, ...]]] = {}
         self._pending: list[SamplingTask] = []
@@ -195,6 +202,9 @@ class MonitoringCollector:
             rows += result.num_gpus
             for series in result.series:
                 self._store.add(series)
+            chunk_rows = self.config.summary_chunk_rows
+            if chunk_rows is not None and self._gpu_builder.num_rows >= chunk_rows:
+                self._seal_gpu_chunk()
         metrics = runtime.get_metrics()
         if metrics.enabled:
             mode = "parallel" if workers is not None and workers > 1 else "serial"
@@ -222,10 +232,48 @@ class MonitoringCollector:
         self.flush()
         return self._store
 
+    def _seal_gpu_chunk(self) -> None:
+        """Rotate the summary builder into a sealed chunk."""
+        from repro.obs import runtime
+
+        self._gpu_chunks.append(self._gpu_builder.finish())
+        self._gpu_builder = TableBuilder(columns=self._gpu_builder.column_names)
+        metrics = runtime.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_monitor_summary_chunks_total",
+                help="sealed per-GPU summary chunks emitted by the collector",
+            ).inc()
+
     def per_gpu_table(self) -> Table:
         """One row per (job, GPU) with min/mean/max of every metric."""
         self.flush()
-        return self._gpu_builder.finish()
+        if not self._gpu_chunks:
+            return self._gpu_builder.finish()
+        parts = list(self._gpu_chunks)
+        if self._gpu_builder.num_rows:
+            parts.append(self._gpu_builder.finish())
+        from repro.frame import concat_tables
+
+        return concat_tables(parts)
+
+    def per_gpu_chunked(self, chunk_rows: int | None = None) -> "ChunkedTable":
+        """The per-GPU summary as a :class:`~repro.frame.ChunkedTable`.
+
+        With ``summary_chunk_rows`` configured, the sealed chunks are
+        handed over as-is (no concatenation); otherwise the single
+        builder table is split into ``chunk_rows`` batches.
+        """
+        from repro.frame import ChunkedTable
+
+        self.flush()
+        if self._gpu_chunks:
+            parts = list(self._gpu_chunks)
+            if self._gpu_builder.num_rows:
+                parts.append(self._gpu_builder.finish())
+            return ChunkedTable(parts, num_rows=sum(p.num_rows for p in parts))
+        table = self._gpu_builder.finish()
+        return table.to_chunked(chunk_rows)
 
     def cpu_table(self) -> Table:
         """One row per job with CPU-side summary metrics."""

@@ -100,3 +100,54 @@ class TimeSeriesStore:
 
     def total_samples(self) -> int:
         return sum(s.num_samples for s in self._series.values())
+
+    def scan_table(self, chunk_rows: int = 65536) -> "ChunkedTable":
+        """Stream every stored sample as one long chunked table.
+
+        Columns: ``job_id``, ``gpu_index``, ``time_s`` plus every
+        metric in :data:`METRIC_NAMES`, one row per sample, series in
+        ``(job_id, gpu_index)`` order.  Series are batched until a
+        chunk reaches ``chunk_rows`` rows, so the percentile/CDF
+        figures can digest arbitrarily long telemetry with one chunk
+        resident at a time.
+        """
+        from repro.frame import ChunkedTable, Table
+
+        keys = sorted(self._series)
+
+        def produce() -> Iterator[Table]:
+            batch: list[GpuTimeSeries] = []
+            staged = 0
+            for key in keys:
+                series = self._series[key]
+                if series.num_samples == 0:
+                    continue
+                batch.append(series)
+                staged += series.num_samples
+                if staged >= chunk_rows:
+                    yield _series_table(batch)
+                    batch, staged = [], 0
+            if batch:
+                yield _series_table(batch)
+
+        return ChunkedTable(produce, num_rows=self.total_samples())
+
+
+def _series_table(batch: "list[GpuTimeSeries]") -> "Table":
+    """Concatenate a batch of series into one sample-per-row table."""
+    from repro.frame import Table
+
+    data: dict[str, np.ndarray] = {
+        "job_id": np.concatenate(
+            [np.full(s.num_samples, s.job_id, dtype=np.int64) for s in batch]
+        ),
+        "gpu_index": np.concatenate(
+            [np.full(s.num_samples, s.gpu_index, dtype=np.int64) for s in batch]
+        ),
+        "time_s": np.concatenate([np.asarray(s.times_s, dtype=float) for s in batch]),
+    }
+    for name in METRIC_NAMES:
+        data[name] = np.concatenate(
+            [np.asarray(s.metrics[name], dtype=float) for s in batch]
+        )
+    return Table(data)

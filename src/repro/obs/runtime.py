@@ -61,6 +61,36 @@ def use(
         _tracer, _metrics = prev
 
 
+def record_peak_rss() -> float:
+    """Record the process's peak RSS (bytes) into the active registry.
+
+    Gauges merge by max across snapshots, so pool workers and the
+    parent session roll up to the single highest high-water mark.
+    Returns the measured value (0.0 when the platform offers none).
+    """
+    value = peak_rss_bytes()
+    m = _metrics
+    if m.enabled and value:
+        m.gauge(
+            "repro_process_peak_rss_bytes",
+            help="peak resident set size of the process (ru_maxrss)",
+        ).set_max(value)
+    return value
+
+
+def peak_rss_bytes() -> float:
+    """The process's lifetime peak RSS in bytes (``ru_maxrss``)."""
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return float(peak) * (1.0 if sys.platform == "darwin" else 1024.0)
+    except Exception:
+        return 0.0
+
+
 def record_kernel(kernel: str, rows: int) -> None:
     """Count one frame-kernel invocation over ``rows`` input rows.
 

@@ -41,7 +41,7 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
-from repro.frame.io import read_csv, write_csv
+from repro.frame import read_csv, write_csv
 from repro.monitor.codec import load_store, save_store
 from repro.monitor.collector import MonitoringConfig
 from repro.obs import runtime as _obs_runtime

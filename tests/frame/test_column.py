@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import FrameError
-from repro.frame.column import as_column, column_dtype, is_string_column
+from repro.frame import as_column, column_dtype, is_string_column
 
 
 class TestAsColumn:

@@ -1,0 +1,68 @@
+"""Unit tests for the machine-readable bench runner plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    FIRST_BENCH_ID,
+    SuiteResult,
+    next_bench_path,
+    record_bench_stat,
+    write_bench_json,
+)
+
+
+class TestNextBenchPath:
+    def test_starts_at_first_id(self, tmp_path):
+        assert next_bench_path(tmp_path).name == f"BENCH_{FIRST_BENCH_ID}.json"
+
+    def test_never_overwrites_history(self, tmp_path):
+        (tmp_path / "BENCH_6.json").write_text("{}")
+        (tmp_path / "BENCH_11.json").write_text("{}")
+        (tmp_path / "BENCH_notes.json").write_text("{}")  # ignored: not BENCH_<n>
+        assert next_bench_path(tmp_path).name == "BENCH_12.json"
+
+
+class TestRecordBenchStat:
+    def test_noop_without_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_BENCH_STATS_DIR", raising=False)
+        record_bench_stat("x", rows=1)  # must not raise or write anywhere
+        assert list(tmp_path.iterdir()) == []
+
+    def test_writes_sidecar_under_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_STATS_DIR", str(tmp_path))
+        record_bench_stat("stream_sketch", rows=100, rows_per_s=5.5)
+        payload = json.loads((tmp_path / "stream_sketch.json").read_text())
+        assert payload == {"rows": 100, "rows_per_s": 5.5}
+
+    def test_last_write_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_STATS_DIR", str(tmp_path))
+        record_bench_stat("s", attempt=1)
+        record_bench_stat("s", attempt=2)
+        assert json.loads((tmp_path / "s.json").read_text()) == {"attempt": 2}
+
+
+class TestWriteBenchJson:
+    def test_payload_schema(self, tmp_path):
+        results = [
+            SuiteResult("frame", "benchmarks/bench_frame.py", True, 1.25),
+            SuiteResult(
+                "stream",
+                "benchmarks/bench_stream.py",
+                False,
+                2.5,
+                stats={"stream_sketch": {"rows_per_s": 1e6}},
+            ),
+        ]
+        path = tmp_path / "BENCH_6.json"
+        payload = write_bench_json(results, path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert payload["schema"] == 1
+        assert payload["passed"] is False
+        assert payload["total_seconds"] == pytest.approx(3.75)
+        assert payload["runner_peak_rss_bytes"] > 0
+        suites = {s["name"]: s for s in payload["suites"]}
+        assert suites["frame"]["passed"] is True
+        assert suites["stream"]["stats"]["stream_sketch"]["rows_per_s"] == 1e6

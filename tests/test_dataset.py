@@ -1,9 +1,15 @@
-"""Tests for the end-to-end dataset pipeline."""
+"""Tests for the end-to-end dataset pipeline.
+
+New code builds datasets through :class:`repro.pipeline.Session`; the
+deprecated ``default_dataset`` shim keeps exactly one test pinning its
+warning until the 2.0 removal (see CHANGELOG.md).
+"""
 
 import numpy as np
 import pytest
 
 from repro.dataset import default_dataset, generate_dataset
+from repro.pipeline import Session
 from repro.workload.calibration import PAPER_TARGETS
 from repro.workload.generator import WorkloadConfig
 
@@ -62,7 +68,17 @@ class TestDeterminism:
         assert list(a.gpu_jobs["sm_mean"]) == list(b.gpu_jobs["sm_mean"])
         assert list(a.jobs["wait_time_s"]) == list(b.jobs["wait_time_s"])
 
-    def test_default_dataset_memoized(self):
+    def test_session_memoizes_dataset(self):
+        session = Session(WorkloadConfig(scale=0.01, seed=55))
+        assert session.dataset() is session.dataset()
+
+    def test_session_matches_generate_dataset(self):
+        config = WorkloadConfig(scale=0.01, seed=55)
+        from_session = Session(config).dataset()
+        direct = generate_dataset(config)
+        assert list(from_session.gpu_jobs["sm_mean"]) == list(direct.gpu_jobs["sm_mean"])
+
+    def test_default_dataset_still_warns_until_removal(self):
         with pytest.warns(DeprecationWarning, match="Session"):
             first = default_dataset(scale=0.01, seed=55)
         with pytest.warns(DeprecationWarning, match="Session"):

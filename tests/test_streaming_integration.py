@@ -1,0 +1,143 @@
+"""End-to-end streaming integration: producers and consumers agree
+with the materialized pipeline.
+
+Each producer that grew a chunked emission path (monitor collector,
+time-series store, accounting) must stay bit-identical to its
+materialized output, and the figure producers that consume
+``dataset.streaming_view()`` (fig03, fig04) must reproduce the
+materialized comparisons — bit-for-bit for integer-count fractions,
+within the sketch's documented rank error for quantiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frame import ChunkedTable
+from repro.monitor.collector import MonitoringCollector, MonitoringConfig
+from repro.slurm.accounting import accounting_chunked, accounting_table
+
+
+class TestCollectorChunking:
+    def _run_pipeline(self, summary_chunk_rows):
+        from repro.pipeline import Session
+        from repro.workload.generator import WorkloadConfig
+
+        monitoring = MonitoringConfig(summary_chunk_rows=summary_chunk_rows)
+        return Session(
+            WorkloadConfig(scale=0.01, seed=303), monitoring=monitoring
+        ).dataset()
+
+    def test_chunked_collector_is_bit_identical(self):
+        baseline = self._run_pipeline(None)
+        chunked = self._run_pipeline(64)
+        assert chunked.per_gpu.to_dict() == baseline.per_gpu.to_dict()
+        assert chunked.gpu_jobs.to_dict() == baseline.gpu_jobs.to_dict()
+        assert chunked.jobs.to_dict() == baseline.jobs.to_dict()
+
+    def test_per_gpu_chunked_view(self):
+        config = MonitoringConfig(summary_chunk_rows=2)
+        collector = MonitoringCollector(config)
+        chunked = collector.per_gpu_chunked()
+        assert isinstance(chunked, ChunkedTable)
+
+
+class TestTimeSeriesScan:
+    def test_scan_table_matches_series(self, small_dataset):
+        store = small_dataset.timeseries
+        chunked = store.scan_table(chunk_rows=512)
+        assert chunked.num_rows == store.total_samples()
+        table = chunked.materialize()
+        assert table.num_rows == store.total_samples()
+        # Spot-check one series round-trips exactly.
+        series = next(iter(store))
+        rows = table.filter(
+            lambda t: (np.asarray(t["job_id"]) == series.job_id)
+            & (np.asarray(t["gpu_index"]) == series.gpu_index)
+        )
+        np.testing.assert_array_equal(np.asarray(rows["time_s"]), series.times_s)
+        np.testing.assert_array_equal(np.asarray(rows["sm"]), series.metric("sm"))
+
+    def test_streaming_moments_over_samples(self, small_dataset):
+        store = small_dataset.timeseries
+        if store.total_samples() == 0:
+            pytest.skip("no dense series at this scale")
+        moments = store.scan_table(chunk_rows=256).moments("sm")
+        materialized = np.concatenate([s.metric("sm") for s in store])
+        assert moments.count == materialized.size
+        assert moments.mean() == pytest.approx(materialized.mean(), rel=1e-9)
+
+
+class TestAccountingChunked:
+    def test_matches_accounting_table(self, small_dataset):
+        records = small_dataset.records
+        chunked = accounting_chunked(records, chunk_rows=37)
+        assert chunked.num_rows == len(records)
+        assert chunked.materialize().to_dict() == accounting_table(records).to_dict()
+
+
+class TestStreamingFigures:
+    def test_fig03_streaming_view(self, small_dataset):
+        from repro.figures import fig03
+
+        exact = fig03.run(small_dataset)
+        streamed = fig03.run(small_dataset.streaming_view(chunk_rows=256))
+        for ours, theirs in zip(exact.comparisons, streamed.comparisons):
+            assert ours.name == theirs.name
+            if "<1 min" in ours.name or ">1 min" in ours.name:
+                assert ours.measured == theirs.measured, ours.name
+            else:
+                assert theirs.measured == pytest.approx(
+                    ours.measured, rel=0.05, abs=0.75
+                ), ours.name
+
+    def test_fig04_streaming_view(self, small_dataset):
+        from repro.figures import fig04
+
+        exact = fig04.run(small_dataset)
+        streamed = fig04.run(small_dataset.streaming_view(chunk_rows=256))
+        for ours, theirs in zip(exact.comparisons, streamed.comparisons):
+            assert theirs.measured == pytest.approx(
+                ours.measured, rel=0.05, abs=0.75
+            ), ours.name
+
+    def test_streaming_view_shares_backing_data(self, small_dataset):
+        view = small_dataset.streaming_view(chunk_rows=128)
+        assert isinstance(view.jobs, ChunkedTable)
+        assert isinstance(view.gpu_jobs, ChunkedTable)
+        assert view.timeseries is small_dataset.timeseries
+        assert view.gpu_jobs.materialize().to_dict() == small_dataset.gpu_jobs.to_dict()
+
+    def test_figure_plots_accept_sketches(self, small_dataset):
+        """The SVG renderer only needs values/probabilities, which the
+        sketch duck-types."""
+        from repro.figures import fig04
+        from repro.figures.plots import figure_charts
+
+        result = fig04.run(small_dataset.streaming_view(chunk_rows=256))
+        charts = figure_charts(result)
+        assert charts
+
+
+class TestColumnHelpersDispatch:
+    def test_column_ecdf_exact_vs_sketch(self, small_dataset):
+        from repro.analysis.stats import column_ecdf
+
+        exact = column_ecdf(small_dataset.gpu_jobs, "sm_mean")
+        sketched = column_ecdf(
+            small_dataset.gpu_jobs.to_chunked(chunk_rows=64), "sm_mean"
+        )
+        assert sketched.num_samples == exact.num_samples
+        assert sketched.median() == pytest.approx(exact.median(), rel=0.05, abs=0.75)
+
+    def test_column_fraction_bit_exact(self, small_dataset):
+        from repro.analysis.stats import column_fraction
+
+        exact = column_fraction(
+            small_dataset.gpu_jobs, "run_time_s", lambda v: v > 300.0
+        )
+        streamed = column_fraction(
+            small_dataset.gpu_jobs.to_chunked(chunk_rows=31),
+            "run_time_s",
+            lambda v: v > 300.0,
+        )
+        assert exact == streamed
