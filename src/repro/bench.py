@@ -150,6 +150,132 @@ def next_bench_path(root: Path) -> Path:
     return root / f"BENCH_{highest + 1}.json"
 
 
+def load_bench_history(root: Path) -> list[tuple[int, dict]]:
+    """All readable ``BENCH_<n>.json`` payloads at ``root``, id-sorted.
+
+    Unreadable or malformed files are skipped — history may span many
+    tool versions and a corrupt old entry must not break checking.
+    """
+    entries: list[tuple[int, dict]] = []
+    try:
+        candidates = list(root.iterdir())
+    except OSError:
+        return entries
+    for entry in candidates:
+        match = _BENCH_FILE_RE.match(entry.name)
+        if not match:
+            continue
+        try:
+            payload = json.loads(entry.read_text())
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict) and isinstance(payload.get("suites"), list):
+            entries.append((int(match.group(1)), payload))
+    entries.sort(key=lambda pair: pair[0])
+    return entries
+
+
+@dataclass
+class BenchCheck:
+    """Outcome of comparing the latest bench run against history."""
+
+    latest_id: int | None
+    baseline_runs: int
+    threshold: float
+    min_seconds: float
+    checked: list[dict] = field(default_factory=list)
+    regressions: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_text(self) -> str:
+        if self.latest_id is None:
+            return "bench check: no BENCH_<n>.json history to compare"
+        if self.baseline_runs == 0:
+            return (
+                f"bench check: BENCH_{self.latest_id} has no comparable "
+                "baseline runs (first run at this bench scale?)"
+            )
+        lines = [
+            f"bench check: BENCH_{self.latest_id} vs median of "
+            f"{self.baseline_runs} prior run(s) "
+            f"(flag > {1 + self.threshold:.2f}x and > +{self.min_seconds:g}s)"
+        ]
+        for row in self.checked:
+            flagged = "REGRESSION" if row in self.regressions else "ok"
+            lines.append(
+                f"  {row['suite']:<12} {row['latest_s']:8.2f}s "
+                f"baseline {row['baseline_s']:8.2f}s "
+                f"({row['ratio']:.2f}x)  {flagged}"
+            )
+        return "\n".join(lines)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def check_regressions(
+    root: Path,
+    *,
+    threshold: float = 0.35,
+    min_seconds: float = 2.0,
+    window: int = 5,
+) -> BenchCheck:
+    """Flag per-suite wall-time regressions in the stored trajectory.
+
+    The newest ``BENCH_<n>.json`` is compared, suite by suite, against
+    the **median** of up to ``window`` immediately preceding runs that
+    used the same ``bench_scale`` (different scales are incomparable by
+    construction).  A suite regresses when its latest wall time exceeds
+    ``(1 + threshold) * median`` **and** the absolute slowdown exceeds
+    ``min_seconds`` — the second clause keeps sub-second suites from
+    tripping on scheduler noise.  Suites absent from the baseline
+    (newly added benchmarks) are never flagged.
+    """
+    history = load_bench_history(root)
+    if not history:
+        return BenchCheck(None, 0, threshold, min_seconds)
+    latest_id, latest = history[-1]
+    scale = latest.get("bench_scale")
+    baselines = [
+        payload
+        for _, payload in history[:-1]
+        if payload.get("bench_scale") == scale
+    ][-window:]
+    check = BenchCheck(latest_id, len(baselines), threshold, min_seconds)
+    if not baselines:
+        return check
+    baseline_times: dict[str, list[float]] = {}
+    for payload in baselines:
+        for suite in payload["suites"]:
+            name, seconds = suite.get("name"), suite.get("seconds")
+            if isinstance(name, str) and isinstance(seconds, (int, float)):
+                baseline_times.setdefault(name, []).append(float(seconds))
+    for suite in latest["suites"]:
+        name, seconds = suite.get("name"), suite.get("seconds")
+        if not isinstance(name, str) or name not in baseline_times:
+            continue
+        baseline = _median(baseline_times[name])
+        latest_s = float(seconds)
+        row = {
+            "suite": name,
+            "latest_s": latest_s,
+            "baseline_s": baseline,
+            "ratio": latest_s / baseline if baseline > 0 else float("inf"),
+        }
+        check.checked.append(row)
+        if latest_s > (1.0 + threshold) * baseline and latest_s - baseline > min_seconds:
+            check.regressions.append(row)
+    return check
+
+
 def write_bench_json(results: list[SuiteResult], path: Path) -> dict:
     """Serialize a bench run to ``path`` and return the payload."""
     from repro import __version__

@@ -49,6 +49,8 @@ class DatasetOptions:
     seed: int = 20220214
     days: float = 125.0
     scenario: str = "paper"
+    partitions: int = 1
+    cohorts: int | None = None
     workers: int | None = None
     cache_dir: str | None = None
     no_cache: bool = False
@@ -63,6 +65,16 @@ class DatasetOptions:
             "--scenario",
             default="paper",
             help="workload scenario (paper, training_heavy, exploration_surge, interactive_campus)",
+        )
+        parser.add_argument(
+            "--partitions", type=int, default=1,
+            help="cluster islands for the sharded simulation (1 = the "
+                 "legacy whole-machine model; see docs/scaling.md)",
+        )
+        parser.add_argument(
+            "--cohorts", type=int, default=None,
+            help="user cohorts for sharded workload generation "
+                 "(default: follow --partitions)",
         )
         if session_flags:
             parser.add_argument(
@@ -103,6 +115,8 @@ class DatasetOptions:
             scale=self.scale,
             seed=self.seed,
             days=self.days,
+            partitions=self.partitions,
+            cohorts=self.cohorts,
             cache_dir=cache_dir,
             workers=self.workers,
         )
@@ -253,6 +267,7 @@ PERF_SMOKE = (
     ("obs", "benchmarks/bench_obs.py"),
     ("dataset-build", "benchmarks/bench_dataset_build.py"),
     ("stream", "benchmarks/bench_stream.py"),
+    ("scale", "benchmarks/bench_scale.py"),
 )
 
 
@@ -270,9 +285,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     import repro
-    from repro.bench import next_bench_path, run_suite, write_bench_json
+    from repro.bench import (
+        check_regressions,
+        next_bench_path,
+        run_suite,
+        write_bench_json,
+    )
 
     root = Path(repro.__file__).resolve().parents[2]
+    if args.check and not args.targets and args.no_json:
+        # Pure comparator mode: judge the stored trajectory as-is.
+        check = check_regressions(
+            root, threshold=args.check_threshold, window=args.check_window
+        )
+        print(check.to_text())
+        return 0 if check.ok else 3
     selected = list(PERF_SMOKE)
     if args.targets:
         by_name = dict(PERF_SMOKE)
@@ -313,6 +340,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 1
     print(f"{len(results)}/{len(results)} benchmark gates passed")
+    if args.check:
+        check = check_regressions(
+            root, threshold=args.check_threshold, window=args.check_window
+        )
+        print(check.to_text())
+        if not check.ok:
+            return 3
     return 0
 
 
@@ -409,6 +443,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-json", action="store_true",
         help="skip writing the machine-readable BENCH_<n>.json",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="after the run (or alone with --no-json), compare the newest "
+             "BENCH_<n>.json against the stored trajectory and exit 3 on a "
+             "wall-time regression",
+    )
+    bench.add_argument(
+        "--check-threshold", type=float, default=0.35, metavar="FRAC",
+        help="relative slowdown vs the baseline median that counts as a "
+             "regression (default: 0.35 = 35%%)",
+    )
+    bench.add_argument(
+        "--check-window", type=int, default=5, metavar="N",
+        help="number of prior comparable runs forming the baseline median "
+             "(default: 5)",
     )
     bench.set_defaults(fn=_cmd_bench)
     return parser

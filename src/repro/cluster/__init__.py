@@ -6,9 +6,12 @@
   tracking used by the scheduler.
 * :mod:`repro.cluster.topology` — the two-layer partial fat-tree
   Omnipath interconnect, used for dense placement of multi-node jobs.
+* :mod:`repro.cluster.partition` — node-range islands for the sharded
+  simulation path (see ``docs/scaling.md``).
 """
 
 from repro.cluster.node import Cluster, GpuDevice, Node
+from repro.cluster.partition import Partition, PartitionError, PartitionLayout
 from repro.cluster.spec import (
     ClusterSpec,
     GpuSpec,
@@ -26,6 +29,9 @@ __all__ = [
     "GpuSpec",
     "Node",
     "NodeSpec",
+    "Partition",
+    "PartitionError",
+    "PartitionLayout",
     "StorageSpec",
     "supercloud_spec",
 ]

@@ -1,0 +1,165 @@
+"""Partitioned cluster layouts: node-range islands for sharded simulation.
+
+A :class:`Partition` is a contiguous range of node indices inside a
+:class:`~repro.cluster.spec.ClusterSpec`; a :class:`PartitionLayout`
+slices the whole machine into ``k`` such islands.  Each island runs its
+own :class:`~repro.slurm.scheduler.SlurmSimulator` event loop over a
+sub-spec (same per-node configuration, fewer nodes), and islands are
+coupled only at interchange epoch boundaries (see
+:mod:`repro.slurm.interchange` and ``docs/scaling.md``).
+
+Jobs are routed to islands by their workload *cohort* (see
+:mod:`repro.workload.cohorts`): cohort ``c`` lands on island
+``c % k``.  Node indices inside an island are local (0-based); the
+layout converts them back to global indices so merged job records and
+monitoring tables look exactly like a whole-machine run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec, supercloud_spec
+from repro.errors import ReproError
+
+
+class PartitionError(ReproError):
+    """Invalid partition layout or routing request."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One cluster island: a contiguous slice of the machine's nodes."""
+
+    index: int
+    node_start: int
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise PartitionError(f"partition index must be >= 0, got {self.index}")
+        if self.node_start < 0 or self.num_nodes < 1:
+            raise PartitionError(
+                f"partition {self.index}: needs node_start >= 0 and at least "
+                f"one node, got start={self.node_start} num_nodes={self.num_nodes}"
+            )
+
+    @property
+    def node_stop(self) -> int:
+        """One past the last global node index (half-open range)."""
+        return self.node_start + self.num_nodes
+
+    def to_global_node(self, local_index: int) -> int:
+        """Map an island-local node index back onto the full machine."""
+        if not 0 <= local_index < self.num_nodes:
+            raise PartitionError(
+                f"partition {self.index}: local node {local_index} out of "
+                f"range [0, {self.num_nodes})"
+            )
+        return self.node_start + local_index
+
+    def spec(self, base: ClusterSpec) -> ClusterSpec:
+        """The island's own :class:`ClusterSpec` (same per-node config)."""
+        return ClusterSpec(
+            name=f"{base.name} [partition {self.index}]",
+            num_nodes=self.num_nodes,
+            node=base.node,
+            storage=base.storage,
+            interconnect=base.interconnect,
+        )
+
+
+@dataclass(frozen=True)
+class PartitionLayout:
+    """A full slicing of ``total_nodes`` into disjoint islands."""
+
+    total_nodes: int
+    partitions: tuple[Partition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise PartitionError("layout needs at least one partition")
+        expect = 0
+        for part in self.partitions:
+            if part.node_start != expect:
+                raise PartitionError(
+                    f"partition {part.index} starts at node {part.node_start}, "
+                    f"expected {expect} (islands must tile the machine)"
+                )
+            expect = part.node_stop
+        if expect != self.total_nodes:
+            raise PartitionError(
+                f"partitions cover {expect} nodes but the machine has "
+                f"{self.total_nodes}"
+            )
+
+    @classmethod
+    def even(cls, total_nodes: int, num_partitions: int) -> "PartitionLayout":
+        """Slice ``total_nodes`` into ``num_partitions`` near-equal islands.
+
+        The first ``total_nodes % num_partitions`` islands get one extra
+        node, so sizes differ by at most one.
+        """
+        if num_partitions < 1:
+            raise PartitionError(
+                f"need at least one partition, got {num_partitions}"
+            )
+        if num_partitions > total_nodes:
+            raise PartitionError(
+                f"cannot slice {total_nodes} nodes into {num_partitions} "
+                "partitions (every island needs at least one node)"
+            )
+        base, extra = divmod(total_nodes, num_partitions)
+        parts = []
+        start = 0
+        for index in range(num_partitions):
+            size = base + (1 if index < extra else 0)
+            parts.append(Partition(index=index, node_start=start, num_nodes=size))
+            start += size
+        return cls(total_nodes=total_nodes, partitions=tuple(parts))
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self):
+        return iter(self.partitions)
+
+    def __getitem__(self, index: int) -> Partition:
+        return self.partitions[index]
+
+    def island_for_cohort(self, cohort: int) -> Partition:
+        """Route a workload cohort to its island (``cohort % k``)."""
+        if cohort < 0:
+            raise PartitionError(f"cohort must be >= 0, got {cohort}")
+        return self.partitions[cohort % len(self.partitions)]
+
+    def island_for_node(self, global_node: int) -> Partition:
+        """The island owning a global node index."""
+        if not 0 <= global_node < self.total_nodes:
+            raise PartitionError(
+                f"node {global_node} out of range [0, {self.total_nodes})"
+            )
+        for part in self.partitions:
+            if part.node_start <= global_node < part.node_stop:
+                return part
+        raise PartitionError(f"node {global_node} not covered by any island")
+
+    def specs(self, base: ClusterSpec | None = None) -> list[ClusterSpec]:
+        """Per-island cluster specs for ``base`` (default: supercloud)."""
+        base = base if base is not None else supercloud_spec(self.total_nodes)
+        if base.num_nodes != self.total_nodes:
+            raise PartitionError(
+                f"spec has {base.num_nodes} nodes but layout covers "
+                f"{self.total_nodes}"
+            )
+        return [part.spec(base) for part in self.partitions]
+
+    def describe(self) -> list[str]:
+        """Human-readable layout lines (used by ``repro summary``)."""
+        lines = []
+        for part in self.partitions:
+            lines.append(
+                f"island {part.index}: nodes {part.node_start}.."
+                f"{part.node_stop - 1} ({part.num_nodes} nodes)"
+            )
+        return lines

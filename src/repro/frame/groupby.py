@@ -242,8 +242,14 @@ class StreamingAggregateState:
                     )
                 if name not in STREAMABLE_REDUCERS:
                     raise FrameError(
-                        f"reducer {name!r} has no mergeable partial state; "
-                        "materialize() the chunked table or use a QuantileSketch"
+                        f"reducer {name!r} on column {column!r} cannot run "
+                        "streaming: it has no mergeable partial state (it "
+                        "needs every group value at once). Either call "
+                        ".materialize() on the chunked table and aggregate "
+                        "in memory, or feed the column into a "
+                        "repro.frame.QuantileSketch (quantile(0.5) is a "
+                        "rank-bounded median over one streaming pass); "
+                        f"streamable reducers: {', '.join(STREAMABLE_REDUCERS)}"
                     )
                 normalized.append((column, name))
                 need.setdefault(column, set()).add(name)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -81,6 +81,24 @@ class TimeSeriesStore:
 
     def __len__(self) -> int:
         return len(self._series)
+
+    def merge_from(self, other: "TimeSeriesStore") -> None:
+        """Absorb another store's series (duplicate keys are an error).
+
+        The partitioned build keeps one store per cluster island; job
+        ids are globally unique, so island stores are disjoint and the
+        merge is a plain union.
+        """
+        for series in other:
+            self.add(series)
+
+    @classmethod
+    def merged(cls, stores: "Iterable[TimeSeriesStore]") -> "TimeSeriesStore":
+        """Union of several disjoint stores (island merge)."""
+        out = cls()
+        for store in stores:
+            out.merge_from(store)
+        return out
 
     def job_ids(self) -> list[int]:
         """Distinct job ids with at least one stored series."""

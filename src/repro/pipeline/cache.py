@@ -60,7 +60,8 @@ def _count_cache_event(kind: str) -> None:
 
 #: Bump when the dataset schema or the cache layout changes; every
 #: existing entry is invalidated (its key no longer matches).
-SCHEMA_VERSION = 1
+#: 2: WorkloadConfig grew ``partitions``/``cohorts`` (sharded builds).
+SCHEMA_VERSION = 2
 
 _TABLE_FILES = {"jobs": "jobs.csv", "gpu_jobs": "gpu_jobs.csv", "per_gpu": "per_gpu.csv"}
 

@@ -60,8 +60,18 @@ def _build_dataset(
     from repro.workload.calibration import PAPER_TARGETS
     from repro.workload.generator import WorkloadGenerator
 
+    if config.partitions > 1:
+        from repro.pipeline.shard import build_sharded_dataset
+
+        return build_sharded_dataset(config, monitoring, inst, workers=workers)
+
     with inst.stage("workload") as probe:
-        requests = WorkloadGenerator(config).generate()
+        if config.resolved_cohorts > 1:
+            from repro.workload.cohorts import generate_sharded
+
+            requests = generate_sharded(config, workers=workers)
+        else:
+            requests = WorkloadGenerator(config).generate()
         probe.rows = len(requests)
 
     with inst.stage("schedule") as probe:
@@ -168,15 +178,24 @@ class Session:
         scale: float = 0.1,
         seed: int = 20220214,
         days: float | None = None,
+        partitions: int = 1,
+        cohorts: int | None = None,
         monitoring: MonitoringConfig | None = None,
         **session_kwargs,
     ) -> "Session":
-        """Build a session from a named workload scenario."""
+        """Build a session from a named workload scenario.
+
+        ``partitions``/``cohorts`` select the sharded simulation path
+        (see ``docs/scaling.md``); the defaults keep the legacy
+        whole-machine serial model bit-for-bit.
+        """
         from repro.workload.scenarios import make_scenario
 
         config = make_scenario(scenario, scale=scale, seed=seed)
         if days is not None and days != config.days:
             config = dataclasses.replace(config, days=days)
+        if partitions != config.partitions or cohorts != config.cohorts:
+            config = dataclasses.replace(config, partitions=partitions, cohorts=cohorts)
         return cls(config, monitoring, **session_kwargs)
 
     # ------------------------------------------------------------------
@@ -289,6 +308,7 @@ class Session:
         lines = [
             f"pipeline session {self.key}",
             f"  config: scale={cfg.scale:g} seed={cfg.seed} days={cfg.days:g}",
+            f"  partitions: {cfg.partitions} (cohorts: {cfg.resolved_cohorts})",
             f"  cache: {cache_line}",
             f"  workers: {self.workers}",
             f"  builds: {self.instrumentation.count('build')}, "

@@ -1,0 +1,281 @@
+"""The sharded dataset build: island simulation fan-out + merge.
+
+With ``WorkloadConfig.partitions > 1`` the build stage runs one
+:class:`~repro.slurm.scheduler.SlurmSimulator` (plus its own
+partition-local :class:`~repro.monitor.collector.MonitoringCollector`)
+per cluster island, optionally across the
+:func:`~repro.pipeline.parallel.parallel_map` process pool, and merges
+the per-island outputs deterministically:
+
+* job records — global job-id order, node indices remapped to the
+  whole machine;
+* monitoring tables — concatenated and sorted by ``(job_id[,
+  gpu_index])``, so the merge is independent of which process ran
+  which island;
+* time series — disjoint union of the island stores;
+* obs spans/metrics — drained in each worker and re-parented into the
+  session trace in partition order.
+
+The islands here are *uncoupled* (no migration, no fair-share sync —
+the pipeline's default scheduler configuration), which is what makes
+the process-parallel run bit-identical to running the same islands
+serially: each island's event loop depends only on its own bucket of
+jobs.  Coupled islands (see
+:class:`~repro.slurm.interchange.InterchangeConfig`) must share an
+address space and are driven by the serial lockstep runner instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.partition import Partition, PartitionError, PartitionLayout
+from repro.monitor.collector import MonitoringConfig
+from repro.pipeline.instrument import PipelineInstrumentation
+from repro.pipeline.parallel import parallel_map
+from repro.workload.generator import WorkloadConfig
+
+
+def island_monitoring(
+    monitoring: MonitoringConfig | None, partition_index: int, num_partitions: int
+) -> MonitoringConfig:
+    """The partition-local monitoring config for one island.
+
+    Each island's collector needs its own RNG stream (sampling draws
+    happen in island-local job-completion order), derived from the
+    base monitoring seed with the partition index as the spawn key —
+    the same stream no matter which process runs the island.
+    """
+    base = monitoring if monitoring is not None else MonitoringConfig()
+    if num_partitions <= 1:
+        return base
+    derived = int(
+        np.random.SeedSequence(
+            entropy=base.seed, spawn_key=(partition_index,)
+        ).generate_state(1)[0]
+    )
+    return dataclasses.replace(base, seed=derived)
+
+
+@dataclass
+class IslandTask:
+    """Everything one island needs, picklable for the pool."""
+
+    partition: Partition
+    num_partitions: int
+    config: WorkloadConfig
+    monitoring: MonitoringConfig | None
+    requests: list
+    #: pid of the process that built the task; lets the runner tell the
+    #: in-process serial path from a forked pool worker (a fork copies
+    #: the parent's *enabled* ambient tracer, so enabled-ness alone
+    #: cannot distinguish the two).
+    parent_pid: int = 0
+
+
+@dataclass
+class IslandBuildResult:
+    """One island's outputs, node indices already global."""
+
+    partition_index: int
+    records: list
+    gpu_summary: object
+    per_gpu: object
+    store: object
+    sampling_rows: int
+    events_processed: int
+    peak_rss_bytes: float = 0.0
+    span_payload: list | None = None
+    metrics_snapshot: dict | None = field(default=None, repr=False)
+
+
+def _build_island(task: IslandTask) -> IslandBuildResult:
+    from repro.cluster.spec import supercloud_spec
+    from repro.monitor.collector import MonitoringCollector
+    from repro.obs.runtime import peak_rss_bytes
+    from repro.slurm.interchange import _remap_nodes
+    from repro.slurm.scheduler import SlurmSimulator
+
+    part = task.partition
+    base_spec = supercloud_spec(task.config.scaled_nodes)
+    simulator = SlurmSimulator(part.spec(base_spec))
+    monitoring = island_monitoring(task.monitoring, part.index, task.num_partitions)
+    collector = MonitoringCollector(monitoring).attach(simulator)
+    result = simulator.run(task.requests)
+    simulator.cluster.check_invariants()
+    sampling_rows = collector.flush(workers=1)
+    gpu_summary = collector.job_gpu_table()
+    per_gpu = collector.per_gpu_table()
+    _remap_nodes(result.records, part.node_start)
+    return IslandBuildResult(
+        partition_index=part.index,
+        records=result.records,
+        gpu_summary=gpu_summary,
+        per_gpu=per_gpu,
+        store=collector.store,
+        sampling_rows=sampling_rows,
+        events_processed=result.events_processed,
+        peak_rss_bytes=peak_rss_bytes(),
+    )
+
+
+def _run_island(task: IslandTask) -> IslandBuildResult:
+    """Pool-safe island entry: owns its obs pair inside a fresh worker.
+
+    In-process (serial fallback, session observability ambient) the
+    island's spans flow straight into the session trace.  In a worker
+    process — recognised by the pid differing from the task builder's,
+    since a forked worker inherits a *copy* of the parent's enabled
+    tracer whose spans would be lost with the child — the task runs
+    under its own tracer/registry and ships the drained payloads home.
+    """
+    from repro.obs import runtime
+
+    if os.getpid() == task.parent_pid and runtime.get_tracer().enabled:
+        return _build_island(task)
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(process_name=f"repro-island-{task.partition.index}")
+    metrics = MetricsRegistry()
+    with runtime.use(tracer, metrics):
+        result = _build_island(task)
+    result.span_payload = tracer.drain_payload()
+    result.metrics_snapshot = metrics.drain()
+    return result
+
+
+def check_island_capacity(layout: PartitionLayout, buckets: list, spec) -> None:
+    """Fail fast, with a remedy, when an island cannot place its jobs.
+
+    Splitting a small machine into many islands can leave every island
+    smaller than the largest job in its bucket; without this check the
+    failure surfaces as a :class:`PlacementError` deep inside a pool
+    worker.
+    """
+    gpus_per_node = spec.node.gpus_per_node
+    for part, bucket in zip(layout, buckets):
+        if not bucket:
+            continue
+        worst = max(bucket, key=lambda request: request.num_gpus)
+        needed = -(-worst.num_gpus // gpus_per_node)
+        if worst.num_gpus and needed > part.num_nodes:
+            raise PartitionError(
+                f"island {part.index} has {part.num_nodes} of the machine's "
+                f"{layout.total_nodes} nodes, but job {worst.job_id} in its "
+                f"bucket needs {needed} nodes ({worst.num_gpus} GPUs); use "
+                "fewer partitions, or a larger scale / num_nodes so every "
+                f"island has at least {needed} nodes"
+            )
+
+
+def _merge_tables(tables: list, sort_keys: tuple[str, ...]):
+    """Concatenate island tables and sort into a process-independent
+    order; empty islands (no rows yet, schema-less) are skipped."""
+    from repro.frame import concat_tables
+
+    filled = [table for table in tables if table.num_rows]
+    if not filled:
+        return tables[0]
+    merged = concat_tables(filled) if len(filled) > 1 else filled[0]
+    return merged.sort_by(*sort_keys)
+
+
+def build_sharded_dataset(
+    config: WorkloadConfig,
+    monitoring: MonitoringConfig | None,
+    inst: PipelineInstrumentation,
+    workers: int = 1,
+):
+    """The partitioned counterpart of ``session._build_dataset``.
+
+    Same five stages, same output shape; ``schedule`` fans the islands
+    across the pool (sampling included — each island flushes its own
+    collector), ``monitor`` merges the partition-local outputs.
+    """
+    from repro.cluster.spec import supercloud_spec
+    from repro.dataset import SupercloudDataset
+    from repro.monitor.timeseries import TimeSeriesStore
+    from repro.slurm.accounting import accounting_table
+    from repro.slurm.interchange import route_requests
+    from repro.workload.calibration import PAPER_TARGETS
+    from repro.workload.cohorts import generate_sharded
+
+    with inst.stage("workload") as probe:
+        requests = generate_sharded(config, workers=workers)
+        probe.rows = len(requests)
+
+    layout = PartitionLayout.even(config.scaled_nodes, config.partitions)
+    spec = supercloud_spec(config.scaled_nodes)
+
+    with inst.stage("schedule") as probe:
+        buckets = route_requests(requests, len(layout))
+        check_island_capacity(layout, buckets, spec)
+        tasks = [
+            IslandTask(
+                partition=part,
+                num_partitions=len(layout),
+                config=config,
+                monitoring=monitoring,
+                requests=bucket,
+                parent_pid=os.getpid(),
+            )
+            for part, bucket in zip(layout, buckets)
+        ]
+        islands = parallel_map(_run_island, tasks, workers=workers)
+        parent = inst.tracer.current_span_id()
+        for island in islands:
+            if island.span_payload:
+                inst.tracer.adopt(island.span_payload, parent=parent)
+            if island.metrics_snapshot:
+                inst.metrics.merge(island.metrics_snapshot)
+        records = [record for island in islands for record in island.records]
+        records.sort(key=lambda record: record.request.job_id)
+        inst.metrics.gauge(
+            "repro_shard_island_peak_rss_bytes",
+            help="largest per-island process peak RSS in the sharded build",
+        ).set_max(max(island.peak_rss_bytes for island in islands))
+        probe.rows = len(records)
+
+    with inst.stage("sampling") as probe:
+        # Sampling already ran island-locally inside ``schedule``; this
+        # stage only accounts for it so stage rows stay comparable.
+        probe.rows = sum(island.sampling_rows for island in islands)
+
+    with inst.stage("monitor") as probe:
+        gpu_summary = _merge_tables(
+            [island.gpu_summary for island in islands], ("job_id",)
+        )
+        per_gpu = _merge_tables(
+            [island.per_gpu for island in islands], ("job_id", "gpu_index")
+        )
+        store = TimeSeriesStore.merged(island.store for island in islands)
+        probe.rows = per_gpu.num_rows
+
+    with inst.stage("assemble") as probe:
+        jobs = accounting_table(records)
+        keep = (np.asarray(jobs["num_gpus"]) > 0) & (
+            np.asarray(jobs["run_time_s"], dtype=float)
+            >= PAPER_TARGETS.short_job_filter_s
+        )
+        gpu_jobs = jobs.filter(keep).join(gpu_summary, on="job_id")
+        if per_gpu.num_rows:
+            context = jobs.select(
+                ["job_id", "user", "num_gpus", "run_time_s", "gpu_hours", "lifecycle_class", "interface"]
+            )
+            per_gpu = per_gpu.join(context, on="job_id")
+        probe.rows = jobs.num_rows
+
+    return SupercloudDataset(
+        jobs=jobs,
+        gpu_jobs=gpu_jobs,
+        per_gpu=per_gpu,
+        timeseries=store,
+        records=records,
+        spec=spec,
+        config=config,
+    )

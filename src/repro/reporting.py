@@ -35,6 +35,21 @@ def operator_summary(source) -> str:
     gpu = dataset.gpu_jobs
     lines: list[str] = [f"Supercloud operations summary — {dataset.describe()}"]
 
+    # --- partition layout (sharded simulations only)
+    if getattr(dataset.config, "partitions", 1) > 1:
+        from repro.cluster.partition import PartitionLayout
+
+        layout = PartitionLayout.even(
+            dataset.spec.num_nodes, dataset.config.partitions
+        )
+        lines.append(_section("partition layout"))
+        lines.append(
+            f"{dataset.config.partitions} cluster islands, "
+            f"{dataset.config.resolved_cohorts} user cohorts "
+            "(cohort c runs on island c % partitions; see docs/scaling.md)"
+        )
+        lines.extend(layout.describe())
+
     # --- capacity & queue health
     lines.append(_section("queue health"))
     waits = np.asarray(gpu["wait_time_s"], dtype=float)

@@ -10,10 +10,19 @@ the calibrated workload through this simulator on the modeled cluster:
   multi-GPU placement, CPU-node co-location of GPU jobs).
 * :mod:`repro.slurm.scheduler` — the simulator tying it together.
 * :mod:`repro.slurm.accounting` — sacct-style log as a frame Table.
+* :mod:`repro.slurm.interchange` — partitioned cluster islands with
+  bounded-lag cross-partition state exchange (``docs/scaling.md``).
 """
 
 from repro.slurm.accounting import accounting_table
 from repro.slurm.events import Event, EventLoop
+from repro.slurm.interchange import (
+    InterchangeConfig,
+    PartitionedResult,
+    PartitionedRunner,
+    route_requests,
+    run_partitioned,
+)
 from repro.slurm.job import ExitCondition, JobRecord, JobRequest, JobState
 from repro.slurm.placement import PlacementPolicy
 from repro.slurm.queue import JobQueue
@@ -23,12 +32,17 @@ __all__ = [
     "Event",
     "EventLoop",
     "ExitCondition",
+    "InterchangeConfig",
     "JobQueue",
     "JobRecord",
     "JobRequest",
     "JobState",
+    "PartitionedResult",
+    "PartitionedRunner",
     "PlacementPolicy",
     "SchedulerConfig",
     "SlurmSimulator",
     "accounting_table",
+    "route_requests",
+    "run_partitioned",
 ]

@@ -58,6 +58,17 @@ class EventLoop:
         heapq.heappush(self._heap, event)
         return event
 
+    def peek_time(self) -> float | None:
+        """Time of the next event without popping (None when empty).
+
+        The partitioned runner uses this to advance an island only up
+        to an interchange epoch boundary (see
+        :mod:`repro.slurm.interchange`).
+        """
+        if not self._heap:
+            return None
+        return self._heap[0].time_s
+
     def pop(self) -> Event:
         """Remove and return the earliest event, advancing the clock."""
         if not self._heap:

@@ -1,0 +1,286 @@
+"""Cross-partition interchange: bounded-lag coupling of cluster islands.
+
+A partitioned run (see :mod:`repro.cluster.partition` and
+``docs/scaling.md``) gives each island its own
+:class:`~repro.slurm.scheduler.SlurmSimulator` event loop.  Islands
+are stepped in lockstep **epochs**: every island advances to the same
+time boundary, then an interchange step exchanges cross-partition
+state before the next epoch starts.  Two couplings are supported:
+
+* **global fair-share** — each island's
+  :class:`~repro.slurm.policies.FairSharePolicy` drains the GPU hours
+  its users consumed during the epoch; the deltas are merged into one
+  global ledger that is pushed back to every island, so priority
+  decisions lag global reality by at most one epoch;
+* **migration / spillover** — jobs queued longer than
+  ``migrate_after_s`` are moved (once) to the least-loaded island that
+  can ever place them, resubmitted at the epoch boundary.
+
+With both couplings off (the default) islands are fully independent —
+that is the configuration the pipeline parallelizes across processes
+(:mod:`repro.pipeline.shard`), because running coupled islands in
+lockstep requires them to share an address space.  The serial lockstep
+and the process-parallel independent path are bit-for-bit identical in
+the uncoupled case; ``tests/slurm/test_interchange.py`` pins this.
+
+This module is about *simulation structure*; the similarly named
+:mod:`repro.interchange` maps datasets onto the public MIT Supercloud
+CSV layout and is unrelated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.partition import PartitionLayout
+from repro.cluster.spec import ClusterSpec, supercloud_spec
+from repro.errors import PlacementError, SchedulerError
+from repro.slurm.job import JobRecord, JobRequest
+from repro.slurm.policies import FairSharePolicy
+from repro.slurm.scheduler import SchedulerConfig, SimulationResult, SlurmSimulator
+
+
+@dataclass(frozen=True)
+class InterchangeConfig:
+    """How (and how often) islands exchange state."""
+
+    #: Lockstep epoch length; cross-partition state lags by at most this.
+    epoch_s: float = 6 * 3600.0
+    #: Migrate queued jobs waiting longer than this to a less-loaded
+    #: island (None disables migration).
+    migrate_after_s: float | None = None
+    #: Synchronise fair-share ledgers globally at epoch boundaries
+    #: (requires ``SchedulerConfig(policy="fair_share")``).
+    fair_share_sync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise SchedulerError(f"epoch_s must be positive, got {self.epoch_s}")
+        if self.migrate_after_s is not None and self.migrate_after_s < 0:
+            raise SchedulerError(
+                f"migrate_after_s must be >= 0, got {self.migrate_after_s}"
+            )
+
+    @property
+    def coupled(self) -> bool:
+        """True when islands exchange state and must run in lockstep."""
+        return self.fair_share_sync or self.migrate_after_s is not None
+
+
+def route_requests(
+    requests: list[JobRequest], num_partitions: int
+) -> list[list[JobRequest]]:
+    """Split requests into per-island buckets by cohort.
+
+    Jobs carry their cohort in ``tags["cohort"]`` (set by the workload
+    generator); a job without one falls back to ``job_id`` so
+    hand-built request lists still route deterministically.
+    """
+    buckets: list[list[JobRequest]] = [[] for _ in range(num_partitions)]
+    for request in requests:
+        cohort = request.tags.get("cohort", request.job_id)
+        buckets[int(cohort) % num_partitions].append(request)
+    return buckets
+
+
+@dataclass
+class PartitionedResult:
+    """Per-island results plus the deterministic global merge."""
+
+    layout: PartitionLayout
+    results: list[SimulationResult]
+    interchange: InterchangeConfig
+    migrations: int = 0
+
+    def merged_records(self) -> list[JobRecord]:
+        """All job records in global job-id order (node indices global)."""
+        records = [record for result in self.results for record in result.records]
+        records.sort(key=lambda record: record.request.job_id)
+        return records
+
+    def merged(self) -> SimulationResult:
+        """One whole-machine-shaped result for downstream consumers."""
+        return SimulationResult(
+            records=self.merged_records(),
+            makespan_s=max(result.makespan_s for result in self.results),
+            events_processed=sum(r.events_processed for r in self.results),
+            peak_queue_length=max(r.peak_queue_length for r in self.results),
+            config=self.results[0].config,
+            node_failures=sum(r.node_failures for r in self.results),
+            jobs_killed_by_failures=sum(
+                r.jobs_killed_by_failures for r in self.results
+            ),
+        )
+
+
+class PartitionedRunner:
+    """Run one simulator per island with lockstep interchange epochs.
+
+    Construct the runner, attach per-island hooks (monitoring prologs /
+    epilogs) via :attr:`simulators`, then call :meth:`run`.  Job
+    records come back with **global** node indices.
+    """
+
+    def __init__(
+        self,
+        layout: PartitionLayout,
+        *,
+        spec: ClusterSpec | None = None,
+        config: SchedulerConfig | None = None,
+        interchange: InterchangeConfig | None = None,
+    ) -> None:
+        self.layout = layout
+        self.spec = spec if spec is not None else supercloud_spec(layout.total_nodes)
+        self.config = config if config is not None else SchedulerConfig()
+        self.interchange = interchange if interchange is not None else InterchangeConfig()
+        if len(layout) > 1:
+            if self.config.failure_model is not None:
+                raise SchedulerError(
+                    "failure injection is not supported in partitioned runs "
+                    "(per-island failure streams would be correlated)"
+                )
+            if self.config.policy is not None and not isinstance(
+                self.config.policy, str
+            ):
+                raise SchedulerError(
+                    "partitioned runs need a policy registry name (each island "
+                    "builds its own instance); got a policy object"
+                )
+        self.simulators = [
+            SlurmSimulator(part.spec(self.spec), self.config) for part in layout
+        ]
+        if self.interchange.fair_share_sync:
+            for simulator in self.simulators:
+                if not isinstance(simulator._policy, FairSharePolicy):
+                    raise SchedulerError(
+                        "fair_share_sync requires SchedulerConfig("
+                        'policy="fair_share")'
+                    )
+        self._global_usage: dict[str, float] = {}
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[JobRequest]) -> PartitionedResult:
+        """Simulate all requests across the islands to completion."""
+        buckets = route_requests(requests, len(self.layout))
+        for simulator, bucket in zip(self.simulators, buckets):
+            simulator.begin(bucket)
+
+        if not self.interchange.coupled:
+            # Independent islands: each loop runs to completion on its
+            # own.  This is the order-insensitive case the pipeline
+            # fans out across processes.
+            for simulator in self.simulators:
+                simulator.advance()
+        else:
+            boundary = self.interchange.epoch_s
+            while any(bool(s.loop) for s in self.simulators):
+                for simulator in self.simulators:
+                    simulator.advance(until=boundary)
+                self._exchange(boundary)
+                boundary += self.interchange.epoch_s
+
+        results = [simulator.finalize() for simulator in self.simulators]
+        for part, result in zip(self.layout, results):
+            _remap_nodes(result.records, part.node_start)
+        return PartitionedResult(
+            layout=self.layout,
+            results=results,
+            interchange=self.interchange,
+            migrations=self.migrations,
+        )
+
+    # ------------------------------------------------------------------
+    # The interchange step
+    # ------------------------------------------------------------------
+    def _exchange(self, boundary: float) -> None:
+        if self.interchange.fair_share_sync:
+            self._sync_fair_share()
+        if self.interchange.migrate_after_s is not None:
+            self._migrate(boundary)
+
+    def _sync_fair_share(self) -> None:
+        """Merge per-island usage deltas into one global ledger."""
+        for simulator in self.simulators:
+            for user, hours in simulator._policy.drain_usage().items():
+                self._global_usage[user] = self._global_usage.get(user, 0.0) + hours
+        for simulator in self.simulators:
+            simulator._policy.set_usage(self._global_usage)
+
+    def _migrate(self, boundary: float) -> None:
+        """Move long-queued jobs to the least-loaded feasible island.
+
+        Deterministic by construction: islands are scanned in index
+        order, candidates in job-id order, and ties between target
+        islands break toward the lower index.  A job migrates at most
+        once (no ping-pong) and is resubmitted at the epoch boundary.
+        """
+        threshold = self.interchange.migrate_after_s
+        for source_index, source in enumerate(self.simulators):
+            candidates = sorted(
+                (
+                    request
+                    for request in source.queue.scan()
+                    if boundary - request.submit_time_s > threshold
+                    and not request.tags.get("migrated")
+                ),
+                key=lambda request: request.job_id,
+            )
+            for request in candidates:
+                target_index = self._pick_target(source_index, request)
+                if target_index is None:
+                    continue
+                source.queue.remove(request.job_id)
+                request.tags["migrated"] = True
+                request.tags["migrated_to"] = target_index
+                target = self.simulators[target_index]
+                target.loop.schedule(boundary, "submit", request)
+                self.migrations += 1
+
+    def _pick_target(self, source_index: int, request: JobRequest) -> int | None:
+        """Least-loaded island that can ever place the job, if strictly
+        less loaded than the source."""
+        source_load = len(self.simulators[source_index].queue)
+        best: tuple[int, int] | None = None
+        for index, simulator in enumerate(self.simulators):
+            if index == source_index:
+                continue
+            try:
+                simulator.placement.check_feasible(request)
+            except PlacementError:
+                continue
+            load = len(simulator.queue)
+            if load >= source_load:
+                continue
+            if best is None or (load, index) < best:
+                best = (load, index)
+        return None if best is None else best[1]
+
+
+def _remap_nodes(records: list[JobRecord], node_start: int) -> None:
+    """Rewrite island-local node indices as global machine indices."""
+    if node_start == 0:
+        return
+    for record in records:
+        record.nodes = tuple(node_start + node for node in record.nodes)
+
+
+def run_partitioned(
+    requests: list[JobRequest],
+    num_partitions: int,
+    *,
+    total_nodes: int | None = None,
+    spec: ClusterSpec | None = None,
+    config: SchedulerConfig | None = None,
+    interchange: InterchangeConfig | None = None,
+) -> PartitionedResult:
+    """Convenience wrapper: layout + runner + run in one call."""
+    if spec is not None and total_nodes is None:
+        total_nodes = spec.num_nodes
+    if total_nodes is None:
+        raise SchedulerError("run_partitioned needs total_nodes or a spec")
+    layout = PartitionLayout.even(total_nodes, num_partitions)
+    runner = PartitionedRunner(
+        layout, spec=spec, config=config, interchange=interchange
+    )
+    return runner.run(requests)

@@ -83,6 +83,7 @@ class FairSharePolicy(PriorityPolicy):
 
     def __init__(self, half_decay_gpu_hours: float = 100.0) -> None:
         self._consumed: dict[str, float] = defaultdict(float)
+        self._pending_sync: dict[str, float] = defaultdict(float)
         self.half_decay_gpu_hours = half_decay_gpu_hours
 
     def base_priority(self, request: JobRequest) -> float:
@@ -93,6 +94,24 @@ class FairSharePolicy(PriorityPolicy):
 
     def observe_completion(self, request: JobRequest, gpu_hours: float) -> None:
         self._consumed[request.user] += gpu_hours
+        self._pending_sync[request.user] += gpu_hours
+
+    # -- cross-partition synchronisation (see repro.slurm.interchange) --
+    def drain_usage(self) -> dict[str, float]:
+        """Per-user GPU hours consumed since the last drain.
+
+        The partitioned runner collects these deltas from every island
+        at each interchange epoch and merges them into the global
+        ledger, so fair-share decisions lag reality by at most one
+        epoch.
+        """
+        delta = {user: hours for user, hours in self._pending_sync.items() if hours}
+        self._pending_sync.clear()
+        return delta
+
+    def set_usage(self, totals: dict[str, float]) -> None:
+        """Replace the ledger with globally merged per-user totals."""
+        self._consumed = defaultdict(float, totals)
 
 
 POLICIES = {

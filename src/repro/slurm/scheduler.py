@@ -181,7 +181,6 @@ class SlurmSimulator:
         """Simulate all requests to completion and return the records."""
         from repro.obs import runtime
 
-        self._init_obs()
         tracer = runtime.get_tracer()
         with tracer.span("slurm.run", category="scheduler", jobs=len(requests)) as span:
             result = self._run(requests)
@@ -193,6 +192,22 @@ class SlurmSimulator:
         return result
 
     def _run(self, requests: Sequence[JobRequest]) -> SimulationResult:
+        self.begin(requests)
+        self.advance()
+        return self.finalize()
+
+    # ------------------------------------------------------------------
+    # Stepped execution (begin / advance / finalize)
+    #
+    # ``run()`` is begin + advance-to-completion + finalize.  The
+    # partitioned runner (:mod:`repro.slurm.interchange`) drives the
+    # same three phases directly, advancing each island only up to the
+    # next interchange epoch boundary so cross-partition state stays
+    # within one epoch of lag.
+    # ------------------------------------------------------------------
+    def begin(self, requests: Sequence[JobRequest]) -> None:
+        """Schedule all submit (and failure) events; validate requests."""
+        self._init_obs()
         seen: set[int] = set()
         last_submit = 0.0
         for request in requests:
@@ -210,8 +225,18 @@ class SlurmSimulator:
             ):
                 self.loop.schedule(time_s, "node_fail", node)
 
+    def advance(self, until: float | None = None) -> bool:
+        """Process events with ``time <= until`` (all events if None).
+
+        Returns True while events remain pending (i.e. the loop paused
+        at the epoch boundary rather than draining).
+        """
         event_counters = self._event_counters
         while self.loop:
+            if until is not None:
+                next_time = self.loop.peek_time()
+                if next_time is not None and next_time > until:
+                    return True
             event = self.loop.pop()
             if event.kind == "submit":
                 self._on_submit(event.payload)
@@ -227,7 +252,10 @@ class SlurmSimulator:
             if counter is not None:
                 counter.inc()
             self._dispatch()
+        return False
 
+    def finalize(self) -> SimulationResult:
+        """Check the queue drained, build the result, fire run-end hooks."""
         if self.queue:
             raise SchedulerError(
                 f"simulation drained but {len(self.queue)} jobs still queued"

@@ -18,6 +18,13 @@ references).  The pieces:
 from repro.workload.activity import JobActivityModel, PhaseSchedule
 from repro.workload.calibration import GeneratorKnobs, PaperTargets, PAPER_TARGETS
 from repro.workload.campaigns import CampaignGenerator, CampaignSpec
+from repro.workload.cohorts import (
+    GenerationTask,
+    cohort_members,
+    cohort_stream,
+    generate_sharded,
+    generation_tasks,
+)
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 from repro.workload.scenarios import SCENARIOS, make_scenario
 from repro.workload.users import UserPopulation, UserProfile
@@ -25,6 +32,7 @@ from repro.workload.users import UserPopulation, UserProfile
 __all__ = [
     "CampaignGenerator",
     "CampaignSpec",
+    "GenerationTask",
     "GeneratorKnobs",
     "JobActivityModel",
     "PAPER_TARGETS",
@@ -35,5 +43,9 @@ __all__ = [
     "UserProfile",
     "WorkloadConfig",
     "WorkloadGenerator",
+    "cohort_members",
+    "cohort_stream",
+    "generate_sharded",
+    "generation_tasks",
     "make_scenario",
 ]

@@ -1,0 +1,137 @@
+"""Per-user-cohort workload sharding with spawn-keyed RNG streams.
+
+The legacy :meth:`WorkloadGenerator.generate` draws every job from one
+seed-rooted stream, which forces serial generation.  This module splits
+the draw into independent streams derived from the same seed via
+``numpy``'s :class:`~numpy.random.SeedSequence` spawn keys, so any
+process can reconstruct any shard's stream without coordination:
+
+========================  =====================================================
+spawn key                 stream
+========================  =====================================================
+``(0,)``                  user population + per-user job allocation
+``(1,)``                  the CPU-job shard (campaign bursts + singles)
+``(2 + c,)``              GPU jobs of cohort ``c`` (users with
+                          ``user_index % cohorts == c``)
+========================  =====================================================
+
+Because each shard's draws depend only on its own stream, the serial
+path (run the shards one after another in one process) and the sharded
+path (run them across a :func:`~repro.pipeline.parallel.parallel_map`
+pool) produce **bit-for-bit identical jobs** — the contract pinned by
+``tests/workload/test_cohorts.py``.  Merging is deterministic: shards
+are concatenated in task order, stably sorted by submit time, and job
+ids assigned in that final order.
+
+``cohorts == 1`` is intentionally *not* routed through this module's
+streams: it keeps the legacy single-stream draw so existing datasets,
+caches, and tests stay bit-identical (see ``docs/scaling.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.slurm.job import JobRequest
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.users import UserPopulation
+
+#: Spawn-key indices reserved by the stream table above.
+POPULATION_STREAM = 0
+CPU_STREAM = 1
+FIRST_COHORT_STREAM = 2
+
+
+def cohort_stream(seed: int, index: int) -> np.random.Generator:
+    """The ``index``-th spawn-keyed stream rooted at ``seed``."""
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(index,)))
+
+
+def build_population(config: WorkloadConfig) -> tuple[UserPopulation, np.ndarray]:
+    """The shared population + job allocation from stream ``(0,)``.
+
+    Every shard worker rebuilds this identically (it is cheap relative
+    to job generation), so no pickled population needs to travel.
+    """
+    rng = cohort_stream(config.seed, POPULATION_STREAM)
+    population = UserPopulation(config.scaled_users, config.knobs, rng)
+    counts = population.job_allocation(config.scaled_gpu_jobs, rng)
+    return population, counts
+
+
+def cohort_members(config: WorkloadConfig, cohort: int) -> list[int]:
+    """User indices belonging to ``cohort`` (strided assignment)."""
+    cohorts = config.resolved_cohorts
+    if not 0 <= cohort < cohorts:
+        raise WorkloadError(f"cohort {cohort} out of range [0, {cohorts})")
+    return list(range(cohort, config.scaled_users, cohorts))
+
+
+@dataclass(frozen=True)
+class GenerationTask:
+    """One independent shard of the workload draw (picklable)."""
+
+    kind: str  # "cohort" | "cpu"
+    cohort: int = -1
+
+
+def generation_tasks(config: WorkloadConfig) -> list[GenerationTask]:
+    """The full task list: one per cohort, plus the CPU shard."""
+    tasks = [GenerationTask("cohort", c) for c in range(config.resolved_cohorts)]
+    if config.include_cpu_jobs:
+        tasks.append(GenerationTask("cpu"))
+    return tasks
+
+
+def run_generation_task(config: WorkloadConfig, task: GenerationTask) -> list[JobRequest]:
+    """Draw one shard's jobs from its own stream (ids still unassigned)."""
+    population, counts = build_population(config)
+    if task.kind == "cpu":
+        generator = WorkloadGenerator(
+            config, rng=cohort_stream(config.seed, CPU_STREAM), population=population
+        )
+        return generator._generate_cpu_jobs()
+    if task.kind != "cohort":
+        raise WorkloadError(f"unknown generation task kind {task.kind!r}")
+    generator = WorkloadGenerator(
+        config,
+        rng=cohort_stream(config.seed, FIRST_COHORT_STREAM + task.cohort),
+        population=population,
+    )
+    members = cohort_members(config, task.cohort)
+    return generator.jobs_for_users(
+        (index, population.profiles[index], int(counts[index])) for index in members
+    )
+
+
+class _TaskRunner:
+    """Picklable ``parallel_map`` callable binding the config."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+
+    def __call__(self, task: GenerationTask) -> list[JobRequest]:
+        return run_generation_task(self.config, task)
+
+
+def generate_sharded(config: WorkloadConfig, workers: int | None = 1) -> list[JobRequest]:
+    """The full workload via cohort shards, serial or process-parallel.
+
+    Returns the same jobs for any ``workers`` value.  With
+    ``resolved_cohorts <= 1`` this delegates to the legacy
+    single-stream generator so the pre-sharding output is preserved
+    bit-for-bit.
+    """
+    if config.resolved_cohorts <= 1:
+        return WorkloadGenerator(config).generate()
+    from repro.pipeline.parallel import parallel_map
+
+    chunks = parallel_map(_TaskRunner(config), generation_tasks(config), workers=workers)
+    requests = [request for chunk in chunks for request in chunk]
+    requests.sort(key=lambda r: r.submit_time_s)
+    for job_id, request in enumerate(requests):
+        request.job_id = job_id
+    return requests

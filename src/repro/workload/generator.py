@@ -59,12 +59,30 @@ class WorkloadConfig:
     seed: int = 20220214
     include_cpu_jobs: bool = True
     knobs: GeneratorKnobs = field(default_factory=GeneratorKnobs)
+    #: Number of cluster islands the simulation is sharded over (see
+    #: ``docs/scaling.md``).  ``1`` is the whole-machine serial model;
+    #: values > 1 are a *different simulated system* (independent node
+    #: pools), not a parallelization of the same one.
+    partitions: int = 1
+    #: User-cohort count for sharded workload generation.  ``None``
+    #: follows ``partitions``; ``1`` pins the legacy single-stream RNG
+    #: path.  Cohort ``c`` routes to island ``c % partitions``.
+    cohorts: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
             raise WorkloadError(f"scale must be in (0, 1], got {self.scale}")
         if self.days <= 0 or self.gpu_jobs <= 0:
             raise WorkloadError("days and gpu_jobs must be positive")
+        if self.partitions < 1:
+            raise WorkloadError(f"partitions must be >= 1, got {self.partitions}")
+        if self.cohorts is not None and self.cohorts < 1:
+            raise WorkloadError(f"cohorts must be >= 1, got {self.cohorts}")
+        if self.resolved_cohorts < self.partitions:
+            raise WorkloadError(
+                f"cohorts ({self.resolved_cohorts}) must be >= partitions "
+                f"({self.partitions}) so every island receives jobs"
+            )
 
     @property
     def scaled_gpu_jobs(self) -> int:
@@ -89,15 +107,39 @@ class WorkloadConfig:
     def duration_s(self) -> float:
         return self.days * SECONDS_PER_DAY
 
+    @property
+    def resolved_cohorts(self) -> int:
+        """Effective cohort count (``cohorts`` or, when None, ``partitions``)."""
+        return self.partitions if self.cohorts is None else self.cohorts
+
 
 class WorkloadGenerator:
     """Generates the full calibrated workload."""
 
-    def __init__(self, config: WorkloadConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: WorkloadConfig | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        population: UserPopulation | None = None,
+    ) -> None:
+        """``rng``/``population`` injection supports cohort sharding.
+
+        The default path (both None) draws the population from the
+        seed-rooted stream exactly as before.  The sharded path
+        (:mod:`repro.workload.cohorts`) builds the population once from
+        a dedicated spawn stream and hands each cohort generator its
+        own ``rng`` so cohorts draw identical jobs no matter which
+        process runs them.
+        """
         self.config = config or WorkloadConfig()
         knobs = self.config.knobs
-        self._rng = np.random.default_rng(self.config.seed)
-        self.population = UserPopulation(self.config.scaled_users, knobs, self._rng)
+        self._rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+        self.population = (
+            population
+            if population is not None
+            else UserPopulation(self.config.scaled_users, knobs, self._rng)
+        )
         self._sm_dists = {k: QuantileDistribution(v) for k, v in knobs.sm_anchors.items()}
         self._size_dists = {k: QuantileDistribution(v) for k, v in knobs.size_anchors.items()}
         self._frac_dists = {
@@ -152,7 +194,18 @@ class WorkloadGenerator:
     # Top-level generation
     # ------------------------------------------------------------------
     def generate(self) -> list[JobRequest]:
-        """Produce the full workload sorted by submit time."""
+        """Produce the full workload sorted by submit time.
+
+        With ``config.resolved_cohorts > 1`` the draw is delegated to
+        the cohort-sharded path (:mod:`repro.workload.cohorts`), which
+        produces the same jobs whether run serially or across a process
+        pool.  ``cohorts == 1`` keeps the legacy single-stream draws
+        bit-for-bit.
+        """
+        if self.config.resolved_cohorts > 1:
+            from repro.workload.cohorts import generate_sharded
+
+            return generate_sharded(self.config)
         requests = self._generate_gpu_jobs()
         if self.config.include_cpu_jobs:
             requests.extend(self._generate_cpu_jobs())
@@ -166,11 +219,29 @@ class WorkloadGenerator:
     # ------------------------------------------------------------------
     def _generate_gpu_jobs(self) -> list[JobRequest]:
         counts = self.population.job_allocation(self.config.scaled_gpu_jobs, self._rng)
+        return self.jobs_for_users(
+            (index, profile, int(count))
+            for index, (profile, count) in enumerate(
+                zip(self.population.profiles, counts)
+            )
+        )
+
+    def jobs_for_users(self, allocations) -> list[JobRequest]:
+        """GPU jobs for ``(user_index, profile, job_count)`` triples.
+
+        Draws are made strictly in iteration order from this
+        generator's RNG stream — the unit of sharding: a cohort
+        generator calls this with its own members only, on its own
+        stream.  Each request is tagged with its user's cohort.
+        """
+        cohorts = max(self.config.resolved_cohorts, 1)
         requests: list[JobRequest] = []
-        for profile, count in zip(self.population.profiles, counts):
+        for user_index, profile, count in allocations:
             submit_times = self._session_times(int(count))
             for submit_time in submit_times:
-                requests.append(self._one_gpu_job(profile, float(submit_time)))
+                request = self._one_gpu_job(profile, float(submit_time))
+                request.tags["cohort"] = user_index % cohorts
+                requests.append(request)
         return requests
 
     def _one_gpu_job(self, profile: UserProfile, submit_time: float) -> JobRequest:
@@ -387,6 +458,7 @@ class WorkloadGenerator:
     def _generate_cpu_jobs(self) -> list[JobRequest]:
         knobs = self.config.knobs
         rng = self._rng
+        cohorts = max(self.config.resolved_cohorts, 1)
         total = self.config.scaled_cpu_jobs
         campaign_total = int(total * knobs.cpu_campaign_share)
         requests: list[JobRequest] = []
@@ -402,7 +474,8 @@ class WorkloadGenerator:
                 )
             )
             start = float(self._sample_times(1)[0])
-            user = self.population.profiles[int(rng.integers(len(self.population)))]
+            user_index = int(rng.integers(len(self.population)))
+            user = self.population.profiles[user_index]
             # Jobs of one campaign share a mild common factor, but each
             # job's runtime is its own draw from the calibrated anchors
             # so the pooled CPU runtime CDF matches Fig 3(a).
@@ -411,17 +484,22 @@ class WorkloadGenerator:
                 runtime = float(
                     np.clip(self._cpu_runtime.sample(rng) * campaign_factor, 3.0, 9e4)
                 )
-                requests.append(
-                    self._cpu_request(user, start + i * knobs.cpu_campaign_spacing_s, runtime)
+                request = self._cpu_request(
+                    user, start + i * knobs.cpu_campaign_spacing_s, runtime
                 )
+                request.tags["cohort"] = user_index % cohorts
+                requests.append(request)
             produced += size
 
         singles = max(total - produced, 0)
         times = self._sample_times(singles)
         for submit_time in times:
-            user = self.population.profiles[int(rng.integers(len(self.population)))]
+            user_index = int(rng.integers(len(self.population)))
+            user = self.population.profiles[user_index]
             runtime = float(self._cpu_runtime.sample(rng))
-            requests.append(self._cpu_request(user, float(submit_time), runtime))
+            request = self._cpu_request(user, float(submit_time), runtime)
+            request.tags["cohort"] = user_index % cohorts
+            requests.append(request)
         return requests
 
     def _cpu_request(self, profile: UserProfile, submit_time: float, runtime: float) -> JobRequest:

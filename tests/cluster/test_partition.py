@@ -1,0 +1,127 @@
+"""Tests for partitioned cluster layouts (node-range islands)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partition import Partition, PartitionError, PartitionLayout
+from repro.cluster.spec import supercloud_spec
+
+
+class TestPartition:
+    def test_half_open_range(self):
+        part = Partition(index=0, node_start=4, num_nodes=3)
+        assert part.node_stop == 7
+        assert part.to_global_node(0) == 4
+        assert part.to_global_node(2) == 6
+
+    def test_local_index_bounds(self):
+        part = Partition(index=1, node_start=0, num_nodes=2)
+        with pytest.raises(PartitionError, match="out of range"):
+            part.to_global_node(2)
+        with pytest.raises(PartitionError, match="out of range"):
+            part.to_global_node(-1)
+
+    def test_invalid_fields(self):
+        with pytest.raises(PartitionError):
+            Partition(index=-1, node_start=0, num_nodes=1)
+        with pytest.raises(PartitionError):
+            Partition(index=0, node_start=-1, num_nodes=1)
+        with pytest.raises(PartitionError):
+            Partition(index=0, node_start=0, num_nodes=0)
+
+    def test_island_spec_keeps_node_config(self):
+        base = supercloud_spec(16)
+        island = Partition(index=2, node_start=8, num_nodes=4).spec(base)
+        assert island.num_nodes == 4
+        assert island.node == base.node
+        assert "[partition 2]" in island.name
+
+
+class TestPartitionLayout:
+    def test_even_split_exact(self):
+        layout = PartitionLayout.even(8, 4)
+        assert [p.num_nodes for p in layout] == [2, 2, 2, 2]
+        assert [p.node_start for p in layout] == [0, 2, 4, 6]
+
+    def test_even_split_with_remainder(self):
+        layout = PartitionLayout.even(10, 4)
+        # first total % k islands get the extra node
+        assert [p.num_nodes for p in layout] == [3, 3, 2, 2]
+        assert layout[-1].node_stop == 10
+
+    def test_single_partition_is_whole_machine(self):
+        layout = PartitionLayout.even(224, 1)
+        assert len(layout) == 1
+        assert layout[0].num_nodes == 224
+
+    def test_too_many_partitions(self):
+        with pytest.raises(PartitionError, match="at least one node"):
+            PartitionLayout.even(3, 4)
+
+    def test_zero_partitions(self):
+        with pytest.raises(PartitionError):
+            PartitionLayout.even(8, 0)
+
+    def test_non_tiling_layout_rejected(self):
+        parts = (
+            Partition(index=0, node_start=0, num_nodes=2),
+            Partition(index=1, node_start=3, num_nodes=2),
+        )
+        with pytest.raises(PartitionError, match="tile"):
+            PartitionLayout(total_nodes=5, partitions=parts)
+
+    def test_incomplete_cover_rejected(self):
+        parts = (Partition(index=0, node_start=0, num_nodes=2),)
+        with pytest.raises(PartitionError, match="cover"):
+            PartitionLayout(total_nodes=5, partitions=parts)
+
+    def test_cohort_routing_wraps(self):
+        layout = PartitionLayout.even(8, 3)
+        assert layout.island_for_cohort(0).index == 0
+        assert layout.island_for_cohort(4).index == 1
+        with pytest.raises(PartitionError):
+            layout.island_for_cohort(-1)
+
+    def test_node_routing(self):
+        layout = PartitionLayout.even(10, 4)  # sizes 3,3,2,2
+        assert layout.island_for_node(0).index == 0
+        assert layout.island_for_node(5).index == 1
+        assert layout.island_for_node(9).index == 3
+        with pytest.raises(PartitionError):
+            layout.island_for_node(10)
+
+    def test_specs_match_layout(self):
+        layout = PartitionLayout.even(16, 4)
+        specs = layout.specs()
+        assert [s.num_nodes for s in specs] == [4, 4, 4, 4]
+        with pytest.raises(PartitionError, match="layout covers"):
+            layout.specs(supercloud_spec(8))
+
+    def test_describe_lines(self):
+        lines = PartitionLayout.even(8, 2).describe()
+        assert lines == [
+            "island 0: nodes 0..3 (4 nodes)",
+            "island 1: nodes 4..7 (4 nodes)",
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        total=st.integers(min_value=1, max_value=500),
+        k=st.integers(min_value=1, max_value=16),
+    )
+    def test_even_layout_properties(self, total, k):
+        if k > total:
+            with pytest.raises(PartitionError):
+                PartitionLayout.even(total, k)
+            return
+        layout = PartitionLayout.even(total, k)
+        sizes = [p.num_nodes for p in layout]
+        # tiles the machine, near-equal, every node owned by one island
+        assert sum(sizes) == total
+        assert max(sizes) - min(sizes) <= 1
+        for node in range(total):
+            part = layout.island_for_node(node)
+            assert part.node_start <= node < part.node_stop
+            local = node - part.node_start
+            assert part.to_global_node(local) == node

@@ -175,6 +175,18 @@ class TestTerminalVerbs:
         with pytest.raises(FrameError, match="mergeable partial state"):
             table.to_chunked().group_by("user").aggregate({"runtime_s": "median"})
 
+    def test_median_rejection_names_column_and_remedies(self, table):
+        """The error must be actionable: name the offending reducer and
+        column and point at both escape hatches."""
+        with pytest.raises(FrameError) as excinfo:
+            table.to_chunked().group_by("user").aggregate({"runtime_s": "median"})
+        message = str(excinfo.value)
+        assert "'median'" in message
+        assert "'runtime_s'" in message
+        assert ".materialize()" in message
+        assert "QuantileSketch" in message
+        assert "sum" in message and "mean" in message  # streamable list
+
     def test_value_counts_matches_materialized(self, table):
         for chunk_rows in (1, 9, 100):
             got = table.to_chunked(chunk_rows=chunk_rows).value_counts("user")

@@ -1,0 +1,179 @@
+"""Tests for the partitioned (sharded) dataset build.
+
+The acceptance contract of the sharding refactor, pinned end to end at
+the session level:
+
+* for a fixed partition count the build is **bit-for-bit identical**
+  whether the islands run serially in one process or fan out across
+  the worker pool;
+* ``partitions=1`` routes through the legacy serial code path and
+  reproduces the pre-sharding dataset exactly;
+* the merged dataset keeps the whole-machine shape (global node
+  indices, one spec, job-id-ordered tables).
+"""
+
+import numpy as np
+import pytest
+
+from repro.monitor.collector import MonitoringConfig
+from repro.pipeline import Session
+from repro.pipeline.shard import island_monitoring
+from repro.workload.generator import WorkloadConfig
+
+# 3200 configured nodes at scale 0.02 -> 64 simulated nodes, so even a
+# 4-way split leaves islands big enough for the largest (16-GPU) jobs.
+SHARDED = dict(scale=0.02, seed=13, num_nodes=3200, partitions=4)
+
+
+def datasets_equal(a, b):
+    assert a.jobs.to_dict() == b.jobs.to_dict()
+    assert a.gpu_jobs.to_dict() == b.gpu_jobs.to_dict()
+    assert a.per_gpu.to_dict() == b.per_gpu.to_dict()
+    assert len(a.timeseries) == len(b.timeseries)
+    for series in a.timeseries:
+        twin = b.timeseries.get(series.job_id, series.gpu_index)
+        assert np.array_equal(series.times_s, twin.times_s)
+        for name, values in series.metrics.items():
+            assert np.array_equal(values, twin.metrics[name]), name
+
+
+@pytest.fixture(scope="module")
+def serial_session():
+    session = Session(WorkloadConfig(**SHARDED), workers=1)
+    session.dataset()
+    return session
+
+
+class TestBitIdentity:
+    def test_parallel_build_matches_serial(self, serial_session):
+        parallel = Session(WorkloadConfig(**SHARDED), workers=4).dataset()
+        datasets_equal(serial_session.dataset(), parallel)
+
+    def test_single_partition_matches_legacy(self):
+        base = dict(SHARDED, partitions=1)
+        legacy = Session(WorkloadConfig(**base)).dataset()
+        # partitions=1 must be indistinguishable from the pre-sharding
+        # build — same workload stream, same serial schedule stage.
+        roundtrip = Session(WorkloadConfig(**base), workers=2).dataset()
+        datasets_equal(legacy, roundtrip)
+
+
+class TestMergedShape:
+    def test_whole_machine_spec_and_global_nodes(self, serial_session):
+        dataset = serial_session.dataset()
+        assert dataset.spec.num_nodes == dataset.config.scaled_nodes
+        assert "[partition" not in dataset.spec.name
+        max_node = max(
+            (node for record in dataset.records for node in record.nodes),
+            default=0,
+        )
+        assert max_node < dataset.spec.num_nodes
+        # records span more than one island's node range
+        assert max_node >= dataset.spec.num_nodes // 4
+
+    def test_records_in_job_id_order(self, serial_session):
+        ids = [r.request.job_id for r in serial_session.dataset().records]
+        assert ids == sorted(ids)
+
+    def test_tables_sorted_for_process_independence(self, serial_session):
+        dataset = serial_session.dataset()
+        job_ids = np.asarray(dataset.gpu_jobs["job_id"])
+        assert np.all(np.diff(job_ids) >= 0)
+
+    def test_island_rss_gauge_recorded(self, serial_session):
+        gauge = serial_session.metrics.gauge("repro_shard_island_peak_rss_bytes")
+        assert gauge.value > 0
+
+    def test_stage_names_unchanged(self, serial_session):
+        from repro.pipeline import BUILD_STAGES
+
+        assert tuple(serial_session.instrumentation.stage_names()) == BUILD_STAGES
+
+
+class TestIslandCapacity:
+    def test_oversized_job_fails_fast_with_remedy(self):
+        from repro.cluster.partition import PartitionError, PartitionLayout
+        from repro.cluster.spec import supercloud_spec
+        from repro.pipeline.shard import check_island_capacity
+        from tests.slurm.test_job import make_request
+
+        layout = PartitionLayout.even(8, 4)  # 2-node (4-GPU) islands
+        buckets = [[make_request(job_id=7, num_gpus=16)], [], [], []]
+        with pytest.raises(PartitionError, match="fewer partitions"):
+            check_island_capacity(layout, buckets, supercloud_spec(8))
+
+    def test_fitting_jobs_pass(self):
+        from repro.cluster.partition import PartitionLayout
+        from repro.cluster.spec import supercloud_spec
+        from repro.pipeline.shard import check_island_capacity
+        from tests.slurm.test_job import make_request
+
+        layout = PartitionLayout.even(8, 4)
+        buckets = [[make_request(job_id=1, num_gpus=4)], [], [], []]
+        check_island_capacity(layout, buckets, supercloud_spec(8))
+
+    def test_cli_scale_too_small_for_partitions(self):
+        # end to end: the session surfaces the actionable error instead
+        # of a PlacementError from inside a pool worker
+        from repro.cluster.partition import PartitionError
+
+        session = Session(WorkloadConfig(scale=0.05, seed=20220214, partitions=2))
+        with pytest.raises(PartitionError, match="fewer partitions"):
+            session.dataset()
+
+
+class TestIslandMonitoring:
+    def test_single_partition_keeps_base_seed(self):
+        base = MonitoringConfig(seed=99)
+        assert island_monitoring(base, 0, 1) is base
+
+    def test_islands_get_distinct_derived_seeds(self):
+        base = MonitoringConfig(seed=99)
+        seeds = {island_monitoring(base, i, 4).seed for i in range(4)}
+        assert len(seeds) == 4
+        assert island_monitoring(base, 2, 4).seed == island_monitoring(base, 2, 4).seed
+
+    def test_default_config_when_none(self):
+        derived = island_monitoring(None, 1, 2)
+        assert derived.seed != MonitoringConfig().seed
+
+
+class TestWorkerObservability:
+    def test_pool_island_spans_adopted_into_session_trace(self):
+        """A forked worker inherits an enabled tracer copy; its spans
+        must still come home via drain/adopt, not die with the child."""
+        session = Session(WorkloadConfig(**SHARDED), workers=4)
+        session.dataset()
+        payload = session.tracer.drain_payload()
+        by_id = {span["id"]: span for span in payload}
+        runs = [span for span in payload if span["name"] == "slurm.run"]
+        # one simulator run per island, visible in the *session* trace
+        assert len(runs) == 4
+        for span in runs:
+            # re-parented somewhere under the schedule stage span
+            ancestors = set()
+            parent = span["parent"]
+            while parent in by_id:
+                ancestors.add(by_id[parent]["name"])
+                parent = by_id[parent]["parent"]
+            assert "schedule" in ancestors
+
+    def test_serial_island_spans_flow_inline(self):
+        session = Session(WorkloadConfig(**SHARDED), workers=1)
+        session.dataset()
+        names = [span["name"] for span in session.tracer.drain_payload()]
+        assert names.count("slurm.run") == 4
+
+
+class TestSummary:
+    def test_summary_reports_partition_layout(self, serial_session):
+        text = serial_session.summary()
+        assert "partitions: 4 (cohorts: 4)" in text
+
+    def test_operator_summary_shows_islands(self, serial_session):
+        from repro.reporting import operator_summary
+
+        text = operator_summary(serial_session)
+        assert "partition layout" in text
+        assert "4 cluster islands" in text
+        assert "island 0: nodes 0.." in text

@@ -7,6 +7,8 @@ import pytest
 from repro.bench import (
     FIRST_BENCH_ID,
     SuiteResult,
+    check_regressions,
+    load_bench_history,
     next_bench_path,
     record_bench_stat,
     write_bench_json,
@@ -66,3 +68,91 @@ class TestWriteBenchJson:
         suites = {s["name"]: s for s in payload["suites"]}
         assert suites["frame"]["passed"] is True
         assert suites["stream"]["stats"]["stream_sketch"]["rows_per_s"] == 1e6
+
+
+def write_run(root, bench_id, seconds_by_suite, scale="0.05"):
+    payload = {
+        "schema": 1,
+        "bench_scale": scale,
+        "suites": [
+            {"name": name, "seconds": seconds}
+            for name, seconds in seconds_by_suite.items()
+        ],
+    }
+    (root / f"BENCH_{bench_id}.json").write_text(json.dumps(payload))
+
+
+class TestLoadBenchHistory:
+    def test_sorted_by_id_and_skips_garbage(self, tmp_path):
+        write_run(tmp_path, 8, {"frame": 1.0})
+        write_run(tmp_path, 6, {"frame": 1.0})
+        (tmp_path / "BENCH_7.json").write_text("{not json")
+        (tmp_path / "BENCH_9.json").write_text('{"no": "suites"}')
+        ids = [bench_id for bench_id, _ in load_bench_history(tmp_path)]
+        assert ids == [6, 8]
+
+    def test_empty_root(self, tmp_path):
+        assert load_bench_history(tmp_path) == []
+
+
+class TestCheckRegressions:
+    def test_no_history(self, tmp_path):
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert "no BENCH" in check.to_text()
+
+    def test_first_run_has_no_baseline(self, tmp_path):
+        write_run(tmp_path, 6, {"frame": 1.0})
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert check.baseline_runs == 0
+        assert "no comparable" in check.to_text()
+
+    def test_flags_large_absolute_slowdown(self, tmp_path):
+        for i, seconds in enumerate([10.0, 10.5, 9.8]):
+            write_run(tmp_path, 6 + i, {"frame": seconds})
+        write_run(tmp_path, 9, {"frame": 20.0})
+        check = check_regressions(tmp_path)
+        assert not check.ok
+        assert check.regressions[0]["suite"] == "frame"
+        assert "REGRESSION" in check.to_text()
+
+    def test_small_suites_never_trip_on_noise(self, tmp_path):
+        # 3x slower but under the absolute min_seconds floor
+        write_run(tmp_path, 6, {"tiny": 0.4})
+        write_run(tmp_path, 7, {"tiny": 1.2})
+        assert check_regressions(tmp_path).ok
+
+    def test_within_threshold_passes(self, tmp_path):
+        write_run(tmp_path, 6, {"frame": 10.0})
+        write_run(tmp_path, 7, {"frame": 12.0})  # 1.2x < 1.35x
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert check.checked  # still compared, just not flagged
+
+    def test_different_scales_are_incomparable(self, tmp_path):
+        write_run(tmp_path, 6, {"frame": 1.0}, scale="0.05")
+        write_run(tmp_path, 7, {"frame": 50.0}, scale="1.0")
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert check.baseline_runs == 0
+
+    def test_new_suite_exempt_until_baselined(self, tmp_path):
+        write_run(tmp_path, 6, {"frame": 1.0})
+        write_run(tmp_path, 7, {"frame": 1.0, "scale": 300.0})
+        assert check_regressions(tmp_path).ok
+
+    def test_median_baseline_resists_one_outlier(self, tmp_path):
+        for i, seconds in enumerate([10.0, 10.2, 90.0, 10.1, 10.3]):
+            write_run(tmp_path, 6 + i, {"frame": seconds})
+        write_run(tmp_path, 11, {"frame": 11.0})
+        assert check_regressions(tmp_path).ok
+
+    def test_window_limits_baseline(self, tmp_path):
+        write_run(tmp_path, 6, {"frame": 100.0})  # ancient, outside window
+        for i in range(5):
+            write_run(tmp_path, 7 + i, {"frame": 10.0})
+        write_run(tmp_path, 12, {"frame": 20.0})
+        check = check_regressions(tmp_path, window=5)
+        assert check.baseline_runs == 5
+        assert not check.ok

@@ -74,6 +74,55 @@ class TestParser:
             assert options.seed == 9
             assert options.days == 10.0
 
+    def test_partitions_default_to_serial(self):
+        args = build_parser().parse_args(["report"])
+        options = DatasetOptions.from_args(args)
+        assert options.partitions == 1
+        assert options.cohorts is None
+
+    def test_partitions_flow_into_session_config(self):
+        args = build_parser().parse_args(
+            ["summary", "--scale", "0.02", "--partitions", "2", "--cohorts", "6"]
+        )
+        session = DatasetOptions.from_args(args).session()
+        assert session.config.partitions == 2
+        assert session.config.resolved_cohorts == 6
+
+    def test_invalid_partition_split_rejected_at_session_build(self):
+        args = build_parser().parse_args(
+            ["summary", "--partitions", "4", "--cohorts", "2"]
+        )
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError, match="every island"):
+            DatasetOptions.from_args(args).session()
+
+    def test_bench_check_flags_parse(self):
+        args = build_parser().parse_args(
+            ["bench", "--check", "--check-threshold", "0.5", "--check-window", "3"]
+        )
+        assert args.check is True
+        assert args.check_threshold == 0.5
+        assert args.check_window == 3
+
+    def test_bench_check_comparator_exit_codes(self, capsys, monkeypatch):
+        from repro.bench import BenchCheck
+
+        def fake_check(root, *, threshold, window):
+            check = BenchCheck(12, 3, threshold, 2.0)
+            if fake_check.regress:
+                row = {"suite": "frame", "latest_s": 9.0, "baseline_s": 3.0, "ratio": 3.0}
+                check.checked.append(row)
+                check.regressions.append(row)
+            return check
+
+        monkeypatch.setattr("repro.bench.check_regressions", fake_check)
+        fake_check.regress = False
+        assert main(["bench", "--check", "--no-json"]) == 0
+        fake_check.regress = True
+        assert main(["bench", "--check", "--no-json"]) == 3
+        assert "REGRESSION" in capsys.readouterr().out
+
 
 class TestCommands:
     def test_generate_writes_csvs(self, tmp_path, capsys):
