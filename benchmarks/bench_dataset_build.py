@@ -8,15 +8,18 @@ that justified the refactor and pin the contract that makes deferral
 safe at all: serial and parallel flushes produce bit-for-bit the same
 dataset.
 
-The ``>=2x`` gate is deliberately below the measured ratio (~4-8x on
-multi-GPU jobs) so it catches a silent fall-back to the per-GPU loop
-without flaking on machine noise.
+The ``>=1.5x`` gate is deliberately below the measured ratio (~2x on
+single-core containers where the vector math dominates, 4-8x where
+per-call Python overhead does) so it catches a silent fall-back to
+the per-GPU loop — which measures ~1.0x — without flaking on the
+slowest machines.
 """
 
 import time
 
 import numpy as np
 
+from repro.bench import record_bench_stat
 from repro.monitor.nvidia_smi import NvidiaSmiSampler
 from repro.pipeline import Session
 from repro.workload.activity import (
@@ -84,9 +87,9 @@ def _best_of(fn, repeats=3):
     return best, result
 
 
-def test_batched_summaries_2x():
-    """Batched ``metrics_at_all`` summaries: >=2x over the per-GPU loop
-    on a multi-GPU-heavy workload, with bit-identical output."""
+def test_batched_summaries_faster():
+    """Batched ``metrics_at_all`` summaries: >=1.5x over the per-GPU
+    loop on a multi-GPU-heavy workload, with bit-identical output."""
     rng = np.random.default_rng(20220402)
     sampler = NvidiaSmiSampler(0.1, SUMMARY_SAMPLES)
     jobs = []
@@ -109,14 +112,19 @@ def test_batched_summaries_2x():
 
     fast_s, fast = _best_of(batched)
     naive_s, naive = _best_of(per_gpu)
+    record_bench_stat(
+        "batched_summaries",
+        rows_per_s=NUM_JOBS * NUM_GPUS * SUMMARY_SAMPLES / fast_s,
+        speedup_x=naive_s / fast_s,
+    )
     for fast_job, naive_job in zip(fast, naive):
         assert fast_job.keys() == naive_job.keys()
         for name, values in fast_job.items():
             assert np.array_equal(values, naive_job[name]), name
-    assert naive_s >= 2 * fast_s, (
+    assert naive_s >= 1.5 * fast_s, (
         f"summaries[{NUM_JOBS} jobs x {NUM_GPUS} GPUs]: batched "
         f"{fast_s * 1e3:.1f}ms vs per-GPU {naive_s * 1e3:.1f}ms "
-        f"({naive_s / fast_s:.1f}x < 2x)"
+        f"({naive_s / fast_s:.1f}x < 1.5x)"
     )
 
 

@@ -18,6 +18,7 @@ import time
 
 import numpy as np
 
+from repro.bench import record_bench_stat
 from repro.frame import Table
 from repro.frame.reference import naive_aggregate, naive_join
 
@@ -64,6 +65,11 @@ def test_aggregate_int_key_5x():
     naive_s, naive = _best_of(
         lambda: naive_aggregate(table, ("num_gpus",), AGG_SPEC), repeats=1
     )
+    record_bench_stat(
+        "aggregate_int_key",
+        rows_per_s=NUM_ROWS / fast_s,
+        speedup_x=naive_s / fast_s,
+    )
     assert fast.to_dict() == naive.to_dict()
     assert naive_s >= 5 * fast_s, (
         f"aggregate[num_gpus]: fast {fast_s * 1e3:.2f}ms vs naive "
@@ -82,6 +88,11 @@ def test_aggregate_string_key_2_5x():
     fast_s, fast = _best_of(lambda: table.group_by("user").aggregate(AGG_SPEC))
     naive_s, naive = _best_of(
         lambda: naive_aggregate(table, ("user",), AGG_SPEC), repeats=1
+    )
+    record_bench_stat(
+        "aggregate_string_key",
+        rows_per_s=NUM_ROWS / fast_s,
+        speedup_x=naive_s / fast_s,
     )
     assert fast.to_dict() == naive.to_dict()
     assert naive_s >= 2.5 * fast_s, (
@@ -106,6 +117,11 @@ def test_join_all_match_5x():
     )
     fast_s, fast = _best_of(lambda: table.join(right, on="job_id"))
     naive_s, naive = _best_of(lambda: naive_join(table, right, on="job_id"), repeats=1)
+    record_bench_stat(
+        "join_all_match",
+        rows_per_s=NUM_ROWS / fast_s,
+        speedup_x=naive_s / fast_s,
+    )
     assert fast.to_dict() == naive.to_dict()
     assert naive_s >= 5 * fast_s, (
         f"join[all-match]: fast {fast_s * 1e3:.2f}ms vs naive "

@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro.bench import record_bench_stat
 from repro.frame import Table
 from repro.obs import NULL_TRACER
 from repro.obs.runtime import get_metrics, record_kernel
@@ -81,6 +82,12 @@ def test_disabled_hook_overhead_on_aggregate_under_3pct():
     hook_per_call_s = _best_of(hook_loop) / calls
 
     overhead = hook_per_call_s * HOOK_CALLS_PER_AGGREGATE / aggregate_s
+    record_bench_stat(
+        "disabled_hook",
+        ns_per_call=hook_per_call_s * 1e9,
+        overhead_frac=overhead,
+        aggregate_rows_per_s=NUM_ROWS / aggregate_s,
+    )
     assert overhead < MAX_DISABLED_OVERHEAD, (
         f"disabled obs hook: {hook_per_call_s * 1e9:.0f} ns/call on a "
         f"{aggregate_s * 1e3:.2f} ms aggregate = {overhead:.2%} "
@@ -108,6 +115,11 @@ def test_null_span_stays_in_the_noop_cost_class():
 
     span_per_call_s = _best_of(span_loop) / calls
     overhead = span_per_call_s / aggregate_s
+    record_bench_stat(
+        "null_span",
+        ns_per_call=span_per_call_s * 1e9,
+        overhead_frac=overhead,
+    )
     assert overhead < MAX_DISABLED_OVERHEAD, (
         f"null span: {span_per_call_s * 1e9:.0f} ns/enter-exit on a "
         f"{aggregate_s * 1e3:.2f} ms aggregate = {overhead:.2%} "

@@ -3,6 +3,7 @@ and the session artifact cache."""
 
 import time
 
+from repro.bench import record_bench_stat
 from repro.dataset import generate_dataset
 from repro.figures.registry import run_all
 from repro.pipeline import Session
@@ -11,12 +12,25 @@ from repro.cluster.spec import supercloud_spec
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 
 
+def _best_seconds(benchmark) -> float | None:
+    """Fastest measured round of a pytest-benchmark run, if available."""
+    try:
+        return float(benchmark.stats.stats.min)
+    except AttributeError:
+        return None
+
+
 def test_workload_generation(benchmark):
     def generate():
         return WorkloadGenerator(WorkloadConfig(scale=0.02, seed=1)).generate()
 
     requests = benchmark(generate)
     assert len(requests) > 500
+    best_s = _best_seconds(benchmark)
+    if best_s:
+        record_bench_stat(
+            "workload_generation", rows_per_s=len(requests) / best_s
+        )
 
 
 def test_scheduler_simulation(benchmark):
@@ -29,6 +43,11 @@ def test_scheduler_simulation(benchmark):
 
     result = benchmark(simulate)
     assert len(result.records) == len(requests)
+    best_s = _best_seconds(benchmark)
+    if best_s:
+        record_bench_stat(
+            "scheduler_simulation", rows_per_s=len(result.records) / best_s
+        )
 
 
 def test_full_dataset_pipeline(benchmark):
@@ -37,6 +56,15 @@ def test_full_dataset_pipeline(benchmark):
 
     dataset = benchmark(build)
     assert dataset.gpu_jobs.num_rows > 100
+    best_s = _best_seconds(benchmark)
+    if best_s:
+        from repro.obs.runtime import peak_rss_bytes
+
+        record_bench_stat(
+            "full_dataset_pipeline",
+            rows_per_s=dataset.jobs.num_rows / best_s,
+            runner_peak_rss_bytes=peak_rss_bytes(),
+        )
 
 
 def test_cached_report(tmp_path):

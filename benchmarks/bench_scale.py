@@ -13,10 +13,23 @@ gates on the refactor's two load-bearing promises:
   the per-island job buckets balanced so no island serialises the
   pool.
 
-``REPRO_BENCH_SCALE_FULL`` shrinks the build for constrained CI boxes
-(default ``1.0``; the equality and balance gates hold at any scale).
-Wall times, speedup, and the largest per-island peak RSS are reported
-via :func:`repro.bench.record_bench_stat` so ``python -m repro bench``
+A second module half gates the *streaming coupled* build that makes
+10x-scale traces tractable: the same four islands, coupled through
+migration interchange, built process-parallel with every island
+spilling its tables to disk.  The parent consumes the k-way merged
+chunk streams without ever materializing the dataset, and the gates
+pin (a) figure-grade statistics bit-identical to the serial
+materialized coupled build, (b) parent working memory bounded by a
+chunk-size constant (independent of scale), and (c) the same >= 2x
+speedup at 4 workers on real parallel hardware.
+
+``REPRO_BENCH_SCALE_FULL`` shrinks or grows the build (default
+``1.0``; the equality, balance, and memory gates hold at any scale).
+It accepts either a plain scale (``0.25``) or an ``Nx`` multiplier —
+``REPRO_BENCH_SCALE_FULL=10x`` opts into the 10x-scale streaming
+build that motivated the sharded spill path.  Wall times, speedup,
+migrations, and peak memory are reported via
+:func:`repro.bench.record_bench_stat` so ``python -m repro bench``
 records the trajectory and ``--check`` can flag regressions.
 
 Monitoring is configured light (sparse time series): the gate targets
@@ -28,6 +41,7 @@ from __future__ import annotations
 
 import os
 import time
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -35,26 +49,43 @@ import pytest
 from repro.bench import record_bench_stat
 from repro.monitor.collector import MonitoringConfig
 from repro.pipeline import Session
-from repro.slurm.interchange import route_requests
+from repro.slurm.interchange import InterchangeConfig, route_requests
 from repro.workload.generator import WorkloadConfig
 
-FULL_SCALE = float(os.environ.get("REPRO_BENCH_SCALE_FULL", "1.0"))
+
+def _parse_scale(raw: str) -> float:
+    """``"0.25"`` is a scale; ``"10x"`` multiplies the 1.0 default."""
+    raw = raw.strip().lower()
+    if raw.endswith("x"):
+        return float(raw[:-1])
+    return float(raw)
+
+
+FULL_SCALE = _parse_scale(os.environ.get("REPRO_BENCH_SCALE_FULL", "1.0"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20220214"))
 PARTITIONS = 4
+
+#: The streaming coupled gate defaults to scale 2.0 — large enough
+#: that materializing in the parent would visibly dominate RSS — and
+#: follows any explicit REPRO_BENCH_SCALE_FULL in either direction:
+#: ``10x`` opts into the 10x-scale streaming build, ``0.25`` shrinks
+#: for constrained CI (every gate but the speedup is scale-free).
+STREAM_SCALE = FULL_SCALE if FULL_SCALE != 1.0 else 2.0
+STREAM_CHUNK_ROWS = 8192
 
 LIGHT_MONITORING = MonitoringConfig(
     summary_samples=64, timeseries_fraction=0.004, timeseries_max_samples=500
 )
 
 
-def _num_nodes() -> int:
+def _num_nodes(scale: float = FULL_SCALE) -> int:
     # At scale 1.0 this is exactly the paper's 224-node machine.  At the
     # reduced REPRO_BENCH_SCALE_FULL values CI boxes use, grow the
     # configured machine so every island still has the 8 nodes the
     # largest (16-GPU) jobs need to place at all.
     import math
 
-    return max(224, math.ceil(8 * PARTITIONS / FULL_SCALE))
+    return max(224, math.ceil(8 * PARTITIONS / scale))
 
 
 def _build(workers: int) -> tuple[Session, float]:
@@ -157,3 +188,167 @@ def test_island_buckets_stay_balanced(builds):
     # GPU-hour-heavy users skew buckets; 2.5x mean still keeps the
     # pool's critical path well under serial.
     assert max(sizes) <= 2.5 * mean, f"island buckets unbalanced: {sizes}"
+
+
+# ----------------------------------------------------------------------
+# Streaming coupled islands: the 10x-scale build path
+# ----------------------------------------------------------------------
+
+#: Coupling for the streaming gate: migration interchange forces the
+#: islands into lockstep epochs, so the build exercises the
+#: process-parallel epoch protocol, not just the embarrassing fan-out.
+STREAM_INTERCHANGE = InterchangeConfig(epoch_s=6 * 3600.0, migrate_after_s=3600.0)
+
+
+def _stream_config() -> WorkloadConfig:
+    return WorkloadConfig(
+        scale=STREAM_SCALE,
+        seed=BENCH_SEED,
+        num_nodes=_num_nodes(STREAM_SCALE),
+        partitions=PARTITIONS,
+    )
+
+
+@pytest.fixture(scope="module")
+def coupled_builds():
+    """Streaming process-parallel coupled build vs serial materialized.
+
+    The parallel build spills every island table to disk and hands the
+    parent only chunk-stream handles; the serial build runs the same
+    coupled lockstep in-process and materializes, providing the ground
+    truth the bit-identity gate compares against.
+    """
+    config = _stream_config()
+    stream_session = Session(
+        config, LIGHT_MONITORING, workers=PARTITIONS, interchange=STREAM_INTERCHANGE
+    )
+    start = time.perf_counter()
+    stream = stream_session.streaming_dataset(chunk_rows=STREAM_CHUNK_ROWS)
+    parallel_s = time.perf_counter() - start
+
+    serial_session = Session(
+        config, LIGHT_MONITORING, workers=1, interchange=STREAM_INTERCHANGE
+    )
+    start = time.perf_counter()
+    serial = serial_session.dataset()
+    serial_s = time.perf_counter() - start
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    record_bench_stat(
+        "stream_coupled",
+        scale=STREAM_SCALE,
+        partitions=PARTITIONS,
+        workers=PARTITIONS,
+        chunk_rows=STREAM_CHUNK_ROWS,
+        serial_s=round(serial_s, 3),
+        parallel_s=round(parallel_s, 3),
+        speedup=round(speedup, 3),
+        rows_per_s=round(serial.jobs.num_rows / max(parallel_s, 1e-9), 1),
+        migrations=stream_session.metrics.counter_value(
+            "repro_shard_migrations_total"
+        ),
+        island_peak_rss_bytes=stream_session.metrics.gauge(
+            "repro_shard_island_peak_rss_bytes"
+        ).value,
+        cpu_count=os.cpu_count(),
+        jobs=serial.jobs.num_rows,
+    )
+    return stream_session, serial_session, stream, serial, parallel_s, serial_s
+
+
+def _assert_stream_matches_table(stream_table, serial_table) -> None:
+    """Chunk-wise bit-identity without materializing the stream."""
+    columns = {
+        name: np.asarray(serial_table[name]) for name in serial_table.column_names
+    }
+    offset = 0
+    for chunk in stream_table.chunks():
+        assert tuple(chunk.column_names) == tuple(serial_table.column_names)
+        for name in chunk.column_names:
+            expected = columns[name][offset : offset + chunk.num_rows]
+            assert np.array_equal(np.asarray(chunk[name]), expected), name
+        offset += chunk.num_rows
+    assert offset == serial_table.num_rows
+
+
+def test_coupled_stream_is_bit_identical(coupled_builds):
+    """Gate: the streaming build is the serial build, chunk for chunk.
+
+    Compares every table row-for-row against the serial materialized
+    coupled build (same interchange, same epochs) while only ever
+    holding one chunk of the stream, plus the figure-grade statistics
+    the streaming view exists to serve.
+    """
+    _, _, stream, serial, _, _ = coupled_builds
+    assert stream.is_streaming and not serial.is_streaming
+    _assert_stream_matches_table(stream.jobs, serial.jobs)
+    _assert_stream_matches_table(stream.gpu_jobs, serial.gpu_jobs)
+    _assert_stream_matches_table(stream.per_gpu, serial.per_gpu)
+    assert stream.num_users == serial.num_users
+    assert len(stream.timeseries) == len(serial.timeseries)
+    for series in serial.timeseries:
+        twin = stream.timeseries.get(series.job_id, series.gpu_index)
+        assert np.array_equal(series.times_s, twin.times_s)
+        for name, values in series.metrics.items():
+            assert np.array_equal(values, twin.metrics[name]), name
+
+    from repro.figures import fig05
+
+    exact = fig05.run(serial)
+    streamed = fig05.run(stream)
+    for ours, theirs in zip(exact.comparisons, streamed.comparisons):
+        assert ours.name == theirs.name
+        if "job share" in ours.name:
+            assert ours.measured == theirs.measured, ours.name
+
+
+def test_coupled_stream_parent_memory_bounded(coupled_builds):
+    """Gate: consuming the merged streams costs O(chunk), not O(scale).
+
+    tracemalloc sees every numpy buffer the parent touches while it
+    k-way merges the island spills, merge-joins the assemble verbs,
+    and sketches a figure-grade CDF.  The budget is a constant
+    multiple of the chunk footprint — it does not grow with
+    ``STREAM_SCALE``, which is the whole point of the spill path.
+    """
+    from repro.analysis.stats import column_ecdf, column_fraction
+
+    _, _, stream, _, _, _ = coupled_builds
+    # ~50 columns of float64 per row is a generous upper bound on the
+    # widest assembled table (per_gpu + job context).
+    chunk_bytes = STREAM_CHUNK_ROWS * 50 * 8
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    sketch = column_ecdf(stream.gpu_jobs, "sm_mean")
+    short_share = column_fraction(
+        stream.jobs, "run_time_s", lambda r: r < 3600.0
+    )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    record_bench_stat(
+        "stream_coupled_memory",
+        parent_peak_tracemalloc_bytes=int(peak),
+        chunk_bytes=chunk_bytes,
+        sketch_samples=sketch.num_samples,
+    )
+    assert 0.0 < short_share < 1.0
+    assert peak < 48 * chunk_bytes, (
+        f"parent consumption peaked at {peak / 1e6:.1f} MB; budget "
+        f"{48 * chunk_bytes / 1e6:.1f} MB (48x one "
+        f"{STREAM_CHUNK_ROWS}-row chunk)"
+    )
+
+
+def test_coupled_parallel_speedup(coupled_builds):
+    """Gate: >= 2x at 4 workers — needs real parallel hardware."""
+    _, _, _, _, parallel_s, serial_s = coupled_builds
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"speedup gate needs >= 4 cores, machine has {cores}")
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    assert speedup >= 2.0, (
+        f"4-worker coupled streaming build only {speedup:.2f}x faster "
+        f"than serial ({parallel_s:.1f}s vs {serial_s:.1f}s) on {cores} cores"
+    )

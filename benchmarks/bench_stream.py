@@ -133,21 +133,29 @@ def test_streaming_aggregate_matches_materialized(dataset):
 
 
 def test_streaming_figures_match_materialized(dataset):
-    """fig03/fig04 on ``streaming_view()``: threshold fractions are
-    bit-identical, sketched quantiles within the paper-grade tolerance."""
-    from repro.figures import fig03, fig04
+    """fig03/fig04/fig05 on ``streaming_view()``: threshold fractions
+    and interface shares are bit-identical, sketched quantiles within
+    the paper-grade tolerance."""
+    from repro.figures import fig03, fig04, fig05
 
     exact03 = fig03.run(dataset)
     exact04 = fig04.run(dataset)
+    exact05 = fig05.run(dataset)
     view = dataset.streaming_view(chunk_rows=1024)
     stream03 = fig03.run(view)
     stream04 = fig04.run(view)
+    stream05 = fig05.run(view)
 
-    for exact, streamed in ((exact03, stream03), (exact04, stream04)):
+    for exact, streamed in (
+        (exact03, stream03),
+        (exact04, stream04),
+        (exact05, stream05),
+    ):
         for ours, theirs in zip(exact.comparisons, streamed.comparisons):
             assert ours.name == theirs.name
-            if "waiting <1 min" in ours.name or "waiting >1 min" in ours.name:
-                # column_fraction accumulates integer counts: bit-exact.
+            exact_kinds = ("waiting <1 min", "waiting >1 min", "job share")
+            if any(kind in ours.name for kind in exact_kinds):
+                # Integer-count ratios accumulate exactly: bit-exact.
                 assert ours.measured == theirs.measured, ours.name
             else:
                 assert theirs.measured == pytest.approx(

@@ -185,10 +185,14 @@ class BenchCheck:
     min_seconds: float
     checked: list[dict] = field(default_factory=list)
     regressions: list[dict] = field(default_factory=list)
+    #: Stat-level comparisons (throughput / peak memory), same
+    #: ratio+absolute double gate as wall time.
+    stat_checked: list[dict] = field(default_factory=list)
+    stat_regressions: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.stat_regressions
 
     def to_text(self) -> str:
         if self.latest_id is None:
@@ -210,6 +214,13 @@ class BenchCheck:
                 f"baseline {row['baseline_s']:8.2f}s "
                 f"({row['ratio']:.2f}x)  {flagged}"
             )
+        for row in self.stat_checked:
+            flagged = "REGRESSION" if row in self.stat_regressions else "ok"
+            lines.append(
+                f"  {row['suite']:<12} {row['metric']}: "
+                f"{row['latest']:.3g} baseline {row['baseline']:.3g} "
+                f"({row['ratio']:.2f}x)  {flagged}"
+            )
         return "\n".join(lines)
 
 
@@ -221,6 +232,43 @@ def _median(values: list[float]) -> float:
     return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
+#: Absolute floors for the stat-level double gates (mirrors
+#: ``min_seconds`` for wall time): a throughput drop must lose at
+#: least this many rows/s, a peak-memory growth must add at least
+#: this many bytes, before the ratio gate can flag it.
+MIN_ROWS_PER_S_DROP = 10_000.0
+MIN_PEAK_BYTES_GROWTH = 16 * 1024 * 1024
+
+
+def _stat_kind(key: str) -> str | None:
+    """Classify a stat key for regression checking.
+
+    ``rows_per_s``-style keys are throughput (lower is worse);
+    ``*peak*bytes``-style keys are memory (higher is worse).  Anything
+    else is informational and never gated.
+    """
+    if key.endswith("rows_per_s"):
+        return "throughput"
+    if "peak" in key and key.endswith("bytes"):
+        return "memory"
+    return None
+
+
+def _flat_stats(suite: dict) -> dict[str, float]:
+    """Gateable numeric stats of one suite entry as ``stat.key`` pairs."""
+    flat: dict[str, float] = {}
+    stats = suite.get("stats")
+    if not isinstance(stats, dict):
+        return flat
+    for stat_name, block in stats.items():
+        if not isinstance(block, dict):
+            continue
+        for key, value in block.items():
+            if _stat_kind(key) and isinstance(value, (int, float)):
+                flat[f"{stat_name}.{key}"] = float(value)
+    return flat
+
+
 def check_regressions(
     root: Path,
     *,
@@ -228,7 +276,7 @@ def check_regressions(
     min_seconds: float = 2.0,
     window: int = 5,
 ) -> BenchCheck:
-    """Flag per-suite wall-time regressions in the stored trajectory.
+    """Flag per-suite wall-time and stat regressions in the trajectory.
 
     The newest ``BENCH_<n>.json`` is compared, suite by suite, against
     the **median** of up to ``window`` immediately preceding runs that
@@ -238,6 +286,14 @@ def check_regressions(
     ``min_seconds`` — the second clause keeps sub-second suites from
     tripping on scheduler noise.  Suites absent from the baseline
     (newly added benchmarks) are never flagged.
+
+    Recorded stats get the same ratio+absolute double gate: a
+    ``rows_per_s`` throughput stat regresses when it falls below
+    ``median / (1 + threshold)`` and loses more than
+    :data:`MIN_ROWS_PER_S_DROP`; a ``*peak*bytes`` memory stat
+    regresses when it exceeds ``(1 + threshold) * median`` and grows by
+    more than :data:`MIN_PEAK_BYTES_GROWTH`.  Stats absent from the
+    baseline are, like new suites, never flagged.
     """
     history = load_bench_history(root)
     if not history:
@@ -253,27 +309,77 @@ def check_regressions(
     if not baselines:
         return check
     baseline_times: dict[str, list[float]] = {}
+    baseline_stats: dict[tuple[str, str], list[float]] = {}
     for payload in baselines:
         for suite in payload["suites"]:
             name, seconds = suite.get("name"), suite.get("seconds")
             if isinstance(name, str) and isinstance(seconds, (int, float)):
                 baseline_times.setdefault(name, []).append(float(seconds))
+            if isinstance(name, str):
+                for metric, value in _flat_stats(suite).items():
+                    baseline_stats.setdefault((name, metric), []).append(value)
     for suite in latest["suites"]:
         name, seconds = suite.get("name"), suite.get("seconds")
-        if not isinstance(name, str) or name not in baseline_times:
+        if not isinstance(name, str):
             continue
-        baseline = _median(baseline_times[name])
-        latest_s = float(seconds)
-        row = {
-            "suite": name,
-            "latest_s": latest_s,
-            "baseline_s": baseline,
-            "ratio": latest_s / baseline if baseline > 0 else float("inf"),
-        }
-        check.checked.append(row)
-        if latest_s > (1.0 + threshold) * baseline and latest_s - baseline > min_seconds:
-            check.regressions.append(row)
+        if name in baseline_times:
+            baseline = _median(baseline_times[name])
+            latest_s = float(seconds)
+            row = {
+                "suite": name,
+                "latest_s": latest_s,
+                "baseline_s": baseline,
+                "ratio": latest_s / baseline if baseline > 0 else float("inf"),
+            }
+            check.checked.append(row)
+            if (
+                latest_s > (1.0 + threshold) * baseline
+                and latest_s - baseline > min_seconds
+            ):
+                check.regressions.append(row)
+        for metric, value in _flat_stats(suite).items():
+            if (name, metric) not in baseline_stats:
+                continue
+            baseline = _median(baseline_stats[(name, metric)])
+            kind = _stat_kind(metric.rsplit(".", 1)[-1])
+            row = {
+                "suite": name,
+                "metric": metric,
+                "kind": kind,
+                "latest": value,
+                "baseline": baseline,
+                "ratio": value / baseline if baseline > 0 else float("inf"),
+            }
+            check.stat_checked.append(row)
+            if kind == "throughput":
+                regressed = (
+                    value < baseline / (1.0 + threshold)
+                    and baseline - value > MIN_ROWS_PER_S_DROP
+                )
+            else:
+                regressed = (
+                    value > (1.0 + threshold) * baseline
+                    and value - baseline > MIN_PEAK_BYTES_GROWTH
+                )
+            if regressed:
+                check.stat_regressions.append(row)
     return check
+
+
+def _git_sha(root: Path) -> str | None:
+    """The checked-out commit, or None outside a usable git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
 
 
 def write_bench_json(results: list[SuiteResult], path: Path) -> dict:
@@ -285,6 +391,7 @@ def write_bench_json(results: list[SuiteResult], path: Path) -> dict:
         "schema": 1,
         "version": __version__,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _git_sha(path.parent),
         "python": sys.version.split()[0],
         "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "0.05"),
         "bench_seed": os.environ.get("REPRO_BENCH_SEED", "20220214"),

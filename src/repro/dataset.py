@@ -53,14 +53,28 @@ class SupercloudDataset:
     config: WorkloadConfig
 
     @property
+    def is_streaming(self) -> bool:
+        """Whether the job tables are chunked streams (see
+        :meth:`repro.pipeline.Session.streaming_dataset`)."""
+        from repro.frame import ChunkedTable
+
+        return isinstance(self.jobs, ChunkedTable)
+
+    @property
     def num_users(self) -> int:
-        return len(set(self.gpu_jobs["user"]))
+        from repro.frame import ChunkedTable
+
+        gpu_jobs = self.gpu_jobs
+        if isinstance(gpu_jobs, ChunkedTable):
+            # One streaming pass, O(distinct users) state.
+            return gpu_jobs.value_counts("user").num_rows
+        return len(set(gpu_jobs["user"]))
 
     def describe(self) -> str:
         """Short textual summary mirroring the paper's Sec. II stats."""
         return (
-            f"{self.config.days:g}-day study: {len(self.jobs)} total jobs, "
-            f"{len(self.gpu_jobs)} GPU jobs after the 30 s filter, "
+            f"{self.config.days:g}-day study: {self.jobs.num_rows} total jobs, "
+            f"{self.gpu_jobs.num_rows} GPU jobs after the 30 s filter, "
             f"{self.num_users} users, "
             f"{len(self.timeseries.job_ids())} jobs with dense time series"
         )
@@ -69,18 +83,50 @@ class SupercloudDataset:
         """A copy whose job tables are chunked views of the same data.
 
         The figure producers that opted into the streaming path (fig03,
-        fig04) consume either representation; the rest require the
-        materialized tables.  ``timeseries``/``records`` are shared,
-        and :meth:`repro.monitor.timeseries.TimeSeriesStore.scan_table`
-        streams the dense samples.
+        fig04, fig05) consume either representation; the rest require
+        the materialized tables.  ``timeseries``/``records`` are
+        shared, and
+        :meth:`repro.monitor.timeseries.TimeSeriesStore.scan_table`
+        streams the dense samples.  A dataset that is already streaming
+        (a sharded spill build) is returned as-is.
         """
         import dataclasses
+
+        if self.is_streaming:
+            return self
 
         return dataclasses.replace(
             self,
             jobs=self.jobs.to_chunked(chunk_rows),
             gpu_jobs=self.gpu_jobs.to_chunked(chunk_rows),
             per_gpu=self.per_gpu.to_chunked(chunk_rows),
+        )
+
+    def materialize(self) -> "SupercloudDataset":
+        """Pull a streaming dataset fully back into memory.
+
+        Chunked job tables concatenate into :class:`~repro.frame.Table`
+        objects and a spilled series store loads into a
+        :class:`~repro.monitor.timeseries.TimeSeriesStore`; an already
+        materialized dataset is returned as-is.  The explicit escape
+        hatch for consumers that need whole-table verbs at a scale that
+        still fits in memory.
+        """
+        import dataclasses
+
+        from repro.monitor.timeseries import SpilledTimeSeriesStore
+
+        if not self.is_streaming:
+            return self
+        timeseries = self.timeseries
+        if isinstance(timeseries, SpilledTimeSeriesStore):
+            timeseries = timeseries.materialize()
+        return dataclasses.replace(
+            self,
+            jobs=self.jobs.materialize(),
+            gpu_jobs=self.gpu_jobs.materialize(),
+            per_gpu=self.per_gpu.materialize(),
+            timeseries=timeseries,
         )
 
 

@@ -1,10 +1,20 @@
-"""Fig 5: SM and memory utilization by job interface type."""
+"""Fig 5: SM and memory utilization by job interface type.
+
+Like fig03/fig04, this producer reads the job tables only through
+streaming-safe verbs — ``value_counts`` for the interface shares,
+``filter`` + :func:`~repro.analysis.stats.column_ecdf` for the
+per-interface distributions — so it accepts either the materialized
+dataset or ``dataset.streaming_view()``.  Shares are integer-count
+ratios and therefore bit-identical on both paths; the CDFs are exact
+on a :class:`~repro.frame.Table` and one-pass quantile sketches on a
+:class:`~repro.frame.ChunkedTable`.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.stats import ecdf
+from repro.analysis.stats import column_ecdf
 from repro.dataset import SupercloudDataset
 from repro.figures.base import Comparison, FigureResult
 from repro.slurm.job import INTERFACE_TYPES
@@ -16,20 +26,32 @@ PAPER_SHARES = {"map-reduce": 0.01, "batch": 0.30, "interactive": 0.04, "other":
 def run(dataset: SupercloudDataset) -> FigureResult:
     """Utilization CDFs conditioned on submission interface."""
     gpu = dataset.gpu_jobs
-    interfaces = np.asarray(list(gpu["interface"]))
+
+    # One pass for the shares: integer counts divide exactly like the
+    # materialized ``(interfaces == x).mean()``, so streaming and
+    # in-memory runs report bit-identical share comparisons.
+    counts = {interface: 0 for interface in INTERFACE_TYPES}
+    interface_counts = gpu.value_counts("interface")
+    for value, count in zip(
+        interface_counts["interface"], interface_counts["count"]
+    ):
+        counts[str(value)] = int(count)
+    total = sum(counts.values())
 
     series: dict[str, object] = {}
     medians: dict[str, float] = {}
     comparisons = []
     for interface in INTERFACE_TYPES:
-        mask = interfaces == interface
-        share = float(mask.mean())
+        share = counts[interface] / total if total else 0.0
         comparisons.append(
             Comparison(f"{interface} job share", PAPER_SHARES[interface], share)
         )
-        if mask.any():
-            sm = ecdf(np.asarray(gpu["sm_mean"], dtype=float)[mask])
-            mem = ecdf(np.asarray(gpu["mem_bw_mean"], dtype=float)[mask])
+        if counts[interface]:
+            sub = gpu.filter(
+                lambda t, i=interface: np.asarray(t["interface"]) == i
+            )
+            sm = column_ecdf(sub, "sm_mean")
+            mem = column_ecdf(sub, "mem_bw_mean")
             series[f"sm_{interface}"] = sm
             series[f"mem_{interface}"] = mem
             medians[interface] = sm.median()

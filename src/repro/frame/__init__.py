@@ -32,7 +32,13 @@ array([ 45., 120.])
 """
 
 from repro.frame.builder import TableBuilder
-from repro.frame.chunked import DEFAULT_CHUNK_ROWS, ChunkedTable, StreamingGroupBy, concat_chunked
+from repro.frame.chunked import (
+    DEFAULT_CHUNK_ROWS,
+    ChunkedTable,
+    StreamingGroupBy,
+    concat_chunked,
+    merge_sorted_chunked,
+)
 from repro.frame.column import as_column, column_dtype, is_string_column
 from repro.frame.factorize import Factorization, factorize_columns
 from repro.frame.groupby import (
@@ -67,6 +73,7 @@ __all__ = [
     "factorize_columns",
     "concat_tables",
     "concat_chunked",
+    "merge_sorted_chunked",
     "as_column",
     "column_dtype",
     "is_string_column",

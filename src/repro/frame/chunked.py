@@ -44,7 +44,12 @@ from repro.frame.sketch import DEFAULT_SKETCH_K, QuantileSketch, StreamingMoment
 from repro.frame.table import Table, _unwrap, concat_tables
 from repro.obs.runtime import get_metrics, get_tracer, record_peak_rss
 
-__all__ = ["ChunkedTable", "concat_chunked", "DEFAULT_CHUNK_ROWS"]
+__all__ = [
+    "ChunkedTable",
+    "concat_chunked",
+    "merge_sorted_chunked",
+    "DEFAULT_CHUNK_ROWS",
+]
 
 #: Default rows per chunk: ~0.5 MiB per float64 column.
 DEFAULT_CHUNK_ROWS = 65536
@@ -254,6 +259,83 @@ class ChunkedTable:
                 "materialize() the smaller table first"
             )
         return self.map_chunks(lambda c: c.join(other, on=on, how=how, suffix=suffix))
+
+    def join_sorted(
+        self,
+        right: "Table | ChunkedTable",
+        on: str,
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "ChunkedTable":
+        """Merge-join a key-sorted right stream onto this key-sorted stream.
+
+        Both sides must be non-decreasing on ``on`` (the key columns
+        the sharded build merges by already are) and the right key must
+        be unique, as in :meth:`Table.join`.  Unlike :meth:`join`, the
+        right side is consumed as a stream: only the right rows that
+        can still match the current left chunk are buffered, so joining
+        two spilled island streams holds O(chunk) memory instead of
+        materializing either side.  Row content is bit-identical to
+        ``materialize().join(right.materialize(), ...)``.
+        """
+        if how not in ("inner", "left"):
+            raise FrameError(f"unsupported join type {how!r}")
+        right_view = right if isinstance(right, ChunkedTable) else ChunkedTable((right,))
+
+        def produce() -> Iterator[Table]:
+            from repro.frame.table import _sortable
+
+            right_iter = right_view.chunks()
+            buffer: Table | None = None
+            exhausted = False
+            chunks_in = 0
+            rows_in = 0
+            for chunk in self.chunks():
+                chunks_in += 1
+                rows_in += chunk.num_rows
+                left_keys = _sortable(chunk.column(on))
+                left_max = left_keys[-1]
+                while not exhausted and (
+                    buffer is None
+                    or buffer.num_rows == 0
+                    or not _sortable(buffer.column(on))[-1] > left_max
+                ):
+                    incoming = next(right_iter, None)
+                    if incoming is None:
+                        exhausted = True
+                        break
+                    buffer = (
+                        incoming
+                        if buffer is None or buffer.num_rows == 0
+                        else concat_tables([buffer, incoming])
+                    )
+                if buffer is None or buffer.num_rows == 0:
+                    matchable = Table(
+                        {name: [] for name in (right_view.column_names or (on,))}
+                    )
+                else:
+                    buffer_keys = _sortable(buffer.column(on))
+                    matchable = buffer.filter(~(buffer_keys > left_max))
+                    # Rows below this chunk's max key can never match a
+                    # later chunk (left is non-decreasing); the boundary
+                    # key itself may repeat in the next left chunk.
+                    buffer = buffer.filter(~(buffer_keys < left_max))
+                joined = chunk.join(matchable, on=on, how=how, suffix=suffix)
+                if joined.num_rows:
+                    yield joined
+            _count_stream_op("join_sorted", chunks_in, rows_in)
+
+        out = ChunkedTable(produce)
+        left_names = self.column_names
+        right_names = right_view.column_names
+        out._column_names = left_names + tuple(
+            name if name not in left_names else name + suffix
+            for name in right_names
+            if name != on
+        )
+        if how == "left":
+            out._num_rows = self._num_rows
+        return out
 
     def head(self, n: int = 5) -> Table:
         """The first ``n`` rows, materialized (stops the scan early)."""
@@ -473,6 +555,103 @@ def concat_chunked(sources: Iterable[Table | ChunkedTable]) -> ChunkedTable:
             break
         known += part_rows
     return ChunkedTable(produce, num_rows=known)
+
+
+def merge_sorted_chunked(
+    sources: Sequence[ChunkedTable],
+    keys: Sequence[str],
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> ChunkedTable:
+    """K-way merge per-source key-sorted chunk streams into one
+    globally key-sorted :class:`ChunkedTable`.
+
+    Each source must already be non-decreasing on ``keys`` (lexico-
+    graphic, the :meth:`Table.sort_by` order); the result is then
+    **bit-identical** to ``concat_tables(materialized sources)
+    .sort_by(*keys)`` — ties across sources resolve in source order,
+    matching the stable concat+sort — while only ever holding one in-
+    flight chunk per source plus the current output segment.  This is
+    the verb the sharded build's parent uses to merge island spill
+    directories without materializing the trace.
+    """
+    from repro.frame.table import _sortable
+
+    keys = tuple(keys)
+    if not keys:
+        raise FrameError("merge_sorted_chunked requires at least one key column")
+    parts = list(sources)
+    if not parts:
+        raise FrameError("merge_sorted_chunked requires at least one source")
+
+    def row_count_le(chunk: Table, start: int, bounds: tuple) -> int:
+        """Rows (from ``start``) whose key tuple is <= ``bounds``; the
+        chunk is key-sorted, so the mask is a prefix and its sum is the
+        slice length."""
+        size = chunk.num_rows - start
+        le = np.zeros(size, dtype=bool)
+        eq = np.ones(size, dtype=bool)
+        for name, bound in zip(keys, bounds):
+            values = _sortable(chunk.column(name))[start:]
+            le |= eq & (values < bound)
+            eq &= values == bound
+        le |= eq
+        return int(le.sum())
+
+    def last_key(chunk: Table) -> tuple:
+        return tuple(_sortable(chunk.column(name))[-1] for name in keys)
+
+    def first_key(chunk: Table, start: int) -> tuple:
+        return tuple(_sortable(chunk.column(name))[start] for name in keys)
+
+    def produce() -> Iterator[Table]:
+        iters = [part.chunks() for part in parts]
+        heads: list[Table | None] = [next(it, None) for it in iters]
+        offsets = [0] * len(parts)
+        chunks_out = 0
+        rows_out = 0
+        while True:
+            live = [i for i, head in enumerate(heads) if head is not None]
+            if not live:
+                break
+            boundary = min(last_key(heads[i]) for i in live)
+            segment: list[Table] = []
+            for i in live:
+                while heads[i] is not None and not first_key(heads[i], offsets[i]) > boundary:
+                    count = row_count_le(heads[i], offsets[i], boundary)
+                    stop = offsets[i] + count
+                    taken = heads[i].take(np.arange(offsets[i], stop))
+                    if taken.num_rows:
+                        segment.append(taken)
+                    if stop == heads[i].num_rows:
+                        heads[i] = next(iters[i], None)
+                        offsets[i] = 0
+                    else:
+                        offsets[i] = stop
+                        break
+            merged = segment[0] if len(segment) == 1 else concat_tables(segment)
+            merged = merged.sort_by(*keys)
+            for start in range(0, merged.num_rows, chunk_rows):
+                piece = merged.take(
+                    np.arange(start, min(start + chunk_rows, merged.num_rows))
+                )
+                chunks_out += 1
+                rows_out += piece.num_rows
+                yield piece
+        _count_stream_op("merge", chunks_out, rows_out)
+
+    known: int | None = 0
+    names: tuple[str, ...] | None = None
+    for part in parts:
+        if part._num_rows is None:
+            known = None
+            break
+        known += part._num_rows
+    for part in parts:
+        if part._column_names is not None:
+            names = part._column_names
+            break
+    return ChunkedTable(produce, column_names=names, num_rows=known)
 
 
 def _count_stream_op(op: str, chunks: int, rows: int) -> None:

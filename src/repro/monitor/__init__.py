@@ -33,7 +33,12 @@ from repro.monitor.sampling import (
     evaluate_task,
     run_sampling,
 )
-from repro.monitor.timeseries import METRIC_NAMES, GpuTimeSeries, TimeSeriesStore
+from repro.monitor.timeseries import (
+    METRIC_NAMES,
+    GpuTimeSeries,
+    SpilledTimeSeriesStore,
+    TimeSeriesStore,
+)
 
 __all__ = [
     "METRIC_NAMES",
@@ -46,6 +51,7 @@ __all__ = [
     "SamplingPlan",
     "SamplingResult",
     "SamplingTask",
+    "SpilledTimeSeriesStore",
     "TimeSeriesStore",
     "compression_ratio",
     "evaluate_task",

@@ -19,6 +19,7 @@ decoupled from the workload generator.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -80,6 +81,13 @@ class MonitoringCollector:
         self._cpu_builder = TableBuilder(columns=["job_id"])
         self._started: dict[int, tuple[float, tuple[int, ...]]] = {}
         self._pending: list[SamplingTask] = []
+        #: Seal threshold actually in force — starts at the config value
+        #: and may be tightened at runtime by :meth:`enable_spill`
+        #: without touching the config (the config participates in
+        #: dataset cache keys; spilling must not change them).
+        self._seal_rows = self.config.summary_chunk_rows
+        self._spill_dir: Path | None = None
+        self._spill_runs: list[Path] = []
 
     # ------------------------------------------------------------------
     # Scheduler hooks
@@ -202,8 +210,7 @@ class MonitoringCollector:
             rows += result.num_gpus
             for series in result.series:
                 self._store.add(series)
-            chunk_rows = self.config.summary_chunk_rows
-            if chunk_rows is not None and self._gpu_builder.num_rows >= chunk_rows:
+            if self._seal_rows is not None and self._gpu_builder.num_rows >= self._seal_rows:
                 self._seal_gpu_chunk()
         metrics = runtime.get_metrics()
         if metrics.enabled:
@@ -232,11 +239,46 @@ class MonitoringCollector:
         self.flush()
         return self._store
 
+    def enable_spill(self, directory: str | Path, chunk_rows: int | None = None) -> None:
+        """Seal per-GPU summary chunks to ``.npz`` files instead of memory.
+
+        A runtime switch, deliberately *not* a :class:`MonitoringConfig`
+        field: the config hashes into dataset cache keys, and spilling
+        is an execution detail that must leave them untouched.  Chunks
+        already sealed in memory are written out immediately, so the
+        switch can be flipped at any point before the final flush.
+        ``chunk_rows`` tightens the seal threshold (defaults to the
+        config value, or the frame default when the config has none).
+        """
+        from repro.frame import DEFAULT_CHUNK_ROWS
+        from repro.frame.io import write_table_npz
+
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        self._spill_dir = target
+        if chunk_rows is not None:
+            self._seal_rows = chunk_rows
+        elif self._seal_rows is None:
+            self._seal_rows = DEFAULT_CHUNK_ROWS
+        for table in self._gpu_chunks:
+            path = target / f"run_{len(self._spill_runs):06d}.npz"
+            write_table_npz(table, path)
+            self._spill_runs.append(path)
+        self._gpu_chunks = []
+
     def _seal_gpu_chunk(self) -> None:
-        """Rotate the summary builder into a sealed chunk."""
+        """Rotate the summary builder into a sealed chunk (disk or RAM)."""
         from repro.obs import runtime
 
-        self._gpu_chunks.append(self._gpu_builder.finish())
+        table = self._gpu_builder.finish()
+        if self._spill_dir is not None:
+            from repro.frame.io import write_table_npz
+
+            path = self._spill_dir / f"run_{len(self._spill_runs):06d}.npz"
+            write_table_npz(table, path)
+            self._spill_runs.append(path)
+        else:
+            self._gpu_chunks.append(table)
         self._gpu_builder = TableBuilder(columns=self._gpu_builder.column_names)
         metrics = runtime.get_metrics()
         if metrics.enabled:
@@ -245,35 +287,86 @@ class MonitoringCollector:
                 help="sealed per-GPU summary chunks emitted by the collector",
             ).inc()
 
+    def _sealed_parts(self) -> list:
+        """Sealed chunks as lazy thunks plus the live builder remainder.
+
+        Each element is a zero-arg callable returning a Table; disk
+        runs load on call so only one run is resident at a time.
+        """
+        from repro.frame.io import read_table_npz
+
+        parts: list = [
+            (lambda p=path: read_table_npz(p)) for path in self._spill_runs
+        ]
+        parts.extend((lambda t=table: t) for table in self._gpu_chunks)
+        if self._gpu_builder.num_rows or not parts:
+            remainder = self._gpu_builder.finish()
+            parts.append(lambda t=remainder: t)
+        return parts
+
     def per_gpu_table(self) -> Table:
         """One row per (job, GPU) with min/mean/max of every metric."""
-        self.flush()
-        if not self._gpu_chunks:
-            return self._gpu_builder.finish()
-        parts = list(self._gpu_chunks)
-        if self._gpu_builder.num_rows:
-            parts.append(self._gpu_builder.finish())
         from repro.frame import concat_tables
 
+        self.flush()
+        parts = [thunk() for thunk in self._sealed_parts()]
+        if len(parts) == 1:
+            return parts[0]
         return concat_tables(parts)
 
     def per_gpu_chunked(self, chunk_rows: int | None = None) -> "ChunkedTable":
         """The per-GPU summary as a :class:`~repro.frame.ChunkedTable`.
 
-        With ``summary_chunk_rows`` configured, the sealed chunks are
-        handed over as-is (no concatenation); otherwise the single
+        With ``summary_chunk_rows`` configured (or spilling enabled),
+        the sealed chunks stream through one at a time — disk runs are
+        read back lazily, never concatenated; otherwise the single
         builder table is split into ``chunk_rows`` batches.
         """
         from repro.frame import ChunkedTable
 
         self.flush()
-        if self._gpu_chunks:
-            parts = list(self._gpu_chunks)
-            if self._gpu_builder.num_rows:
-                parts.append(self._gpu_builder.finish())
-            return ChunkedTable(parts, num_rows=sum(p.num_rows for p in parts))
+        if self._spill_runs or self._gpu_chunks:
+            parts = self._sealed_parts()
+
+            def produce():
+                for thunk in parts:
+                    table = thunk()
+                    if table.num_rows:
+                        yield table
+
+            return ChunkedTable(produce)
         table = self._gpu_builder.finish()
         return table.to_chunked(chunk_rows)
+
+    def sorted_summary_stream(self, chunk_rows: int | None = None) -> "ChunkedTable":
+        """Per-GPU summary rows in global ``(job_id, gpu_index)`` order.
+
+        Sealed runs are each job-completion-ordered internally, so a
+        lazily sorted view of every run feeds a k-way
+        :func:`~repro.frame.merge_sorted_chunked` — at most one run is
+        fully resident per source while merging.  Bit-identical to
+        ``per_gpu_table().sort_by("job_id", "gpu_index")`` because the
+        merge preserves source order on ties and sorts are stable.
+        """
+        from repro.frame import DEFAULT_CHUNK_ROWS, ChunkedTable, merge_sorted_chunked
+
+        self.flush()
+        parts = self._sealed_parts()
+        rows = chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS
+
+        def source(thunk):
+            def produce():
+                table = thunk().sort_by("job_id", "gpu_index")
+                if table.num_rows:
+                    yield table
+
+            return ChunkedTable(produce)
+
+        return merge_sorted_chunked(
+            [source(thunk) for thunk in parts],
+            ("job_id", "gpu_index"),
+            chunk_rows=rows,
+        )
 
     def cpu_table(self) -> Table:
         """One row per job with CPU-side summary metrics."""

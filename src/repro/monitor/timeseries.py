@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import MonitoringError
+
+#: Series per spill batch file: small enough that loading one batch
+#: stays bounded, large enough to amortize the zip overhead.
+SPILL_BATCH_SERIES = 64
+_SPILL_MANIFEST = "manifest.json"
+_SPILL_FORMAT_VERSION = 1
 
 #: Metrics reported per GPU sample, in nvidia-smi naming order:
 #: SM utilization (%), memory-bandwidth utilization (%), memory-size
@@ -140,6 +148,174 @@ class TimeSeriesStore:
                 series = self._series[key]
                 if series.num_samples == 0:
                     continue
+                batch.append(series)
+                staged += series.num_samples
+                if staged >= chunk_rows:
+                    yield _series_table(batch)
+                    batch, staged = [], 0
+            if batch:
+                yield _series_table(batch)
+
+        return ChunkedTable(produce, num_rows=self.total_samples())
+
+    def spill(self, directory: str | Path) -> "SpilledTimeSeriesStore":
+        """Write every series to batched ``.npz`` files; return the view.
+
+        Unlike :mod:`repro.monitor.codec` (the quantising archive
+        format), the spill format is **lossless** — raw float arrays —
+        because the streaming build must hand figure code bit-identical
+        samples to what the in-memory store holds.  Batches of
+        :data:`SPILL_BATCH_SERIES` series land in ``batch_%06d.npz``
+        with a JSON manifest, and the returned
+        :class:`SpilledTimeSeriesStore` loads one batch member at a
+        time on access.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        keys = sorted(self._series)
+        files: list[dict] = []
+        for start in range(0, len(keys), SPILL_BATCH_SERIES):
+            batch_keys = keys[start : start + SPILL_BATCH_SERIES]
+            name = f"batch_{len(files):06d}.npz"
+            payload: dict[str, np.ndarray] = {}
+            entries: list[list[int]] = []
+            for job_id, gpu_index in batch_keys:
+                series = self._series[(job_id, gpu_index)]
+                prefix = f"s{job_id}_{gpu_index}/"
+                payload[prefix + "times_s"] = np.asarray(series.times_s, dtype=float)
+                for metric in METRIC_NAMES:
+                    payload[prefix + metric] = np.asarray(
+                        series.metrics[metric], dtype=float
+                    )
+                entries.append([job_id, gpu_index, series.num_samples])
+            np.savez_compressed(target / name, **payload)
+            files.append({"name": name, "series": entries})
+        manifest = {"format_version": _SPILL_FORMAT_VERSION, "files": files}
+        (target / _SPILL_MANIFEST).write_text(json.dumps(manifest))
+        return SpilledTimeSeriesStore([target])
+
+
+class SpilledTimeSeriesStore:
+    """Disk-backed union of spilled series directories.
+
+    Duck-types the read side of :class:`TimeSeriesStore` (``job_ids``,
+    ``series_for_job``, ``get``, iteration, ``total_samples``,
+    ``scan_table``) while keeping at most one batch file open per
+    directory; figure code runs unchanged against either store.  The
+    partitioned build spills one directory per island and unions them
+    here — job ids are globally unique, so duplicate keys mean a bug
+    and raise.
+    """
+
+    def __init__(self, directories: "Iterable[str | Path]") -> None:
+        #: (job_id, gpu_index) -> (batch file path, num_samples)
+        self._index: dict[tuple[int, int], tuple[Path, int]] = {}
+        self.directories = tuple(Path(d) for d in directories)
+        for directory in self.directories:
+            manifest_path = directory / _SPILL_MANIFEST
+            if not manifest_path.is_file():
+                raise MonitoringError(f"no spill manifest in {directory}")
+            manifest = json.loads(manifest_path.read_text())
+            version = int(manifest.get("format_version", -1))
+            if version != _SPILL_FORMAT_VERSION:
+                raise MonitoringError(
+                    f"unsupported spill format version {version} in {directory}"
+                )
+            for entry in manifest["files"]:
+                path = directory / entry["name"]
+                for job_id, gpu_index, num_samples in entry["series"]:
+                    key = (int(job_id), int(gpu_index))
+                    if key in self._index:
+                        raise MonitoringError(
+                            f"duplicate spilled series for job {key[0]} GPU {key[1]}"
+                        )
+                    self._index[key] = (path, int(num_samples))
+        self._open_path: Path | None = None
+        self._open_file: "np.lib.npyio.NpzFile | None" = None
+
+    @classmethod
+    def union(cls, stores: "Iterable[SpilledTimeSeriesStore]") -> "SpilledTimeSeriesStore":
+        """One view over several spilled stores (the island merge)."""
+        return cls(
+            directory for store in stores for directory in store.directories
+        )
+
+    def _batch(self, path: Path) -> "np.lib.npyio.NpzFile":
+        if self._open_path != path:
+            if self._open_file is not None:
+                self._open_file.close()
+            self._open_file = np.load(path)
+            self._open_path = path
+        return self._open_file
+
+    def _load(self, key: tuple[int, int]) -> GpuTimeSeries:
+        path, _ = self._index[key]
+        batch = self._batch(path)
+        prefix = f"s{key[0]}_{key[1]}/"
+        try:
+            times = batch[prefix + "times_s"]
+            metrics = {name: batch[prefix + name] for name in METRIC_NAMES}
+        except KeyError as error:
+            raise MonitoringError(
+                f"spill batch {path} is missing arrays for job {key[0]} "
+                f"GPU {key[1]}"
+            ) from error
+        return GpuTimeSeries(
+            job_id=key[0], gpu_index=key[1], times_s=times, metrics=metrics
+        )
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def job_ids(self) -> list[int]:
+        """Distinct job ids with at least one spilled series."""
+        return sorted({job_id for job_id, _ in self._index})
+
+    def series_for_job(self, job_id: int) -> list[GpuTimeSeries]:
+        return [
+            self._load(key) for key in sorted(self._index) if key[0] == job_id
+        ]
+
+    def get(self, job_id: int, gpu_index: int) -> GpuTimeSeries:
+        key = (job_id, gpu_index)
+        if key not in self._index:
+            raise MonitoringError(f"no series for job {job_id} GPU {gpu_index}")
+        return self._load(key)
+
+    def __iter__(self) -> Iterator[GpuTimeSeries]:
+        for key in sorted(self._index):
+            yield self._load(key)
+
+    def total_samples(self) -> int:
+        return sum(count for _, count in self._index.values())
+
+    def materialize(self) -> TimeSeriesStore:
+        """Load every spilled series back into an in-memory store."""
+        store = TimeSeriesStore()
+        for series in self:
+            store.add(series)
+        return store
+
+    def scan_table(self, chunk_rows: int = 65536) -> "ChunkedTable":
+        """Stream every spilled sample as one long chunked table.
+
+        Same contract as :meth:`TimeSeriesStore.scan_table` — series in
+        ``(job_id, gpu_index)`` order, batched to ``chunk_rows`` — but
+        each series is loaded from disk only while its batch is being
+        staged, so the resident set stays bounded by the chunk size
+        plus one batch file.
+        """
+        from repro.frame import ChunkedTable
+
+        keys = sorted(self._index)
+
+        def produce() -> "Iterator[Table]":
+            batch: list[GpuTimeSeries] = []
+            staged = 0
+            for key in keys:
+                if self._index[key][1] == 0:
+                    continue
+                series = self._load(key)
                 batch.append(series)
                 staged += series.num_samples
                 if staged >= chunk_rows:

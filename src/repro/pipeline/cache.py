@@ -87,12 +87,16 @@ def _jsonable(value: Any) -> Any:
 
 
 def dataset_key(
-    config: WorkloadConfig | None, monitoring: MonitoringConfig | None
+    config: WorkloadConfig | None,
+    monitoring: MonitoringConfig | None,
+    interchange=None,
 ) -> str:
     """Stable content hash of the full pipeline configuration.
 
     ``None`` hashes like the corresponding default config, matching
-    :func:`repro.dataset.generate_dataset` semantics.  The digest is
+    :func:`repro.dataset.generate_dataset` semantics; an ``interchange``
+    of ``None`` (uncoupled islands, the historical behavior) keeps the
+    legacy payload so existing cache entries stay valid.  The digest is
     identical across processes and interpreter restarts (no reliance
     on Python's salted ``hash``).
     """
@@ -103,6 +107,8 @@ def dataset_key(
         "workload": _jsonable(dataclasses.asdict(config)),
         "monitoring": _jsonable(dataclasses.asdict(monitoring)),
     }
+    if interchange is not None:
+        payload["interchange"] = _jsonable(dataclasses.asdict(interchange))
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
 

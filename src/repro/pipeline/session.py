@@ -48,6 +48,10 @@ def _build_dataset(
     monitoring: MonitoringConfig | None,
     inst: PipelineInstrumentation,
     workers: int = 1,
+    interchange=None,
+    streaming: bool = False,
+    spill_dir=None,
+    chunk_rows: int | None = None,
 ):
     """Run the full staged pipeline (the former ``generate_dataset`` body)."""
     import numpy as np
@@ -63,7 +67,16 @@ def _build_dataset(
     if config.partitions > 1:
         from repro.pipeline.shard import build_sharded_dataset
 
-        return build_sharded_dataset(config, monitoring, inst, workers=workers)
+        return build_sharded_dataset(
+            config,
+            monitoring,
+            inst,
+            workers=workers,
+            interchange=interchange,
+            streaming=streaming,
+            spill_dir=spill_dir,
+            chunk_rows=chunk_rows,
+        )
 
     with inst.stage("workload") as probe:
         if config.resolved_cohorts > 1:
@@ -158,17 +171,20 @@ class Session:
         *,
         cache_dir: str | Path | None = None,
         workers: int | None = None,
+        interchange=None,
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | NullMetrics | None = None,
     ) -> None:
         self.config = config or WorkloadConfig()
         self.monitoring = monitoring
         self.workers = resolve_workers(workers)
+        self.interchange = interchange
         self.cache = DatasetCache(cache_dir) if cache_dir is not None else None
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.instrumentation = PipelineInstrumentation(self.tracer, self.metrics)
         self._dataset = None
+        self._streaming_dataset = None
 
     @classmethod
     def from_scenario(
@@ -181,12 +197,14 @@ class Session:
         partitions: int = 1,
         cohorts: int | None = None,
         monitoring: MonitoringConfig | None = None,
+        interchange=None,
         **session_kwargs,
     ) -> "Session":
         """Build a session from a named workload scenario.
 
         ``partitions``/``cohorts`` select the sharded simulation path
-        (see ``docs/scaling.md``); the defaults keep the legacy
+        and ``interchange`` couples the islands (migration / fair-share
+        sync; see ``docs/scaling.md``); the defaults keep the legacy
         whole-machine serial model bit-for-bit.
         """
         from repro.workload.scenarios import make_scenario
@@ -196,7 +214,7 @@ class Session:
             config = dataclasses.replace(config, days=days)
         if partitions != config.partitions or cohorts != config.cohorts:
             config = dataclasses.replace(config, partitions=partitions, cohorts=cohorts)
-        return cls(config, monitoring, **session_kwargs)
+        return cls(config, monitoring, interchange=interchange, **session_kwargs)
 
     # ------------------------------------------------------------------
     # Dataset
@@ -204,7 +222,7 @@ class Session:
     @property
     def key(self) -> str:
         """The cache key: content hash of the full configuration."""
-        return dataset_key(self.config, self.monitoring)
+        return dataset_key(self.config, self.monitoring, self.interchange)
 
     def dataset(self):
         """The dataset — memoized, cache-backed, built at most once."""
@@ -224,7 +242,11 @@ class Session:
                 inst.bump("cache_corrupt")
                 self.cache.evict(self.key)
             dataset = _build_dataset(
-                self.config, self.monitoring, inst, workers=self.workers
+                self.config,
+                self.monitoring,
+                inst,
+                workers=self.workers,
+                interchange=self.interchange,
             )
             inst.bump("build")
             if self.cache is not None:
@@ -232,6 +254,45 @@ class Session:
                     self.cache.store(self.key, dataset)
                     probe.rows = dataset.jobs.num_rows
         self._dataset = dataset
+        return dataset
+
+    def streaming_dataset(
+        self,
+        chunk_rows: int | None = None,
+        spill_dir: str | Path | None = None,
+    ):
+        """The dataset as a bounded-memory streaming build.
+
+        With ``partitions > 1`` this is the spill-and-merge path: each
+        island spills its monitoring outputs to ``spill_dir`` (a fresh
+        temp directory by default) and the parent k-way-merges the
+        chunk streams, so parent memory stays bounded by the chunk
+        size.  The result carries chunked job tables, a
+        :class:`~repro.monitor.timeseries.SpilledTimeSeriesStore`, and
+        no job records; call :meth:`SupercloudDataset.materialize` to
+        pull it back into memory.  Streaming builds bypass the disk
+        cache (the artifacts *are* the spill files) but are memoized
+        on the session.  Unpartitioned configs fall back to a chunked
+        view of the materialized dataset.
+        """
+        if self.config.partitions <= 1:
+            return self.dataset().streaming_view(chunk_rows)
+        if self._streaming_dataset is not None:
+            self.instrumentation.bump("memory_hit")
+            return self._streaming_dataset
+        with obs_runtime.use(self.tracer, self.metrics):
+            dataset = _build_dataset(
+                self.config,
+                self.monitoring,
+                self.instrumentation,
+                workers=self.workers,
+                interchange=self.interchange,
+                streaming=True,
+                spill_dir=spill_dir,
+                chunk_rows=chunk_rows,
+            )
+            self.instrumentation.bump("build")
+        self._streaming_dataset = dataset
         return dataset
 
     # ------------------------------------------------------------------

@@ -9,20 +9,31 @@ the per-island outputs deterministically:
 
 * job records — global job-id order, node indices remapped to the
   whole machine;
-* monitoring tables — concatenated and sorted by ``(job_id[,
-  gpu_index])``, so the merge is independent of which process ran
-  which island;
+* monitoring tables — merged into ``(job_id[, gpu_index])`` order, so
+  the merge is independent of which process ran which island;
 * time series — disjoint union of the island stores;
 * obs spans/metrics — drained in each worker and re-parented into the
   session trace in partition order.
 
-The islands here are *uncoupled* (no migration, no fair-share sync —
-the pipeline's default scheduler configuration), which is what makes
-the process-parallel run bit-identical to running the same islands
-serially: each island's event loop depends only on its own bucket of
-jobs.  Coupled islands (see
-:class:`~repro.slurm.interchange.InterchangeConfig`) must share an
-address space and are driven by the serial lockstep runner instead.
+Two orthogonal axes extend the original fan-out:
+
+* **coupling** — with a coupled
+  :class:`~repro.slurm.interchange.InterchangeConfig` (migration or
+  fair-share sync) the islands run the lockstep epoch protocol across
+  persistent worker processes via
+  :class:`~repro.slurm.parallel.ParallelPartitionedRunner`, exchanging
+  only the bounded interchange payload each epoch — bit-identical to
+  the serial lockstep runner;
+* **streaming** — islands spill their monitoring tables and series to
+  per-island ``.npz`` chunk directories and return *handles*; the
+  parent k-way-merges the key-sorted spill streams
+  (:func:`~repro.frame.merge_sorted_chunked`) and assembles the
+  dataset chunk-wise (:meth:`~repro.frame.ChunkedTable.join_sorted`),
+  so its resident set is bounded by the chunk size instead of the
+  trace size.  Streaming datasets carry
+  :class:`~repro.frame.ChunkedTable` job tables, a
+  :class:`~repro.monitor.timeseries.SpilledTimeSeriesStore`, and no
+  job records.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -38,6 +50,12 @@ from repro.monitor.collector import MonitoringConfig
 from repro.pipeline.instrument import PipelineInstrumentation
 from repro.pipeline.parallel import parallel_map
 from repro.workload.generator import WorkloadConfig
+
+#: Job columns joined onto ``per_gpu`` rows during assembly.
+CONTEXT_COLUMNS = (
+    "job_id", "user", "num_gpus", "run_time_s", "gpu_hours",
+    "lifecycle_class", "interface",
+)
 
 
 def island_monitoring(
@@ -75,6 +93,10 @@ class IslandTask:
     #: the parent's *enabled* ambient tracer, so enabled-ness alone
     #: cannot distinguish the two).
     parent_pid: int = 0
+    #: Streaming build: spill monitoring outputs under this directory
+    #: (``island_<index>/``) and return handles instead of tables.
+    spill_dir: str | None = None
+    chunk_rows: int | None = None
 
 
 @dataclass
@@ -91,6 +113,58 @@ class IslandBuildResult:
     peak_rss_bytes: float = 0.0
     span_payload: list | None = None
     metrics_snapshot: dict | None = field(default=None, repr=False)
+    #: Streaming build: spill-directory handles (see
+    #: :func:`_island_outputs`); ``None`` on the materialized path.
+    handles: dict | None = None
+
+
+def _island_outputs(
+    collector, records: list, partition_index: int,
+    spill_dir: str | None, chunk_rows: int | None,
+) -> dict:
+    """Flush one island's collector and package its monitoring outputs.
+
+    Materialized path (``spill_dir is None``): the tables and series
+    store come back as objects.  Streaming path: every output is
+    spilled under ``<spill_dir>/island_<index>/`` in the key order the
+    parent merge expects — accounting and the per-job GPU summary
+    sorted by ``job_id``, the per-GPU summary by ``(job_id,
+    gpu_index)`` — and only directory handles plus row counts return.
+    """
+    sampling_rows = collector.flush(workers=1)
+    if spill_dir is None:
+        return {
+            "partition_index": partition_index,
+            "sampling_rows": sampling_rows,
+            "gpu_summary": collector.job_gpu_table(),
+            "per_gpu": collector.per_gpu_table(),
+            "store": collector.store,
+            "handles": None,
+        }
+    from repro.frame import DEFAULT_CHUNK_ROWS
+    from repro.slurm.accounting import accounting_chunked
+
+    island_dir = Path(spill_dir) / f"island_{partition_index:03d}"
+    rows = chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS
+    ordered = sorted(records, key=lambda record: record.request.job_id)
+    accounting_chunked(ordered, rows).spill(island_dir / "jobs")
+    gpu_summary = collector.job_gpu_table().sort_by("job_id")
+    gpu_summary.to_chunked(rows).spill(island_dir / "gpu_summary")
+    per_gpu = collector.sorted_summary_stream(rows).spill(island_dir / "per_gpu")
+    collector.store.spill(island_dir / "series")
+    return {
+        "partition_index": partition_index,
+        "sampling_rows": sampling_rows,
+        "gpu_summary": None,
+        "per_gpu": None,
+        "store": None,
+        "handles": {
+            "root": str(island_dir),
+            "jobs_rows": len(ordered),
+            "gpu_summary_rows": gpu_summary.num_rows,
+            "per_gpu_rows": per_gpu.num_rows,
+        },
+    }
 
 
 def _build_island(task: IslandTask) -> IslandBuildResult:
@@ -105,21 +179,27 @@ def _build_island(task: IslandTask) -> IslandBuildResult:
     simulator = SlurmSimulator(part.spec(base_spec))
     monitoring = island_monitoring(task.monitoring, part.index, task.num_partitions)
     collector = MonitoringCollector(monitoring).attach(simulator)
+    if task.spill_dir is not None:
+        collector.enable_spill(
+            Path(task.spill_dir) / f"island_{part.index:03d}" / "summary",
+            task.chunk_rows,
+        )
     result = simulator.run(task.requests)
     simulator.cluster.check_invariants()
-    sampling_rows = collector.flush(workers=1)
-    gpu_summary = collector.job_gpu_table()
-    per_gpu = collector.per_gpu_table()
     _remap_nodes(result.records, part.node_start)
+    outputs = _island_outputs(
+        collector, result.records, part.index, task.spill_dir, task.chunk_rows
+    )
     return IslandBuildResult(
         partition_index=part.index,
-        records=result.records,
-        gpu_summary=gpu_summary,
-        per_gpu=per_gpu,
-        store=collector.store,
-        sampling_rows=sampling_rows,
+        records=[] if task.spill_dir is not None else result.records,
+        gpu_summary=outputs["gpu_summary"],
+        per_gpu=outputs["per_gpu"],
+        store=outputs["store"],
+        sampling_rows=outputs["sampling_rows"],
         events_processed=result.events_processed,
         peak_rss_bytes=peak_rss_bytes(),
+        handles=outputs["handles"],
     )
 
 
@@ -147,6 +227,47 @@ def _run_island(task: IslandTask) -> IslandBuildResult:
     result.span_payload = tracer.drain_payload()
     result.metrics_snapshot = metrics.drain()
     return result
+
+
+def _island_setup(simulator, partition: Partition, context: dict):
+    """Coupled-run setup hook: attach the partition-local collector.
+
+    Runs inside the island's worker process (or in-process on the
+    serial fallback) before ``begin``; the returned state travels to
+    :func:`_island_finish` untouched.
+    """
+    from repro.monitor.collector import MonitoringCollector
+
+    monitoring = island_monitoring(
+        context.get("monitoring"), partition.index, context["num_partitions"]
+    )
+    collector = MonitoringCollector(monitoring).attach(simulator)
+    spill_dir = context.get("spill_dir")
+    if spill_dir is not None:
+        collector.enable_spill(
+            Path(spill_dir) / f"island_{partition.index:03d}" / "summary",
+            context.get("chunk_rows"),
+        )
+    return (collector, partition, context)
+
+
+def _island_finish(simulator, state, result):
+    """Coupled-run finish hook: flush + package the island's outputs.
+
+    Receives the finalized :class:`SimulationResult` (records already
+    remapped to global node indices) and returns the same payload dict
+    the fan-out path builds — materialized tables, or spill handles in
+    the streaming build.
+    """
+    collector, partition, context = state
+    simulator.cluster.check_invariants()
+    return _island_outputs(
+        collector,
+        result.records,
+        partition.index,
+        context.get("spill_dir"),
+        context.get("chunk_rows"),
+    )
 
 
 def check_island_capacity(layout: PartitionLayout, buckets: list, spec) -> None:
@@ -185,25 +306,82 @@ def _merge_tables(tables: list, sort_keys: tuple[str, ...]):
     return merged.sort_by(*sort_keys)
 
 
+def _merge_spilled(
+    handles: list[dict], name: str, keys: tuple[str, ...],
+    chunk_rows: int, column_names: tuple[str, ...] | None = None,
+):
+    """K-way merge the islands' key-sorted spill streams for one output.
+
+    Each island directory re-reads lazily, so the parent holds one
+    in-flight chunk per island plus the current merge segment — never
+    a whole island's table.
+    """
+    from repro.frame import ChunkedTable, merge_sorted_chunked
+
+    total = 0
+    sources = []
+    for handle in handles:
+        rows = handle[f"{name}_rows"]
+        total += rows
+        if rows:
+            sources.append(
+                ChunkedTable.scan(Path(handle["root"]) / name, chunk_rows)
+            )
+    if not sources:
+        return ChunkedTable((), column_names=column_names, num_rows=0)
+    merged = merge_sorted_chunked(sources, keys, chunk_rows=chunk_rows)
+    merged._num_rows = total
+    return merged
+
+
+def _keep_gpu_jobs(chunk):
+    """The paper's GPU-job filter (>= 30 s, at least one GPU), as a
+    per-chunk predicate for the streaming assemble."""
+    from repro.workload.calibration import PAPER_TARGETS
+
+    return (np.asarray(chunk["num_gpus"]) > 0) & (
+        np.asarray(chunk["run_time_s"], dtype=float)
+        >= PAPER_TARGETS.short_job_filter_s
+    )
+
+
 def build_sharded_dataset(
     config: WorkloadConfig,
     monitoring: MonitoringConfig | None,
     inst: PipelineInstrumentation,
     workers: int = 1,
+    *,
+    interchange=None,
+    streaming: bool = False,
+    spill_dir: str | Path | None = None,
+    chunk_rows: int | None = None,
 ):
     """The partitioned counterpart of ``session._build_dataset``.
 
-    Same five stages, same output shape; ``schedule`` fans the islands
-    across the pool (sampling included — each island flushes its own
-    collector), ``monitor`` merges the partition-local outputs.
+    Same five stages, same output shape.  ``schedule`` fans the
+    islands across the pool — :func:`parallel_map` for uncoupled
+    islands, the persistent-process
+    :class:`~repro.slurm.parallel.ParallelPartitionedRunner` when
+    ``interchange`` couples them — and ``monitor`` merges the
+    partition-local outputs.  With ``streaming=True`` the merge is the
+    k-way spill merge and ``assemble`` is chunk-wise; the returned
+    dataset holds chunked tables, a spilled series store, and no job
+    records (``spill_dir`` defaults to a fresh temp directory).
     """
+    import tempfile
+
     from repro.cluster.spec import supercloud_spec
     from repro.dataset import SupercloudDataset
-    from repro.monitor.timeseries import TimeSeriesStore
-    from repro.slurm.accounting import accounting_table
+    from repro.monitor.timeseries import SpilledTimeSeriesStore, TimeSeriesStore
+    from repro.slurm.accounting import ACCOUNTING_COLUMNS, accounting_table
     from repro.slurm.interchange import route_requests
     from repro.workload.calibration import PAPER_TARGETS
     from repro.workload.cohorts import generate_sharded
+
+    coupled = interchange is not None and interchange.coupled
+    if streaming and spill_dir is None:
+        spill_dir = tempfile.mkdtemp(prefix="repro-shard-")
+    spill = str(spill_dir) if streaming else None
 
     with inst.stage("workload") as probe:
         requests = generate_sharded(config, workers=workers)
@@ -215,59 +393,132 @@ def build_sharded_dataset(
     with inst.stage("schedule") as probe:
         buckets = route_requests(requests, len(layout))
         check_island_capacity(layout, buckets, spec)
-        tasks = [
-            IslandTask(
-                partition=part,
-                num_partitions=len(layout),
-                config=config,
-                monitoring=monitoring,
-                requests=bucket,
-                parent_pid=os.getpid(),
+        if coupled:
+            from repro.slurm.parallel import ParallelPartitionedRunner
+
+            runner = ParallelPartitionedRunner(
+                layout,
+                spec=spec,
+                interchange=interchange,
+                workers=workers,
+                island_setup=_island_setup,
+                island_finish=_island_finish,
+                island_context={
+                    "monitoring": monitoring,
+                    "num_partitions": len(layout),
+                    "spill_dir": spill,
+                    "chunk_rows": chunk_rows,
+                },
+                return_records=not streaming,
             )
-            for part, bucket in zip(layout, buckets)
-        ]
-        islands = parallel_map(_run_island, tasks, workers=workers)
-        parent = inst.tracer.current_span_id()
-        for island in islands:
-            if island.span_payload:
-                inst.tracer.adopt(island.span_payload, parent=parent)
-            if island.metrics_snapshot:
-                inst.metrics.merge(island.metrics_snapshot)
-        records = [record for island in islands for record in island.records]
-        records.sort(key=lambda record: record.request.job_id)
+            outcome = runner.run(requests)
+            islands = outcome.extras
+            records = [] if streaming else outcome.merged_records()
+            island_peak = outcome.island_peak_rss_bytes
+            if outcome.mode == "serial":
+                from repro.obs.runtime import peak_rss_bytes
+
+                island_peak = peak_rss_bytes()
+            inst.metrics.counter(
+                "repro_shard_migrations_total",
+                help="jobs migrated between islands by the interchange",
+            ).inc(outcome.migrations)
+        else:
+            tasks = [
+                IslandTask(
+                    partition=part,
+                    num_partitions=len(layout),
+                    config=config,
+                    monitoring=monitoring,
+                    requests=bucket,
+                    parent_pid=os.getpid(),
+                    spill_dir=spill,
+                    chunk_rows=chunk_rows,
+                )
+                for part, bucket in zip(layout, buckets)
+            ]
+            results = parallel_map(_run_island, tasks, workers=workers)
+            parent = inst.tracer.current_span_id()
+            for island in results:
+                if island.span_payload:
+                    inst.tracer.adopt(island.span_payload, parent=parent)
+                if island.metrics_snapshot:
+                    inst.metrics.merge(island.metrics_snapshot)
+            islands = [
+                {
+                    "partition_index": island.partition_index,
+                    "sampling_rows": island.sampling_rows,
+                    "gpu_summary": island.gpu_summary,
+                    "per_gpu": island.per_gpu,
+                    "store": island.store,
+                    "handles": island.handles,
+                }
+                for island in results
+            ]
+            records = [record for island in results for record in island.records]
+            records.sort(key=lambda record: record.request.job_id)
+            island_peak = max(island.peak_rss_bytes for island in results)
         inst.metrics.gauge(
             "repro_shard_island_peak_rss_bytes",
             help="largest per-island process peak RSS in the sharded build",
-        ).set_max(max(island.peak_rss_bytes for island in islands))
-        probe.rows = len(records)
+        ).set_max(island_peak)
+        probe.rows = (
+            sum(island["handles"]["jobs_rows"] for island in islands)
+            if streaming
+            else len(records)
+        )
 
     with inst.stage("sampling") as probe:
         # Sampling already ran island-locally inside ``schedule``; this
         # stage only accounts for it so stage rows stay comparable.
-        probe.rows = sum(island.sampling_rows for island in islands)
+        probe.rows = sum(island["sampling_rows"] for island in islands)
 
     with inst.stage("monitor") as probe:
-        gpu_summary = _merge_tables(
-            [island.gpu_summary for island in islands], ("job_id",)
-        )
-        per_gpu = _merge_tables(
-            [island.per_gpu for island in islands], ("job_id", "gpu_index")
-        )
-        store = TimeSeriesStore.merged(island.store for island in islands)
+        from repro.frame import DEFAULT_CHUNK_ROWS
+
+        if streaming:
+            handles = [island["handles"] for island in islands]
+            rows = chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS
+            jobs_stream = _merge_spilled(
+                handles, "jobs", ("job_id",), rows, ACCOUNTING_COLUMNS
+            )
+            gpu_summary = _merge_spilled(handles, "gpu_summary", ("job_id",), rows)
+            per_gpu = _merge_spilled(
+                handles, "per_gpu", ("job_id", "gpu_index"), rows
+            )
+            store = SpilledTimeSeriesStore(
+                Path(handle["root"]) / "series" for handle in handles
+            )
+        else:
+            gpu_summary = _merge_tables(
+                [island["gpu_summary"] for island in islands], ("job_id",)
+            )
+            per_gpu = _merge_tables(
+                [island["per_gpu"] for island in islands], ("job_id", "gpu_index")
+            )
+            store = TimeSeriesStore.merged(island["store"] for island in islands)
         probe.rows = per_gpu.num_rows
 
     with inst.stage("assemble") as probe:
-        jobs = accounting_table(records)
-        keep = (np.asarray(jobs["num_gpus"]) > 0) & (
-            np.asarray(jobs["run_time_s"], dtype=float)
-            >= PAPER_TARGETS.short_job_filter_s
-        )
-        gpu_jobs = jobs.filter(keep).join(gpu_summary, on="job_id")
-        if per_gpu.num_rows:
-            context = jobs.select(
-                ["job_id", "user", "num_gpus", "run_time_s", "gpu_hours", "lifecycle_class", "interface"]
+        if streaming:
+            jobs = jobs_stream
+            gpu_jobs = jobs.filter(_keep_gpu_jobs).join_sorted(
+                gpu_summary, on="job_id"
             )
-            per_gpu = per_gpu.join(context, on="job_id")
+            if per_gpu.num_rows:
+                per_gpu = per_gpu.join_sorted(
+                    jobs.select(CONTEXT_COLUMNS), on="job_id"
+                )
+        else:
+            jobs = accounting_table(records)
+            keep = (np.asarray(jobs["num_gpus"]) > 0) & (
+                np.asarray(jobs["run_time_s"], dtype=float)
+                >= PAPER_TARGETS.short_job_filter_s
+            )
+            gpu_jobs = jobs.filter(keep).join(gpu_summary, on="job_id")
+            if per_gpu.num_rows:
+                context = jobs.select(list(CONTEXT_COLUMNS))
+                per_gpu = per_gpu.join(context, on="job_id")
         probe.rows = jobs.num_rows
 
     return SupercloudDataset(

@@ -12,6 +12,8 @@ the calibrated workload through this simulator on the modeled cluster:
 * :mod:`repro.slurm.accounting` — sacct-style log as a frame Table.
 * :mod:`repro.slurm.interchange` — partitioned cluster islands with
   bounded-lag cross-partition state exchange (``docs/scaling.md``).
+* :mod:`repro.slurm.parallel` — the same lockstep interchange across
+  persistent worker processes, bit-identical to the serial runner.
 """
 
 from repro.slurm.accounting import accounting_table
@@ -20,11 +22,14 @@ from repro.slurm.interchange import (
     InterchangeConfig,
     PartitionedResult,
     PartitionedRunner,
+    migration_candidates,
+    plan_migrations,
     route_requests,
     run_partitioned,
 )
 from repro.slurm.job import ExitCondition, JobRecord, JobRequest, JobState
-from repro.slurm.placement import PlacementPolicy
+from repro.slurm.parallel import ParallelPartitionedResult, ParallelPartitionedRunner
+from repro.slurm.placement import PlacementPolicy, check_spec_feasible
 from repro.slurm.queue import JobQueue
 from repro.slurm.scheduler import SchedulerConfig, SlurmSimulator
 
@@ -37,12 +42,17 @@ __all__ = [
     "JobRecord",
     "JobRequest",
     "JobState",
+    "ParallelPartitionedResult",
+    "ParallelPartitionedRunner",
     "PartitionedResult",
     "PartitionedRunner",
     "PlacementPolicy",
     "SchedulerConfig",
     "SlurmSimulator",
     "accounting_table",
+    "check_spec_feasible",
+    "migration_candidates",
+    "plan_migrations",
     "route_requests",
     "run_partitioned",
 ]

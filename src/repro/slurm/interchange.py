@@ -16,12 +16,14 @@ state before the next epoch starts.  Two couplings are supported:
   ``migrate_after_s`` are moved (once) to the least-loaded island that
   can ever place them, resubmitted at the epoch boundary.
 
-With both couplings off (the default) islands are fully independent —
-that is the configuration the pipeline parallelizes across processes
-(:mod:`repro.pipeline.shard`), because running coupled islands in
-lockstep requires them to share an address space.  The serial lockstep
-and the process-parallel independent path are bit-for-bit identical in
-the uncoupled case; ``tests/slurm/test_interchange.py`` pins this.
+With both couplings off (the default) islands are fully independent
+and the pipeline fans them out embarrassingly across processes
+(:mod:`repro.pipeline.shard`).  Coupled islands can *also* run
+process-parallel: :mod:`repro.slurm.parallel` steps one persistent
+worker per island through this same epoch protocol, exchanging only
+the bounded interchange payload — bit-for-bit identical to the serial
+lockstep here (``tests/slurm/test_interchange.py`` and
+``tests/slurm/test_parallel_interchange.py`` pin both).
 
 This module is about *simulation structure*; the similarly named
 :mod:`repro.interchange` maps datasets onto the public MIT Supercloud
@@ -31,6 +33,7 @@ CSV layout and is unrelated.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.cluster.partition import PartitionLayout
 from repro.cluster.spec import ClusterSpec, supercloud_spec
@@ -81,6 +84,73 @@ def route_requests(
         cohort = request.tags.get("cohort", request.job_id)
         buckets[int(cohort) % num_partitions].append(request)
     return buckets
+
+
+def migration_candidates(
+    queued: "Iterable[JobRequest]", boundary: float, threshold: float
+) -> list[JobRequest]:
+    """Jobs overdue for migration at this boundary, in job-id order.
+
+    A job is overdue once it has queued longer than ``threshold`` and
+    has not migrated before (no ping-pong).
+    """
+    return sorted(
+        (
+            request
+            for request in queued
+            if boundary - request.submit_time_s > threshold
+            and not request.tags.get("migrated")
+        ),
+        key=lambda request: request.job_id,
+    )
+
+
+def plan_migrations(
+    candidates: Sequence[Sequence[JobRequest]],
+    queue_lengths: Sequence[int],
+    island_specs: Sequence[ClusterSpec],
+) -> list[tuple[int, JobRequest, int]]:
+    """Deterministic migration plan over per-island candidate lists.
+
+    Pure function of the epoch snapshot — per-island overdue candidates
+    (already job-id sorted, see :func:`migration_candidates`), queue
+    lengths, and static island specs — so the serial lockstep runner
+    and the process-parallel runner compute the *same* plan from the
+    same snapshot.  Returns ``(source, request, target)`` moves in
+    application order.
+
+    Replays the serial scan exactly: islands in index order, candidates
+    in job-id order, target = least-loaded feasible island strictly
+    less loaded than the source (ties to the lower index).  Moving a
+    job decrements only the source's load — the target receives it as
+    a scheduled resubmission, not a queue entry, so target loads stay
+    at their snapshot values until that target is itself the source.
+    """
+    from repro.slurm.placement import check_spec_feasible
+
+    loads = list(queue_lengths)
+    moves: list[tuple[int, JobRequest, int]] = []
+    for source_index, overdue in enumerate(candidates):
+        for request in overdue:
+            source_load = loads[source_index]
+            best: tuple[int, int] | None = None
+            for index, spec in enumerate(island_specs):
+                if index == source_index:
+                    continue
+                try:
+                    check_spec_feasible(spec, request)
+                except PlacementError:
+                    continue
+                load = loads[index]
+                if load >= source_load:
+                    continue
+                if best is None or (load, index) < best:
+                    best = (load, index)
+            if best is None:
+                continue
+            moves.append((source_index, request, best[1]))
+            loads[source_index] -= 1
+    return moves
 
 
 @dataclass
@@ -210,51 +280,27 @@ class PartitionedRunner:
     def _migrate(self, boundary: float) -> None:
         """Move long-queued jobs to the least-loaded feasible island.
 
-        Deterministic by construction: islands are scanned in index
-        order, candidates in job-id order, and ties between target
-        islands break toward the lower index.  A job migrates at most
+        Deterministic by construction: :func:`plan_migrations` scans
+        islands in index order, candidates in job-id order, and breaks
+        target ties toward the lower index.  A job migrates at most
         once (no ping-pong) and is resubmitted at the epoch boundary.
         """
         threshold = self.interchange.migrate_after_s
-        for source_index, source in enumerate(self.simulators):
-            candidates = sorted(
-                (
-                    request
-                    for request in source.queue.scan()
-                    if boundary - request.submit_time_s > threshold
-                    and not request.tags.get("migrated")
-                ),
-                key=lambda request: request.job_id,
-            )
-            for request in candidates:
-                target_index = self._pick_target(source_index, request)
-                if target_index is None:
-                    continue
-                source.queue.remove(request.job_id)
-                request.tags["migrated"] = True
-                request.tags["migrated_to"] = target_index
-                target = self.simulators[target_index]
-                target.loop.schedule(boundary, "submit", request)
-                self.migrations += 1
-
-    def _pick_target(self, source_index: int, request: JobRequest) -> int | None:
-        """Least-loaded island that can ever place the job, if strictly
-        less loaded than the source."""
-        source_load = len(self.simulators[source_index].queue)
-        best: tuple[int, int] | None = None
-        for index, simulator in enumerate(self.simulators):
-            if index == source_index:
-                continue
-            try:
-                simulator.placement.check_feasible(request)
-            except PlacementError:
-                continue
-            load = len(simulator.queue)
-            if load >= source_load:
-                continue
-            if best is None or (load, index) < best:
-                best = (load, index)
-        return None if best is None else best[1]
+        candidates = [
+            migration_candidates(simulator.queue.scan(), boundary, threshold)
+            for simulator in self.simulators
+        ]
+        moves = plan_migrations(
+            candidates,
+            [len(simulator.queue) for simulator in self.simulators],
+            [simulator.cluster.spec for simulator in self.simulators],
+        )
+        for source_index, request, target_index in moves:
+            self.simulators[source_index].queue.remove(request.job_id)
+            request.tags["migrated"] = True
+            request.tags["migrated_to"] = target_index
+            self.simulators[target_index].loop.schedule(boundary, "submit", request)
+            self.migrations += 1
 
 
 def _remap_nodes(records: list[JobRecord], node_start: int) -> None:

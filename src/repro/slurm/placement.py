@@ -14,9 +14,40 @@ Placement policy follows the paper's description:
 from __future__ import annotations
 
 from repro.cluster.node import Cluster
+from repro.cluster.spec import ClusterSpec
 from repro.cluster.topology import FatTreeTopology
 from repro.errors import PlacementError
 from repro.slurm.job import JobRequest
+
+
+def check_spec_feasible(spec: ClusterSpec, request: JobRequest) -> None:
+    """Raise PlacementError if the job can never run on a cluster of
+    this spec.
+
+    Feasibility depends only on the *static* spec (node shape and node
+    count), never on current allocations — which is what lets the
+    partitioned interchange plan migrations for remote islands from
+    their specs alone, without touching their live cluster state.
+    """
+    node_spec = spec.node
+    if request.num_gpus == 0:
+        if request.cores > node_spec.physical_cores or request.memory_gb > node_spec.ram_gb:
+            raise PlacementError(
+                f"job {request.job_id} requests more than one node provides"
+            )
+        return
+    full_nodes, remainder = divmod(request.num_gpus, node_spec.gpus_per_node)
+    nodes_needed = full_nodes + (1 if remainder else 0)
+    if nodes_needed > spec.num_nodes:
+        raise PlacementError(
+            f"job {request.job_id} requests {request.num_gpus} GPUs; the "
+            f"cluster has {spec.total_gpus}"
+        )
+    per_node_cores = PlacementPolicy._per_node_cores(request, nodes_needed)
+    if per_node_cores > node_spec.physical_cores:
+        raise PlacementError(
+            f"job {request.job_id} needs {per_node_cores} cores per node"
+        )
 
 
 class PlacementPolicy:
@@ -43,25 +74,7 @@ class PlacementPolicy:
     # ------------------------------------------------------------------
     def check_feasible(self, request: JobRequest) -> None:
         """Raise PlacementError if the job can never run on this cluster."""
-        node_spec = self.cluster.spec.node
-        if request.num_gpus == 0:
-            if request.cores > node_spec.physical_cores or request.memory_gb > node_spec.ram_gb:
-                raise PlacementError(
-                    f"job {request.job_id} requests more than one node provides"
-                )
-            return
-        full_nodes, remainder = divmod(request.num_gpus, node_spec.gpus_per_node)
-        nodes_needed = full_nodes + (1 if remainder else 0)
-        if nodes_needed > self.cluster.spec.num_nodes:
-            raise PlacementError(
-                f"job {request.job_id} requests {request.num_gpus} GPUs; the "
-                f"cluster has {self.cluster.spec.total_gpus}"
-            )
-        per_node_cores = self._per_node_cores(request, nodes_needed)
-        if per_node_cores > node_spec.physical_cores:
-            raise PlacementError(
-                f"job {request.job_id} needs {per_node_cores} cores per node"
-            )
+        check_spec_feasible(self.cluster.spec, request)
 
     @staticmethod
     def _per_node_cores(request: JobRequest, nodes_needed: int) -> int:

@@ -44,11 +44,15 @@ SECONDS_PER_DAY = 86400.0
 class WorkloadConfig:
     """Size and seed of the generated workload.
 
-    ``scale`` shrinks the whole experiment (jobs, users, nodes,
+    ``scale`` resizes the whole experiment (jobs, users, nodes,
     campaign sizes) proportionally so tests and quick runs keep the
     same contention behavior.  ``scale=1.0`` reproduces the paper's
     dataset size: 125 days, 191 users, ~51.5k GPU jobs (47.1k after
-    the 30 s filter) plus ~23k CPU jobs.
+    the 30 s filter) plus ~23k CPU jobs.  Scales above 1 grow the
+    trace toward whole-site magnitudes (Helios, IN2P3 in PAPERS.md):
+    jobs and nodes scale linearly, users sub-linearly (``sqrt``), the
+    same law that governs shrinking.  Large traces should build
+    through ``Session.streaming_dataset`` (see ``docs/scaling.md``).
     """
 
     scale: float = 1.0
@@ -70,8 +74,8 @@ class WorkloadConfig:
     cohorts: int | None = None
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.scale <= 1.0:
-            raise WorkloadError(f"scale must be in (0, 1], got {self.scale}")
+        if not 0.0 < self.scale <= 100.0:
+            raise WorkloadError(f"scale must be in (0, 100], got {self.scale}")
         if self.days <= 0 or self.gpu_jobs <= 0:
             raise WorkloadError("days and gpu_jobs must be positive")
         if self.partitions < 1:
@@ -90,8 +94,12 @@ class WorkloadConfig:
 
     @property
     def scaled_users(self) -> int:
-        # Users shrink sub-linearly so small scales keep per-user depth.
-        return min(self.num_users, max(12, int(round(self.num_users * self.scale**0.5))))
+        # Users scale sub-linearly: small scales keep per-user depth,
+        # large scales add users slower than jobs (heavier per-user
+        # load, matching multi-site traces).  Identical to the old
+        # min(num_users, ...) form for scale <= 1, where sqrt(scale)
+        # never exceeds 1.
+        return max(12, int(round(self.num_users * self.scale**0.5)))
 
     @property
     def scaled_nodes(self) -> int:

@@ -23,7 +23,13 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.frame import QuantileSketch, StreamingMoments, Table
+from repro.frame import (
+    QuantileSketch,
+    StreamingMoments,
+    Table,
+    concat_tables,
+    merge_sorted_chunked,
+)
 from repro.frame.reference import naive_aggregate, naive_value_counts
 
 EXACT_REDUCERS = ("count", "min", "max", "first", "last")
@@ -185,6 +191,88 @@ def test_sketch_exact_below_capacity(samples):
         assert sketch.quantile(p) == exact.quantile(p)
     for x in samples[:10]:
         assert sketch.evaluate(x) == exact.evaluate(x)
+
+
+@st.composite
+def sorted_sources(draw, max_sources=4, num_keys=1):
+    """Several tables sorted on shared key columns of one drawn dtype —
+    the shape the sharded build's k-way spill merge consumes."""
+    kind = draw(st.sampled_from(["int", "str"]))
+    key_st = key_ints if kind == "int" else key_names
+    num_sources = draw(st.integers(1, max_sources))
+    tables = []
+    for _ in range(num_sources):
+        n = draw(st.integers(1, 25))
+        data = {
+            f"k{i}": draw(st.lists(key_st, min_size=n, max_size=n))
+            for i in range(num_keys)
+        }
+        data["v0"] = draw(st.lists(small_values, min_size=n, max_size=n))
+        tables.append(Table(data).sort_by(*(f"k{i}" for i in range(num_keys))))
+    return tables
+
+
+@given(sorted_sources(), st.integers(1, 30))
+@settings(max_examples=50, deadline=None)
+def test_kway_merge_is_concat_plus_stable_sort(tables, chunk_rows):
+    """merge_sorted_chunked == concat + stable sort_by, bit for bit,
+    at any chunking (including one row per chunk and all-in-one)."""
+    oracle = concat_tables(tables).sort_by("k0").to_dict()
+    total = sum(t.num_rows for t in tables)
+    for rows in _chunkings(total, chunk_rows):
+        merged = merge_sorted_chunked(
+            [t.to_chunked(chunk_rows=rows) for t in tables],
+            ("k0",),
+            chunk_rows=rows,
+        )
+        assert merged.materialize().to_dict() == oracle
+
+
+@given(sorted_sources(num_keys=2), st.integers(1, 30))
+@settings(max_examples=40, deadline=None)
+def test_kway_merge_multi_key(tables, chunk_rows):
+    oracle = concat_tables(tables).sort_by("k0", "k1").to_dict()
+    total = sum(t.num_rows for t in tables)
+    for rows in _chunkings(total, chunk_rows):
+        merged = merge_sorted_chunked(
+            [t.to_chunked(chunk_rows=rows) for t in tables],
+            ("k0", "k1"),
+            chunk_rows=rows,
+        )
+        assert merged.materialize().to_dict() == oracle
+
+
+@given(sorted_sources(max_sources=1), st.integers(1, 25), st.integers(1, 25))
+@settings(max_examples=40, deadline=None)
+def test_join_sorted_matches_materialized_join(tables, left_rows, right_rows):
+    """Streaming merge-join on key-sorted streams == Table.join, for
+    inner and left joins, with the right side chunked independently.
+
+    Keys are homogeneous (all-int or all-str): join_sorted compares
+    key values *across* chunks, which — unlike the hash join — needs
+    one ordered dtype, exactly like the job-id keys the sharded
+    assemble feeds it.
+    """
+    left = tables[0]
+    keys = list(dict.fromkeys(left["k0"].tolist()))
+    # Drop every other key so inner joins actually discard rows.
+    kept = keys[::2]
+    right = Table(
+        {"k0": kept, "r0": [float(i) for i in range(len(kept))]}
+    ).sort_by("k0")
+    for how in ("inner", "left"):
+        expected = left.join(right, on="k0", how=how).to_dict()
+        for lrows in _chunkings(left.num_rows, left_rows):
+            for right_side in (
+                right,
+                right.to_chunked(chunk_rows=max(right_rows, 1)),
+            ):
+                streamed = (
+                    left.to_chunked(chunk_rows=lrows)
+                    .join_sorted(right_side, on="k0", how=how)
+                    .materialize()
+                )
+                assert streamed.to_dict() == expected, (how, lrows)
 
 
 @given(

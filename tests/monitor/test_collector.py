@@ -90,3 +90,70 @@ class TestJobAggregation:
     def test_empty_collector_gives_empty_table(self):
         collector = MonitoringCollector()
         assert collector.job_gpu_table().num_rows == 0
+
+
+def spill_requests():
+    return [gpu_request(i, num_gpus=2) for i in range(6)]
+
+
+class TestSummarySpill:
+    """Per-GPU summary rows spilled to disk instead of held in memory.
+
+    Spilling is a runtime switch (``enable_spill``), deliberately not a
+    ``MonitoringConfig`` field: the config hashes into dataset cache
+    keys and where the rows live must not change what they are.
+    """
+
+    def test_spilled_run_matches_in_memory(self, tmp_path):
+        baseline = run_with_collector(spill_requests())
+        simulator = SlurmSimulator(supercloud_spec(2))
+        collector = MonitoringCollector(
+            MonitoringConfig(summary_chunk_rows=4)
+        ).attach(simulator)
+        collector.enable_spill(tmp_path / "summary")
+        simulator.run(spill_requests())
+        # sampling is deferred: chunks hit disk at flush, not mid-run
+        collector.flush()
+        assert list((tmp_path / "summary").glob("run_*.npz"))
+        assert (
+            collector.per_gpu_table().to_dict()
+            == baseline.per_gpu_table().to_dict()
+        )
+        assert (
+            collector.job_gpu_table().to_dict()
+            == baseline.job_gpu_table().to_dict()
+        )
+
+    def test_enable_spill_mid_stream_moves_sealed_chunks(self, tmp_path):
+        simulator = SlurmSimulator(supercloud_spec(2))
+        collector = MonitoringCollector(
+            MonitoringConfig(summary_chunk_rows=4)
+        ).attach(simulator)
+        simulator.run(spill_requests())
+        before = collector.per_gpu_table().to_dict()
+        collector.enable_spill(tmp_path / "late")
+        assert list((tmp_path / "late").glob("run_*.npz"))
+        assert collector.per_gpu_table().to_dict() == before
+
+    def test_sorted_summary_stream_is_global_sort(self, tmp_path):
+        simulator = SlurmSimulator(supercloud_spec(2))
+        collector = MonitoringCollector(
+            MonitoringConfig(summary_chunk_rows=4)
+        ).attach(simulator)
+        collector.enable_spill(tmp_path / "summary", chunk_rows=4)
+        simulator.run(spill_requests())
+        merged = collector.sorted_summary_stream(chunk_rows=3).materialize()
+        expected = collector.per_gpu_table().sort_by("job_id", "gpu_index")
+        assert merged.to_dict() == expected.to_dict()
+
+    def test_per_gpu_chunked_streams_sealed_parts(self, tmp_path):
+        simulator = SlurmSimulator(supercloud_spec(2))
+        collector = MonitoringCollector(
+            MonitoringConfig(summary_chunk_rows=4)
+        ).attach(simulator)
+        collector.enable_spill(tmp_path / "summary")
+        simulator.run(spill_requests())
+        chunks = list(collector.per_gpu_chunked().chunks())
+        assert len(chunks) > 1
+        total = sum(chunk.num_rows for chunk in chunks)
+        assert total == collector.per_gpu_table().num_rows

@@ -1,10 +1,15 @@
-"""Tests for GPU time-series containers."""
+"""Tests for GPU time-series containers and the lossless disk spill."""
 
 import numpy as np
 import pytest
 
 from repro.errors import MonitoringError
-from repro.monitor.timeseries import METRIC_NAMES, GpuTimeSeries, TimeSeriesStore
+from repro.monitor.timeseries import (
+    METRIC_NAMES,
+    GpuTimeSeries,
+    SpilledTimeSeriesStore,
+    TimeSeriesStore,
+)
 
 
 def make_series(job_id=1, gpu_index=0, n=10):
@@ -91,3 +96,85 @@ class TestTimeSeriesStore:
         store = TimeSeriesStore()
         store.add(make_series())
         assert sum(1 for _ in store) == 1
+
+
+def filled_store(num_jobs=3, gpus=2, start=0):
+    store = TimeSeriesStore()
+    for job in range(start, start + num_jobs):
+        for gpu in range(gpus):
+            store.add(make_series(job_id=job, gpu_index=gpu, n=5 + job + gpu))
+    return store
+
+
+class TestSpilledStore:
+    """The spill is **lossless** — raw float arrays, not the 0.5%-
+    quantized ``repro.monitor.codec`` — so figure-grade statistics off
+    the spill are bit-identical to the in-memory store."""
+
+    def test_roundtrip_is_bit_exact(self, tmp_path):
+        store = filled_store()
+        spilled = store.spill(tmp_path / "series")
+        assert len(spilled) == len(store)
+        assert spilled.job_ids() == store.job_ids()
+        for series in store:
+            twin = spilled.get(series.job_id, series.gpu_index)
+            assert np.array_equal(series.times_s, twin.times_s)
+            for name, values in series.metrics.items():
+                assert np.array_equal(values, twin.metrics[name]), name
+
+    def test_total_samples_needs_no_loads(self, tmp_path):
+        store = filled_store()
+        spilled = store.spill(tmp_path / "series")
+        assert spilled.total_samples() == store.total_samples()
+
+    def test_iteration_in_sorted_key_order(self, tmp_path):
+        spilled = filled_store().spill(tmp_path / "series")
+        keys = [(s.job_id, s.gpu_index) for s in spilled]
+        assert keys == sorted(keys)
+
+    def test_series_for_job(self, tmp_path):
+        spilled = filled_store().spill(tmp_path / "series")
+        assert [s.gpu_index for s in spilled.series_for_job(1)] == [0, 1]
+
+    def test_get_missing_rejected(self, tmp_path):
+        spilled = filled_store().spill(tmp_path / "series")
+        with pytest.raises(MonitoringError, match="no series"):
+            spilled.get(99, 0)
+
+    def test_materialize_roundtrip(self, tmp_path):
+        store = filled_store()
+        back = store.spill(tmp_path / "series").materialize()
+        assert back.job_ids() == store.job_ids()
+        for series in store:
+            twin = back.get(series.job_id, series.gpu_index)
+            assert np.array_equal(series.times_s, twin.times_s)
+
+    def test_scan_table_matches_in_memory_scan(self, tmp_path):
+        store = filled_store()
+        spilled = store.spill(tmp_path / "series")
+        expected = store.scan_table(chunk_rows=16).materialize()
+        streamed = spilled.scan_table(chunk_rows=16).materialize()
+        assert streamed.to_dict() == expected.to_dict()
+
+    def test_union_of_disjoint_islands(self, tmp_path):
+        first = filled_store(num_jobs=2, start=0)
+        second = filled_store(num_jobs=2, start=10)
+        union = SpilledTimeSeriesStore.union(
+            [
+                first.spill(tmp_path / "island0"),
+                second.spill(tmp_path / "island1"),
+            ]
+        )
+        assert len(union) == len(first) + len(second)
+        assert union.job_ids() == first.job_ids() + second.job_ids()
+
+    def test_union_rejects_duplicate_keys(self, tmp_path):
+        first = filled_store().spill(tmp_path / "a")
+        second = filled_store().spill(tmp_path / "b")
+        with pytest.raises(MonitoringError, match="duplicate"):
+            SpilledTimeSeriesStore.union([first, second])
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(MonitoringError, match="manifest"):
+            SpilledTimeSeriesStore([tmp_path / "empty"])

@@ -9,7 +9,11 @@ the session level:
 * ``partitions=1`` routes through the legacy serial code path and
   reproduces the pre-sharding dataset exactly;
 * the merged dataset keeps the whole-machine shape (global node
-  indices, one spec, job-id-ordered tables).
+  indices, one spec, job-id-ordered tables);
+* the **streaming** build — islands spill to disk, the parent k-way
+  merges chunk streams — yields the same tables chunk for chunk, for
+  uncoupled islands and for interchange-coupled islands run serially
+  or process-parallel.
 """
 
 import numpy as np
@@ -18,6 +22,7 @@ import pytest
 from repro.monitor.collector import MonitoringConfig
 from repro.pipeline import Session
 from repro.pipeline.shard import island_monitoring
+from repro.slurm.interchange import InterchangeConfig
 from repro.workload.generator import WorkloadConfig
 
 # 3200 configured nodes at scale 0.02 -> 64 simulated nodes, so even a
@@ -163,6 +168,109 @@ class TestWorkerObservability:
         session.dataset()
         names = [span["name"] for span in session.tracer.drain_payload()]
         assert names.count("slurm.run") == 4
+
+
+def streaming_equals_materialized(stream, exact):
+    """Chunk-for-chunk equality against a materialized ground truth."""
+    assert stream.is_streaming and not exact.is_streaming
+    for name in ("jobs", "gpu_jobs", "per_gpu"):
+        stream_table = getattr(stream, name)
+        serial_table = getattr(exact, name)
+        offset = 0
+        for chunk in stream_table.chunks():
+            assert tuple(chunk.column_names) == tuple(serial_table.column_names)
+            for column in chunk.column_names:
+                expected = np.asarray(serial_table[column])[
+                    offset : offset + chunk.num_rows
+                ]
+                assert np.array_equal(
+                    np.asarray(chunk[column]), expected
+                ), (name, column)
+            offset += chunk.num_rows
+        assert offset == serial_table.num_rows, name
+    assert len(stream.timeseries) == len(exact.timeseries)
+    for series in exact.timeseries:
+        twin = stream.timeseries.get(series.job_id, series.gpu_index)
+        assert np.array_equal(series.times_s, twin.times_s)
+        for metric, values in series.metrics.items():
+            assert np.array_equal(values, twin.metrics[metric]), metric
+
+
+class TestStreamingBuild:
+    def test_streaming_build_matches_materialized(self, serial_session):
+        stream = Session(WorkloadConfig(**SHARDED), workers=1).streaming_dataset(
+            chunk_rows=512
+        )
+        streaming_equals_materialized(stream, serial_session.dataset())
+
+    def test_streaming_dataset_is_memoized(self):
+        session = Session(WorkloadConfig(**SHARDED), workers=1)
+        first = session.streaming_dataset(chunk_rows=512)
+        assert session.streaming_dataset() is first
+        assert session.instrumentation.count("build") == 1
+
+    def test_streaming_records_stay_out_of_the_parent(self):
+        stream = Session(WorkloadConfig(**SHARDED), workers=1).streaming_dataset(
+            chunk_rows=512
+        )
+        assert stream.records == []
+
+    def test_materialize_roundtrip(self, serial_session):
+        stream = Session(WorkloadConfig(**SHARDED), workers=1).streaming_dataset(
+            chunk_rows=512
+        )
+        exact = serial_session.dataset()
+        datasets_equal(stream.materialize(), exact)
+
+    def test_single_partition_streaming_is_a_chunked_view(self):
+        base = dict(SHARDED, partitions=1)
+        session = Session(WorkloadConfig(**base))
+        stream = session.streaming_dataset(chunk_rows=256)
+        assert stream.is_streaming
+        assert stream.jobs.materialize().to_dict() == session.dataset().jobs.to_dict()
+
+
+class TestCoupledBuild:
+    INTERCHANGE = InterchangeConfig(epoch_s=3600.0, migrate_after_s=900.0)
+
+    @pytest.fixture(scope="class")
+    def coupled_serial(self):
+        session = Session(
+            WorkloadConfig(**SHARDED), workers=1, interchange=self.INTERCHANGE
+        )
+        session.dataset()
+        return session
+
+    def test_coupling_changes_the_schedule(self, serial_session, coupled_serial):
+        coupled = coupled_serial.dataset()
+        uncoupled = serial_session.dataset()
+        migrated = [
+            r for r in coupled.records if r.request.tags.get("migrated")
+        ]
+        assert migrated, "interchange produced no migrations at this scale"
+        assert coupled.jobs.to_dict() != uncoupled.jobs.to_dict()
+
+    def test_parallel_coupled_matches_serial(self, coupled_serial):
+        parallel = Session(
+            WorkloadConfig(**SHARDED), workers=4, interchange=self.INTERCHANGE
+        ).dataset()
+        datasets_equal(coupled_serial.dataset(), parallel)
+
+    def test_parallel_streaming_coupled_matches_serial(self, coupled_serial):
+        stream = Session(
+            WorkloadConfig(**SHARDED), workers=4, interchange=self.INTERCHANGE
+        ).streaming_dataset(chunk_rows=512)
+        streaming_equals_materialized(stream, coupled_serial.dataset())
+
+    def test_interchange_extends_the_cache_key(self):
+        from repro.pipeline.cache import dataset_key
+
+        config = WorkloadConfig(**SHARDED)
+        base = dataset_key(config, None)
+        coupled = dataset_key(config, None, self.INTERCHANGE)
+        assert base != coupled
+        # None keeps the legacy payload: existing cache entries survive.
+        assert base == dataset_key(config, None, None)
 
 
 class TestSummary:

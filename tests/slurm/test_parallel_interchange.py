@@ -1,0 +1,238 @@
+"""Process-parallel coupled islands vs the serial lockstep oracle.
+
+:mod:`repro.slurm.parallel` promises that stepping one persistent
+worker process per island through the epoch protocol — exchanging only
+the bounded interchange payload — is **bit-identical** to
+:class:`~repro.slurm.interchange.PartitionedRunner` stepping the same
+islands serially in one address space.  These tests pin that contract
+event for event (fingerprints over every job record), for migration
+coupling, fair-share coupling, and the uncoupled fan-out, plus the
+serial fallback and the per-island setup/finish hooks the sharded
+build relies on.
+
+Workloads are rebuilt fresh for every run: migration mutates request
+``tags`` in place, so sharing one request list across runs would leak
+state between the candidates.
+"""
+
+import pytest
+
+from repro.cluster.partition import PartitionLayout
+from repro.errors import SchedulerError
+from repro.slurm.interchange import (
+    InterchangeConfig,
+    PartitionedRunner,
+    run_partitioned,
+)
+from repro.slurm.parallel import ParallelPartitionedRunner
+from repro.slurm.policies import FairSharePolicy
+from repro.slurm.scheduler import SchedulerConfig
+from tests.slurm.test_interchange import fingerprints, workload
+from tests.slurm.test_job import make_request
+
+MIGRATION = InterchangeConfig(epoch_s=1800.0, migrate_after_s=600.0)
+
+
+def hot_island_requests():
+    """Cohort 0 floods island 0; the rest sit idle (fresh every call)."""
+    return [
+        make_request(
+            job_id=i,
+            user=f"u{i % 3}",
+            submit_time_s=0.0,
+            runtime_s=7200.0,
+            num_gpus=2,
+            tags={"cohort": 0},
+        )
+        for i in range(24)
+    ]
+
+
+def serial_oracle(requests, num_partitions, total_nodes, *, config=None, interchange=None):
+    runner = PartitionedRunner(
+        PartitionLayout.even(total_nodes, num_partitions),
+        config=config,
+        interchange=interchange,
+    )
+    return runner.run(requests)
+
+
+def parallel_run(requests, num_partitions, total_nodes, *, workers, config=None,
+                 interchange=None, **kwargs):
+    runner = ParallelPartitionedRunner(
+        PartitionLayout.even(total_nodes, num_partitions),
+        config=config,
+        interchange=interchange,
+        workers=workers,
+        **kwargs,
+    )
+    return runner.run(requests)
+
+
+class TestMigrationCoupling:
+    def test_parallel_matches_serial_event_for_event(self):
+        serial = serial_oracle(
+            hot_island_requests(), 2, 4, interchange=MIGRATION
+        )
+        parallel = parallel_run(
+            hot_island_requests(), 2, 4, workers=2, interchange=MIGRATION
+        )
+        assert parallel.mode == "parallel"
+        assert serial.migrations > 0
+        assert parallel.migrations == serial.migrations
+        assert fingerprints(parallel.merged_records()) == fingerprints(
+            serial.merged_records()
+        )
+
+    def test_migrated_tags_cross_the_process_boundary(self):
+        parallel = parallel_run(
+            hot_island_requests(), 2, 4, workers=2, interchange=MIGRATION
+        )
+        migrated = [
+            r for r in parallel.merged_records() if r.request.tags.get("migrated")
+        ]
+        assert len(migrated) == parallel.migrations > 0
+        for record in migrated:
+            target = parallel.layout[record.request.tags["migrated_to"]]
+            for node in record.nodes:
+                assert target.node_start <= node < target.node_stop
+
+    def test_merged_result_counters_match(self):
+        serial = serial_oracle(
+            hot_island_requests(), 2, 4, interchange=MIGRATION
+        )
+        parallel = parallel_run(
+            hot_island_requests(), 2, 4, workers=2, interchange=MIGRATION
+        )
+        assert parallel.merged().events_processed == serial.merged().events_processed
+        assert parallel.merged().makespan_s == serial.merged().makespan_s
+
+
+class TestFairShareCoupling:
+    CONFIG = SchedulerConfig(policy="fair_share")
+    SYNC = InterchangeConfig(epoch_s=3600.0, fair_share_sync=True)
+
+    def test_parallel_matches_serial_event_for_event(self):
+        serial = serial_oracle(
+            workload(cohorts=2), 2, 16, config=self.CONFIG, interchange=self.SYNC
+        )
+        parallel = parallel_run(
+            workload(cohorts=2), 2, 16,
+            workers=2, config=self.CONFIG, interchange=self.SYNC,
+        )
+        assert parallel.mode == "parallel"
+        assert fingerprints(parallel.merged_records()) == fingerprints(
+            serial.merged_records()
+        )
+
+    def test_parent_ledger_matches_serial_global_usage(self):
+        serial_runner = PartitionedRunner(
+            PartitionLayout.even(16, 2), config=self.CONFIG, interchange=self.SYNC
+        )
+        serial_runner.run(workload(cohorts=2))
+        parallel_runner = ParallelPartitionedRunner(
+            PartitionLayout.even(16, 2),
+            config=self.CONFIG,
+            interchange=self.SYNC,
+            workers=2,
+        )
+        parallel_runner.run(workload(cohorts=2))
+        assert parallel_runner._global_usage.keys() == serial_runner._global_usage.keys()
+        for user, hours in serial_runner._global_usage.items():
+            assert parallel_runner._global_usage[user] == pytest.approx(hours)
+
+
+class TestUncoupledAndFallback:
+    def test_uncoupled_parallel_matches_fanout(self):
+        free = run_partitioned(workload(cohorts=4), 4, total_nodes=64)
+        parallel = parallel_run(workload(cohorts=4), 4, 64, workers=4)
+        assert parallel.mode == "parallel"
+        assert fingerprints(parallel.merged_records()) == fingerprints(
+            free.merged_records()
+        )
+
+    def test_workers_1_falls_back_to_serial_lockstep(self):
+        fallback = parallel_run(
+            hot_island_requests(), 2, 4, workers=1, interchange=MIGRATION
+        )
+        serial = serial_oracle(
+            hot_island_requests(), 2, 4, interchange=MIGRATION
+        )
+        assert fallback.mode == "serial"
+        assert fallback.island_peak_rss_bytes == 0.0
+        assert fallback.migrations == serial.migrations
+        assert fingerprints(fallback.merged_records()) == fingerprints(
+            serial.merged_records()
+        )
+
+    def test_single_island_falls_back_to_serial(self):
+        result = parallel_run(workload(cohorts=1), 1, 8, workers=4)
+        assert result.mode == "serial"
+        assert len(result.merged_records()) == len(workload(cohorts=1))
+
+
+class TestValidation:
+    def test_failure_model_rejected(self):
+        with pytest.raises(SchedulerError, match="failure"):
+            ParallelPartitionedRunner(
+                PartitionLayout.even(16, 2),
+                config=SchedulerConfig(failure_model="weibull"),
+            )
+
+    def test_policy_objects_rejected(self):
+        with pytest.raises(SchedulerError, match="registry name"):
+            ParallelPartitionedRunner(
+                PartitionLayout.even(16, 2),
+                config=SchedulerConfig(policy=FairSharePolicy()),
+            )
+
+    def test_fair_share_sync_requires_fair_share_policy(self):
+        with pytest.raises(SchedulerError, match="fair_share"):
+            ParallelPartitionedRunner(
+                PartitionLayout.even(16, 2),
+                interchange=InterchangeConfig(fair_share_sync=True),
+            )
+
+
+# Module-level hooks: workers pickle-reference them by qualified name.
+def _setup_hook(simulator, partition, context):
+    return {"island": partition.index, "salt": context.get("salt")}
+
+
+def _finish_hook(simulator, state, result):
+    return {
+        "island": state["island"],
+        "salt": state["salt"],
+        "records": len(result.records),
+    }
+
+
+class TestIslandHooks:
+    @pytest.mark.parametrize("workers,mode", [(2, "parallel"), (1, "serial")])
+    def test_hooks_run_on_both_paths(self, workers, mode):
+        result = parallel_run(
+            hot_island_requests(), 2, 4,
+            workers=workers,
+            interchange=MIGRATION,
+            island_setup=_setup_hook,
+            island_finish=_finish_hook,
+            island_context={"salt": 42},
+        )
+        assert result.mode == mode
+        assert [extra["island"] for extra in result.extras] == [0, 1]
+        assert all(extra["salt"] == 42 for extra in result.extras)
+        assert sum(extra["records"] for extra in result.extras) == 24
+
+    @pytest.mark.parametrize("workers", [2, 1])
+    def test_return_records_false_keeps_records_out_of_parent(self, workers):
+        result = parallel_run(
+            hot_island_requests(), 2, 4,
+            workers=workers,
+            interchange=MIGRATION,
+            island_finish=_finish_hook,
+            island_setup=_setup_hook,
+            return_records=False,
+        )
+        assert result.merged_records() == []
+        # ... but the islands saw every record before the drop.
+        assert sum(extra["records"] for extra in result.extras) == 24

@@ -70,12 +70,12 @@ class TestWriteBenchJson:
         assert suites["stream"]["stats"]["stream_sketch"]["rows_per_s"] == 1e6
 
 
-def write_run(root, bench_id, seconds_by_suite, scale="0.05"):
+def write_run(root, bench_id, seconds_by_suite, scale="0.05", stats=None):
     payload = {
         "schema": 1,
         "bench_scale": scale,
         "suites": [
-            {"name": name, "seconds": seconds}
+            {"name": name, "seconds": seconds, "stats": (stats or {}).get(name, {})}
             for name, seconds in seconds_by_suite.items()
         ],
     }
@@ -156,3 +156,95 @@ class TestCheckRegressions:
         check = check_regressions(tmp_path, window=5)
         assert check.baseline_runs == 5
         assert not check.ok
+
+
+def stat_run(root, bench_id, stats):
+    """One 'scale' suite run with the given stat block."""
+    write_run(root, bench_id, {"scale": 10.0}, stats={"scale": stats})
+
+
+class TestStatDetectors:
+    """Throughput / peak-memory stat gates alongside wall time."""
+
+    def test_throughput_drop_flagged(self, tmp_path):
+        for i in range(3):
+            stat_run(tmp_path, 6 + i, {"merge": {"rows_per_s": 1_000_000.0}})
+        stat_run(tmp_path, 9, {"merge": {"rows_per_s": 400_000.0}})
+        check = check_regressions(tmp_path)
+        assert not check.ok
+        row = check.stat_regressions[0]
+        assert row["metric"] == "merge.rows_per_s"
+        assert row["kind"] == "throughput"
+        assert "REGRESSION" in check.to_text()
+
+    def test_memory_growth_flagged(self, tmp_path):
+        for i in range(3):
+            stat_run(tmp_path, 6 + i, {"build": {"island_peak_rss_bytes": 2e8}})
+        stat_run(tmp_path, 9, {"build": {"island_peak_rss_bytes": 5e8}})
+        check = check_regressions(tmp_path)
+        assert not check.ok
+        assert check.stat_regressions[0]["kind"] == "memory"
+
+    def test_absolute_floor_protects_small_throughput(self, tmp_path):
+        # Halved, but only 5k rows/s lost — under MIN_ROWS_PER_S_DROP.
+        stat_run(tmp_path, 6, {"merge": {"rows_per_s": 10_000.0}})
+        stat_run(tmp_path, 7, {"merge": {"rows_per_s": 5_000.0}})
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert check.stat_checked  # compared, just not flagged
+
+    def test_absolute_floor_protects_small_memory(self, tmp_path):
+        # Doubled, but only 2 MiB grown — under MIN_PEAK_BYTES_GROWTH.
+        stat_run(tmp_path, 6, {"build": {"parent_peak_bytes": 2 * 2**20}})
+        stat_run(tmp_path, 7, {"build": {"parent_peak_bytes": 4 * 2**20}})
+        assert check_regressions(tmp_path).ok
+
+    def test_new_stat_exempt_until_baselined(self, tmp_path):
+        stat_run(tmp_path, 6, {})
+        stat_run(tmp_path, 7, {"merge": {"rows_per_s": 1.0}})
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert check.stat_checked == []
+
+    def test_non_gateable_keys_ignored(self, tmp_path):
+        # Context keys (counts, seeds, speedups) never gate.
+        stat_run(tmp_path, 6, {"merge": {"jobs": 100.0, "speedup_x": 4.0}})
+        stat_run(tmp_path, 7, {"merge": {"jobs": 1.0, "speedup_x": 0.1}})
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert check.stat_checked == []
+
+    def test_within_threshold_passes(self, tmp_path):
+        stat_run(tmp_path, 6, {"merge": {"rows_per_s": 1_000_000.0}})
+        stat_run(tmp_path, 7, {"merge": {"rows_per_s": 900_000.0}})
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert check.stat_checked[0]["ratio"] == pytest.approx(0.9)
+
+    def test_to_text_renders_stat_rows(self, tmp_path):
+        stat_run(tmp_path, 6, {"merge": {"rows_per_s": 1_000_000.0}})
+        stat_run(tmp_path, 7, {"merge": {"rows_per_s": 950_000.0}})
+        text = check_regressions(tmp_path).to_text()
+        assert "merge.rows_per_s" in text
+        assert "ok" in text
+
+
+class TestGitSha:
+    def test_payload_stamped_inside_checkout(self, tmp_path):
+        import subprocess
+
+        payload = write_bench_json([], tmp_path / "BENCH_6.json")
+        # tmp_path is outside any repo -> None; write one inside ours.
+        assert payload["git_sha"] is None
+        here = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True
+        )
+        if here.returncode == 0:
+            import pathlib
+
+            target = pathlib.Path("BENCH_sha_probe.json")
+            try:
+                stamped = write_bench_json([], target)
+                assert stamped["git_sha"] == here.stdout.strip()
+            finally:
+                target.unlink(missing_ok=True)

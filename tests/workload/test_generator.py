@@ -22,7 +22,14 @@ class TestConfig:
         with pytest.raises(WorkloadError):
             WorkloadConfig(scale=0.0)
         with pytest.raises(WorkloadError):
-            WorkloadConfig(scale=1.5)
+            WorkloadConfig(scale=101.0)
+
+    def test_scale_above_one_grows_the_trace(self):
+        config = WorkloadConfig(scale=2.0)
+        assert config.scaled_gpu_jobs == 103000
+        assert config.scaled_nodes == 448
+        # users grow sub-linearly: sqrt(2) * 191
+        assert config.scaled_users == 270
 
     def test_scaled_sizes(self):
         config = WorkloadConfig(scale=0.5)
