@@ -127,6 +127,76 @@ def test_null_span_stays_in_the_noop_cost_class():
     )
 
 
+def test_disabled_event_emission_stays_in_the_noop_cost_class():
+    """``record_event`` against the null recorder is a no-op.
+
+    The flight recorder rides the same ambient-runtime pattern as the
+    metrics hook: one module-global read, one ``enabled`` attribute
+    load, one branch.  Gate it against the same 3% budget so wiring
+    event emission into stage/cache/spill paths cannot change the
+    disabled-path contract.
+    """
+    from repro.obs.runtime import record_event
+
+    table = _bench_table()
+    grouped = table.group_by("num_gpus")
+    aggregate_s = _best_of(lambda: grouped.aggregate(AGG_SPEC))
+
+    calls = 20_000
+
+    def event_loop():
+        for _ in range(calls):
+            record_event("bench", category="bench", rows=1)
+
+    event_per_call_s = _best_of(event_loop) / calls
+    overhead = event_per_call_s / aggregate_s
+    record_bench_stat(
+        "disabled_event",
+        ns_per_call=event_per_call_s * 1e9,
+        overhead_frac=overhead,
+    )
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled record_event: {event_per_call_s * 1e9:.0f} ns/call on a "
+        f"{aggregate_s * 1e3:.2f} ms aggregate = {overhead:.2%} "
+        f"(budget {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+
+def test_unwatched_heartbeat_hook_stays_in_the_noop_cost_class():
+    """``progress.emit`` with no sink installed is a read + branch.
+
+    Island runners call it once per interchange epoch; gating it here
+    keeps the heartbeat hook free to sit on the epoch hot path even
+    when nobody passed ``--progress``.
+    """
+    from repro.obs import progress
+
+    assert progress.get_sink() is None
+    table = _bench_table()
+    grouped = table.group_by("num_gpus")
+    aggregate_s = _best_of(lambda: grouped.aggregate(AGG_SPEC))
+
+    calls = 20_000
+    payload = {"island": 0, "epoch": 1}
+
+    def emit_loop():
+        for _ in range(calls):
+            progress.emit(payload)
+
+    emit_per_call_s = _best_of(emit_loop) / calls
+    overhead = emit_per_call_s / aggregate_s
+    record_bench_stat(
+        "unwatched_heartbeat",
+        ns_per_call=emit_per_call_s * 1e9,
+        overhead_frac=overhead,
+    )
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"unwatched progress.emit: {emit_per_call_s * 1e9:.0f} ns/call on a "
+        f"{aggregate_s * 1e3:.2f} ms aggregate = {overhead:.2%} "
+        f"(budget {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+
 def test_enabled_aggregate_records_without_distorting_results():
     """Sanity: enabling metrics changes counters, not results."""
     from repro.obs import MetricsRegistry

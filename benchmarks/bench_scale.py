@@ -217,13 +217,22 @@ def coupled_builds():
     parent only chunk-stream handles; the serial build runs the same
     coupled lockstep in-process and materializes, providing the ground
     truth the bit-identity gate compares against.
+
+    The parallel build runs with a live progress sink installed — the
+    heartbeat side channel promises to be observation-only, so the
+    bit-identity gate downstream is also the proof that watching a
+    build never changes it.
     """
+    from repro.obs.progress import ProgressAggregator, use_sink
+
     config = _stream_config()
     stream_session = Session(
         config, LIGHT_MONITORING, workers=PARTITIONS, interchange=STREAM_INTERCHANGE
     )
+    progress = ProgressAggregator()
     start = time.perf_counter()
-    stream = stream_session.streaming_dataset(chunk_rows=STREAM_CHUNK_ROWS)
+    with use_sink(progress):
+        stream = stream_session.streaming_dataset(chunk_rows=STREAM_CHUNK_ROWS)
     parallel_s = time.perf_counter() - start
 
     serial_session = Session(
@@ -250,10 +259,11 @@ def coupled_builds():
         island_peak_rss_bytes=stream_session.metrics.gauge(
             "repro_shard_island_peak_rss_bytes"
         ).value,
+        heartbeats=progress.heartbeats,
         cpu_count=os.cpu_count(),
         jobs=serial.jobs.num_rows,
     )
-    return stream_session, serial_session, stream, serial, parallel_s, serial_s
+    return stream_session, serial_session, stream, serial, parallel_s, serial_s, progress
 
 
 def _assert_stream_matches_table(stream_table, serial_table) -> None:
@@ -279,7 +289,7 @@ def test_coupled_stream_is_bit_identical(coupled_builds):
     holding one chunk of the stream, plus the figure-grade statistics
     the streaming view exists to serve.
     """
-    _, _, stream, serial, _, _ = coupled_builds
+    _, _, stream, serial, _, _, _ = coupled_builds
     assert stream.is_streaming and not serial.is_streaming
     _assert_stream_matches_table(stream.jobs, serial.jobs)
     _assert_stream_matches_table(stream.gpu_jobs, serial.gpu_jobs)
@@ -313,7 +323,7 @@ def test_coupled_stream_parent_memory_bounded(coupled_builds):
     """
     from repro.analysis.stats import column_ecdf, column_fraction
 
-    _, _, stream, _, _, _ = coupled_builds
+    _, _, stream, _, _, _, _ = coupled_builds
     # ~50 columns of float64 per row is a generous upper bound on the
     # widest assembled table (per_gpu + job context).
     chunk_bytes = STREAM_CHUNK_ROWS * 50 * 8
@@ -341,9 +351,27 @@ def test_coupled_stream_parent_memory_bounded(coupled_builds):
     )
 
 
+def test_coupled_build_emits_live_heartbeats(coupled_builds):
+    """Gate: every island reported live telemetry during the build.
+
+    The heartbeats must carry a moving epoch counter and the worker's
+    peak RSS — the fields ``--progress`` renders — and their arrival
+    must not have perturbed the build (the bit-identity gate above ran
+    against this same watched build).
+    """
+    _, _, _, _, _, _, progress = coupled_builds
+    islands = progress.islands()
+    assert {hb.island for hb in islands} == set(range(PARTITIONS))
+    assert progress.heartbeats >= PARTITIONS
+    for hb in islands:
+        assert hb.epoch > 0
+        assert hb.peak_rss_bytes > 0
+    assert "island" in progress.render()
+
+
 def test_coupled_parallel_speedup(coupled_builds):
     """Gate: >= 2x at 4 workers — needs real parallel hardware."""
-    _, _, _, _, parallel_s, serial_s = coupled_builds
+    _, _, _, _, parallel_s, serial_s, _ = coupled_builds
     cores = os.cpu_count() or 1
     if cores < 4:
         pytest.skip(f"speedup gate needs >= 4 cores, machine has {cores}")

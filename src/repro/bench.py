@@ -366,6 +366,217 @@ def check_regressions(
     return check
 
 
+# ----------------------------------------------------------------------
+# Trend reporting (`repro bench --report`)
+# ----------------------------------------------------------------------
+
+#: Eight-level bars for terminal sparklines, lowest to highest.
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+#: A least-squares slope steeper than this fraction of the series mean,
+#: per run, in the *worsening* direction, earns a DRIFT flag.
+TREND_DRIFT_THRESHOLD = 0.05
+
+
+def _sparkline(values: list[float | None]) -> str:
+    """Min-max scaled unicode sparkline; ``None`` gaps render as ``·``."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return "·" * len(values)
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append("·")
+        elif span <= 0:
+            chars.append(_SPARK_BARS[0])
+        else:
+            index = int((value - lo) / span * (len(_SPARK_BARS) - 1))
+            chars.append(_SPARK_BARS[index])
+    return "".join(chars)
+
+
+def _least_squares_slope(values: list[float]) -> float:
+    """Slope of the best-fit line over run index (value units per run)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    numerator = sum(
+        (x - mean_x) * (y - mean_y) for x, y in enumerate(values)
+    )
+    denominator = sum((x - mean_x) ** 2 for x in range(n))
+    return numerator / denominator if denominator else 0.0
+
+
+def bench_trend(root: Path, *, window: int = 20) -> dict:
+    """Structured per-suite/per-stat trends over the stored trajectory.
+
+    Uses up to ``window`` most recent runs at the latest run's
+    ``bench_scale`` (other scales are incomparable, same rule as
+    :func:`check_regressions`).  Returns::
+
+        {"scale": ..., "run_ids": [...], "shas": [...],
+         "skipped_runs": N, "series": [
+            {"suite": ..., "metric": "wall_s" | "<stat>.<key>",
+             "kind": "seconds" | "throughput" | "memory",
+             "values": [... or None per run],
+             "first": ..., "last": ..., "slope": ...,
+             "drift": ..., "worsening": bool}]}
+
+    ``slope`` is the least-squares fit in value units per run;
+    ``drift`` normalizes it by the series mean (fraction per run);
+    ``worsening`` is True when the drift exceeds
+    :data:`TREND_DRIFT_THRESHOLD` in the bad direction (wall time or
+    peak memory rising, throughput falling).
+    """
+    history = load_bench_history(root)
+    if not history:
+        return {
+            "scale": None,
+            "run_ids": [],
+            "shas": [],
+            "skipped_runs": 0,
+            "series": [],
+        }
+    scale = history[-1][1].get("bench_scale")
+    same_scale = [
+        (bench_id, payload)
+        for bench_id, payload in history
+        if payload.get("bench_scale") == scale
+    ][-window:]
+    run_ids = [bench_id for bench_id, _ in same_scale]
+    shas = [
+        (payload.get("git_sha") or "")[:7] or None
+        for _, payload in same_scale
+    ]
+    columns: dict[tuple[str, str, str], dict[int, float]] = {}
+    for position, (_, payload) in enumerate(same_scale):
+        for suite in payload["suites"]:
+            name, seconds = suite.get("name"), suite.get("seconds")
+            if not isinstance(name, str):
+                continue
+            if isinstance(seconds, (int, float)):
+                columns.setdefault((name, "wall_s", "seconds"), {})[
+                    position
+                ] = float(seconds)
+            for metric, value in _flat_stats(suite).items():
+                kind = _stat_kind(metric.rsplit(".", 1)[-1]) or "seconds"
+                columns.setdefault((name, metric, kind), {})[position] = value
+    series = []
+    for (suite, metric, kind), points in sorted(columns.items()):
+        values: list[float | None] = [
+            points.get(position) for position in range(len(same_scale))
+        ]
+        present = [v for v in values if v is not None]
+        slope = _least_squares_slope(present)
+        mean = sum(present) / len(present) if present else 0.0
+        drift = slope / mean if mean else 0.0
+        worsening = (
+            drift < -TREND_DRIFT_THRESHOLD
+            if kind == "throughput"
+            else drift > TREND_DRIFT_THRESHOLD
+        ) and len(present) >= 2
+        series.append(
+            {
+                "suite": suite,
+                "metric": metric,
+                "kind": kind,
+                "values": values,
+                "first": present[0] if present else None,
+                "last": present[-1] if present else None,
+                "slope": slope,
+                "drift": drift,
+                "worsening": worsening,
+            }
+        )
+    return {
+        "scale": scale,
+        "run_ids": run_ids,
+        "shas": shas,
+        "skipped_runs": len(history) - len(same_scale),
+        "series": series,
+    }
+
+
+def _fmt_trend_value(value: float | None, kind: str) -> str:
+    if value is None:
+        return "-"
+    if kind == "seconds":
+        return f"{value:.2f}s"
+    if kind == "memory":
+        return f"{value / (1024 * 1024):.0f}MiB"
+    return f"{value:,.0f}/s"
+
+
+def trend_report(root: Path, *, markdown: bool = False, window: int = 20) -> str:
+    """Render the stored ``BENCH_<n>.json`` trajectory as a trend table.
+
+    One row per suite wall time and per recorded throughput/peak-memory
+    stat: first and latest value, least-squares slope per run, a
+    sparkline over the run window, and a DRIFT flag when the fit worsens
+    faster than :data:`TREND_DRIFT_THRESHOLD` per run.  ``markdown=True``
+    emits a GitHub-flavored table for CI artifacts.
+    """
+    trend = bench_trend(root, window=window)
+    if not trend["run_ids"]:
+        return "bench report: no BENCH_<n>.json history at " + str(root)
+    run_ids = trend["run_ids"]
+    sha_span = ""
+    shas = [sha for sha in trend["shas"] if sha]
+    if shas:
+        sha_span = f", {shas[0]}..{shas[-1]}" if len(shas) > 1 else f", {shas[0]}"
+    header = (
+        f"bench report: {len(run_ids)} run(s) at scale {trend['scale']} "
+        f"(BENCH_{run_ids[0]}..BENCH_{run_ids[-1]}{sha_span})"
+    )
+    if trend["skipped_runs"]:
+        header += f"; {trend['skipped_runs']} run(s) at other scales skipped"
+    flagged = [row for row in trend["series"] if row["worsening"]]
+    if markdown:
+        lines = [
+            header,
+            "",
+            "| suite | metric | first | last | slope/run | trend | flag |",
+            "| --- | --- | ---: | ---: | ---: | --- | --- |",
+        ]
+        for row in trend["series"]:
+            lines.append(
+                "| {suite} | {metric} | {first} | {last} | {drift:+.1%} "
+                "| `{spark}` | {flag} |".format(
+                    suite=row["suite"],
+                    metric=row["metric"],
+                    first=_fmt_trend_value(row["first"], row["kind"]),
+                    last=_fmt_trend_value(row["last"], row["kind"]),
+                    drift=row["drift"],
+                    spark=_sparkline(row["values"]),
+                    flag="DRIFT" if row["worsening"] else "",
+                )
+            )
+        return "\n".join(lines)
+    lines = [
+        header,
+        f"  {'suite':<14} {'metric':<36} {'first':>12} {'last':>12} "
+        f"{'slope/run':>10}  trend",
+    ]
+    for row in trend["series"]:
+        flag = "  DRIFT" if row["worsening"] else ""
+        lines.append(
+            f"  {row['suite']:<14} {row['metric']:<36} "
+            f"{_fmt_trend_value(row['first'], row['kind']):>12} "
+            f"{_fmt_trend_value(row['last'], row['kind']):>12} "
+            f"{row['drift']:>+9.1%}  {_sparkline(row['values'])}{flag}"
+        )
+    if flagged:
+        lines.append(
+            f"  {len(flagged)} series drifting worse than "
+            f"{TREND_DRIFT_THRESHOLD:.0%}/run — investigate before merging"
+        )
+    return "\n".join(lines)
+
+
 def _git_sha(root: Path) -> str | None:
     """The checked-out commit, or None outside a usable git checkout."""
     try:

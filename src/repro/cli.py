@@ -9,8 +9,10 @@ Commands
 ``opportunities`` — run the Sec. VI/VIII what-if studies.
 ``summary``   — operator-facing text report with ASCII charts.
 ``validate``  — grade the dataset against the paper's statistics.
-``obs``       — observability: traced run report, or summarize a trace.
-``bench``     — run the performance-smoke benchmark gates.
+``obs``       — observability: traced run report (``obs``), live island
+telemetry (``obs top``), or summarize a trace (``--trace FILE``).
+``bench``     — run the performance-smoke benchmark gates; ``--report``
+renders the stored trajectory as a trend table.
 
 Every command accepts ``--scale`` (1.0 = paper size), ``--seed``,
 ``--days``, and ``--scenario`` (paper, training_heavy,
@@ -21,8 +23,10 @@ and figure fan-out; defaults to ``$REPRO_WORKERS`` or serial),
 ``--cache-dir`` (pipeline artifact cache location; defaults to
 ``$REPRO_CACHE_DIR`` or the XDG cache home), ``--no-cache``, and the
 observability exports ``--trace-out FILE`` (Chrome trace-event JSON,
-loadable in ``chrome://tracing``/Perfetto) and ``--metrics-out FILE``
-(Prometheus text exposition) — see ``docs/observability.md``.  All of
+loadable in ``chrome://tracing``/Perfetto), ``--metrics-out FILE``
+(Prometheus text exposition), and ``--events-out FILE`` (flight
+recorder JSONL), plus ``--progress`` for live per-island build
+telemetry on stderr — see ``docs/observability.md``.  All of
 them share one :class:`repro.pipeline.Session`, so the dataset is
 built at most once per configuration — and at most once *ever* while
 the cache holds it.
@@ -51,6 +55,8 @@ class DatasetOptions:
     scenario: str = "paper"
     partitions: int = 1
     cohorts: int | None = None
+    epoch_hours: float | None = None
+    migrate_after_hours: float | None = None
     workers: int | None = None
     cache_dir: str | None = None
     no_cache: bool = False
@@ -76,6 +82,17 @@ class DatasetOptions:
             help="user cohorts for sharded workload generation "
                  "(default: follow --partitions)",
         )
+        parser.add_argument(
+            "--epoch-hours", type=float, default=None,
+            help="couple the islands: interchange epoch length in "
+                 "simulated hours (with --partitions > 1; default "
+                 "uncoupled)",
+        )
+        parser.add_argument(
+            "--migrate-after-hours", type=float, default=None,
+            help="migrate jobs queued longer than this many simulated "
+                 "hours at each interchange epoch (implies coupling)",
+        )
         if session_flags:
             parser.add_argument(
                 "--workers", type=int, default=None,
@@ -98,12 +115,38 @@ class DatasetOptions:
                 "--metrics-out", default=None, metavar="FILE",
                 help="write run metrics in Prometheus text exposition format",
             )
+            parser.add_argument(
+                "--events-out", default=None, metavar="FILE",
+                help="write the flight-recorder event log as JSONL",
+            )
+            parser.add_argument(
+                "--progress", action="store_true",
+                help="render live per-island build telemetry (heartbeats "
+                     "+ resource sampler) to stderr while the command runs",
+            )
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "DatasetOptions":
         """Collect the shared flags back out of a parsed namespace."""
         fields = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in vars(args).items() if k in fields and v is not None})
+
+    def interchange(self):
+        """The island-coupling config these options describe (or None)."""
+        if self.epoch_hours is None and self.migrate_after_hours is None:
+            return None
+        from repro.slurm.interchange import InterchangeConfig
+
+        epoch_s = (self.epoch_hours if self.epoch_hours is not None else 6.0) * 3600.0
+        # --epoch-hours alone still couples the islands: coupling needs
+        # an exchange, so migration defaults on (1/6 of the epoch, the
+        # bench_scale coupling) unless explicitly configured.
+        migrate_after_s = (
+            self.migrate_after_hours * 3600.0
+            if self.migrate_after_hours is not None
+            else epoch_s / 6.0
+        )
+        return InterchangeConfig(epoch_s=epoch_s, migrate_after_s=migrate_after_s)
 
     def session(self) -> Session:
         """Build the pipeline session these options describe."""
@@ -117,6 +160,7 @@ class DatasetOptions:
             days=self.days,
             partitions=self.partitions,
             cohorts=self.cohorts,
+            interchange=self.interchange(),
             cache_dir=cache_dir,
             workers=self.workers,
         )
@@ -127,11 +171,12 @@ def _session(args: argparse.Namespace) -> Session:
 
 
 def _write_obs(session: Session, args: argparse.Namespace) -> None:
-    """Honour ``--trace-out`` / ``--metrics-out`` on a finished run."""
+    """Honour ``--trace-out``/``--metrics-out``/``--events-out``."""
     from repro.obs import prometheus_text, write_chrome_trace
 
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    events_out = getattr(args, "events_out", None)
     if trace_out:
         path = write_chrome_trace(
             trace_out, session.tracer, metadata={"session_key": session.key}
@@ -140,6 +185,9 @@ def _write_obs(session: Session, args: argparse.Namespace) -> None:
     if metrics_out:
         Path(metrics_out).write_text(prometheus_text(session.metrics), encoding="utf-8")
         print(f"wrote {metrics_out}")
+    if events_out:
+        path = session.recorder.write_jsonl(events_out)
+        print(f"wrote {path} ({len(session.recorder)} events)")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -240,21 +288,44 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     """Observability entry point.
 
     With ``--trace FILE`` it summarizes an existing Chrome trace
-    export.  Otherwise it runs the dataset build (and, with
-    ``--figures``, every figure) under tracing and prints the run
-    report — the span tree plus the metric digest — honouring
-    ``--trace-out`` / ``--metrics-out`` like the other commands.
+    export.  ``repro obs top`` runs the build under the live island
+    telemetry view (heartbeat table redrawn in place on a TTY) and
+    finishes with the flight-recorder digest.  The default ``report``
+    mode runs the dataset build (and, with ``--figures``, every
+    figure) under tracing and prints the run report — the span tree
+    plus the metric digest — honouring ``--trace-out`` /
+    ``--metrics-out`` / ``--events-out`` like the other commands.
     """
-    from repro.obs import run_report, summarize_chrome_trace
+    from repro.obs import run_report, summarize_chrome_trace, summarize_events
 
     if args.trace:
         print(summarize_chrome_trace(args.trace))
         return 0
+    if args.mode == "top":
+        return _cmd_obs_top(args)
     session = _session(args)
     session.dataset()
     if args.figures:
         session.run_figures()
     print(run_report(session.tracer, session.metrics))
+    if len(session.recorder):
+        print(summarize_events(session.recorder.events()))
+    _write_obs(session, args)
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """``repro obs top``: live per-island telemetry around a build."""
+    from repro.obs import ProgressPrinter, ResourceSampler, summarize_events
+    from repro.obs.progress import use_sink
+
+    session = _session(args)
+    printer = ProgressPrinter()
+    with use_sink(printer), ResourceSampler(session.metrics):
+        session.dataset()
+    printer.finish()
+    print(session.summary())
+    print(summarize_events(session.recorder.events()))
     _write_obs(session, args)
     return 0
 
@@ -289,10 +360,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         check_regressions,
         next_bench_path,
         run_suite,
+        trend_report,
         write_bench_json,
     )
 
     root = Path(repro.__file__).resolve().parents[2]
+    if args.report:
+        # Pure reporting mode: render the stored trajectory as-is.
+        print(trend_report(root, markdown=args.markdown))
+        return 0
     if args.check and not args.targets and args.no_json:
         # Pure comparator mode: judge the stored trajectory as-is.
         check = check_regressions(
@@ -411,7 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
     validate.set_defaults(fn=_cmd_validate)
 
     obs = sub.add_parser(
-        "obs", help="observability: traced run report, Chrome trace + Prometheus export"
+        "obs", help="observability: traced run report, live telemetry, trace exports"
+    )
+    obs.add_argument(
+        "mode", nargs="?", default="report", choices=("report", "top"),
+        help="report: traced run report (default); top: live per-island "
+             "telemetry view while the dataset builds",
     )
     DatasetOptions.add_arguments(obs, session_flags=True)
     obs.add_argument(
@@ -460,12 +541,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of prior comparable runs forming the baseline median "
              "(default: 5)",
     )
+    bench.add_argument(
+        "--report", action="store_true",
+        help="render the stored BENCH_<n>.json trajectory as a per-suite "
+             "trend table (sparklines + slope flags) and exit",
+    )
+    bench.add_argument(
+        "--markdown", action="store_true",
+        help="with --report, emit a GitHub-flavoured markdown table "
+             "(for CI artifacts)",
+    )
     bench.set_defaults(fn=_cmd_bench)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "progress", False) and getattr(args, "mode", None) != "top":
+        # --progress: render live island telemetry while the command
+        # runs (``obs top`` installs its own printer, so skip it there).
+        from repro.obs import ProgressPrinter, ResourceSampler
+        from repro.obs.progress import use_sink
+
+        printer = ProgressPrinter()
+        with use_sink(printer), ResourceSampler():
+            code = args.fn(args)
+        printer.finish()
+        return code
     return args.fn(args)
 
 

@@ -42,7 +42,7 @@ from repro.errors import FrameError
 from repro.frame.groupby import StreamingAggregateState
 from repro.frame.sketch import DEFAULT_SKETCH_K, QuantileSketch, StreamingMoments
 from repro.frame.table import Table, _unwrap, concat_tables
-from repro.obs.runtime import get_metrics, get_tracer, record_peak_rss
+from repro.obs.runtime import get_metrics, get_tracer, record_event, record_peak_rss
 
 __all__ = [
     "ChunkedTable",
@@ -464,6 +464,14 @@ class ChunkedTable:
                 help="bytes of spill files written by the streaming engine",
             ).inc(spilled_bytes)
         _count_stream_op("spill", len(paths), rows)
+        record_event(
+            "frame.spill",
+            category="frame",
+            directory=str(target),
+            chunks=len(paths),
+            rows=rows,
+            bytes=spilled_bytes,
+        )
         record_peak_rss()
         self._num_rows = rows
         return ChunkedTable(
@@ -639,6 +647,13 @@ def merge_sorted_chunked(
                 rows_out += piece.num_rows
                 yield piece
         _count_stream_op("merge", chunks_out, rows_out)
+        record_event(
+            "frame.merge",
+            category="frame",
+            sources=len(parts),
+            chunks=chunks_out,
+            rows=rows_out,
+        )
 
     known: int | None = 0
     names: tuple[str, ...] | None = None

@@ -12,8 +12,15 @@ figure harness:
 * :class:`~repro.obs.metrics.MetricsRegistry` — labelled counters,
   gauges, and fixed-bucket histograms, with snapshot/merge for
   process-pool propagation;
-* :mod:`~repro.obs.runtime` — the ambient (tracer, metrics) pair
-  library code reads, scoped by sessions and pool workers;
+* :class:`~repro.obs.events.FlightRecorder` — a bounded ring of
+  structured events (span closes, stage transitions, cache probes,
+  epoch boundaries, spill/merge ops) with JSONL drain/spill and the
+  same no-op fast path via :data:`~repro.obs.events.NULL_RECORDER`;
+* :mod:`~repro.obs.progress` — live island telemetry: worker
+  heartbeats, the ``--progress`` / ``repro obs top`` renderers, and
+  the background :class:`~repro.obs.progress.ResourceSampler`;
+* :mod:`~repro.obs.runtime` — the ambient (tracer, metrics, recorder)
+  triple library code reads, scoped by sessions and pool workers;
 * :mod:`~repro.obs.export` — Chrome trace-event JSON, Prometheus text
   exposition, and the human-readable run report.
 
@@ -21,6 +28,14 @@ See ``docs/observability.md`` for the span model, the metric catalog,
 and the overhead contract.
 """
 
+from repro.obs.events import (
+    EventRecord,
+    FlightRecorder,
+    NULL_RECORDER,
+    NullRecorder,
+    read_jsonl,
+    summarize_events,
+)
 from repro.obs.export import (
     chrome_trace_events,
     parse_prometheus_text,
@@ -39,25 +54,41 @@ from repro.obs.metrics import (
     NULL_METRICS,
     NullMetrics,
 )
+from repro.obs.progress import (
+    Heartbeat,
+    ProgressAggregator,
+    ProgressPrinter,
+    ResourceSampler,
+)
 from repro.obs.trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
 __all__ = [
     "COUNT_BUCKETS",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EventRecord",
+    "FlightRecorder",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_RECORDER",
     "NULL_TRACER",
     "NullMetrics",
+    "NullRecorder",
     "NullTracer",
+    "ProgressAggregator",
+    "ProgressPrinter",
+    "ResourceSampler",
     "SpanRecord",
     "Tracer",
     "chrome_trace_events",
     "parse_prometheus_text",
     "prometheus_text",
+    "read_jsonl",
     "run_report",
     "summarize_chrome_trace",
+    "summarize_events",
     "write_chrome_trace",
 ]

@@ -34,6 +34,28 @@ def _as_records(source: "Tracer | Iterable[SpanRecord]") -> list[SpanRecord]:
     return list(source)
 
 
+def _track_tids(
+    records: Sequence[SpanRecord],
+) -> dict[tuple[int, str], int]:
+    """Synthetic tid per (pid, track) for spans recorded on a track.
+
+    Worker-adopted island spans carry a ``track`` name (e.g.
+    ``repro-island-2``); giving each (pid, track) pair its own tid
+    renders islands as separate lanes instead of interleaving on one
+    row when a single pool process ran several islands.  Untracked
+    spans keep their real OS thread id.  Synthetic tids start above
+    every real tid in the trace so they can never collide.
+    """
+    tracked = sorted(
+        {(r.pid, r.track) for r in records if r.track},
+        key=lambda key: (key[1], key[0]),
+    )
+    if not tracked:
+        return {}
+    base = max((r.tid for r in records), default=0) + 1
+    return {key: base + index for index, key in enumerate(tracked)}
+
+
 def chrome_trace_events(source: "Tracer | Iterable[SpanRecord]") -> list[dict[str, Any]]:
     """Spans as Trace Event Format event dicts, sorted by timestamp."""
     records = _as_records(source)
@@ -49,11 +71,22 @@ def chrome_trace_events(source: "Tracer | Iterable[SpanRecord]") -> list[dict[st
                 "args": {"name": f"repro pid {pid}"},
             }
         )
+    track_tids = _track_tids(records)
+    for (pid, track), tid in sorted(track_tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
     spans = [
         {
             "ph": "X",
             "pid": record.pid,
-            "tid": record.tid,
+            "tid": track_tids.get((record.pid, record.track), record.tid),
             "ts": record.start_us,
             "dur": record.duration_us,
             "name": record.name,

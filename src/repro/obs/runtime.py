@@ -15,13 +15,15 @@ pays only an attribute load and a branch.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator
 
+from repro.obs.events import NULL_RECORDER, FlightRecorder, NullRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 _tracer: Tracer | NullTracer = NULL_TRACER
 _metrics: MetricsRegistry | NullMetrics = NULL_METRICS
+_recorder: FlightRecorder | NullRecorder = NULL_RECORDER
 
 
 def get_tracer() -> Tracer | NullTracer:
@@ -34,31 +36,56 @@ def get_metrics() -> MetricsRegistry | NullMetrics:
     return _metrics
 
 
-def activate(tracer: Tracer | None, metrics: MetricsRegistry | None) -> None:
+def get_recorder() -> FlightRecorder | NullRecorder:
+    """The currently active flight recorder (null when disabled)."""
+    return _recorder
+
+
+def activate(
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+    recorder: FlightRecorder | None = None,
+) -> None:
     """Install observability for the rest of the process (workers)."""
-    global _tracer, _metrics
+    global _tracer, _metrics, _recorder
     _tracer = tracer if tracer is not None else NULL_TRACER
     _metrics = metrics if metrics is not None else NULL_METRICS
+    _recorder = recorder if recorder is not None else NULL_RECORDER
 
 
 def deactivate() -> None:
     """Back to the null implementations."""
-    activate(None, None)
+    activate(None, None, None)
 
 
 @contextmanager
 def use(
-    tracer: Tracer | None, metrics: MetricsRegistry | None
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+    recorder: FlightRecorder | None = None,
 ) -> Iterator[None]:
     """Scoped activation: restores the previous state on exit."""
-    global _tracer, _metrics
-    prev = (_tracer, _metrics)
+    global _tracer, _metrics, _recorder
+    prev = (_tracer, _metrics, _recorder)
     _tracer = tracer if tracer is not None else NULL_TRACER
     _metrics = metrics if metrics is not None else NULL_METRICS
+    _recorder = recorder if recorder is not None else NULL_RECORDER
     try:
         yield
     finally:
-        _tracer, _metrics = prev
+        _tracer, _metrics, _recorder = prev
+
+
+def record_event(name: str, category: str = "repro", **attrs: Any) -> None:
+    """Emit one event into the active flight recorder.
+
+    This is the single call sites (stage transitions, cache probes,
+    epoch boundaries, spill/merge ops) make; when recording is disabled
+    it is one function call, one attribute load, and one branch.
+    """
+    r = _recorder
+    if r.enabled:
+        r.emit(name, category, **attrs)
 
 
 def record_peak_rss() -> float:

@@ -62,6 +62,10 @@ class SpanRecord:
     pid: int
     tid: int
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: Display track: non-empty for spans recorded by a named worker
+    #: tracer (e.g. ``repro-island-2``); exporters use it to render
+    #: islands as separate lanes even when one pid ran several.
+    track: str = ""
 
     @property
     def end_us(self) -> int:
@@ -69,7 +73,7 @@ class SpanRecord:
 
     def to_payload(self) -> dict[str, Any]:
         """A plain-dict form that pickles/JSONs across processes."""
-        return {
+        payload = {
             "id": self.span_id,
             "parent": self.parent_id,
             "name": self.name,
@@ -80,6 +84,9 @@ class SpanRecord:
             "tid": self.tid,
             "attrs": dict(self.attrs),
         }
+        if self.track:
+            payload["track"] = self.track
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "SpanRecord":
@@ -93,6 +100,7 @@ class SpanRecord:
             pid=int(payload.get("pid", 0)),
             tid=int(payload.get("tid", 0)),
             attrs=dict(payload.get("attrs", {})),
+            track=str(payload.get("track", "")),
         )
 
 
@@ -188,12 +196,24 @@ NULL_TRACER = NullTracer()
 
 
 class Tracer:
-    """Collects a thread-safe tree of finished spans."""
+    """Collects a thread-safe tree of finished spans.
+
+    ``listener``, when set, is called with every :class:`SpanRecord`
+    as its span closes (adopted spans do not re-fire it — they already
+    closed in their home process).  The flight recorder hooks it
+    (``tracer.listener = recorder.span_closed``) so span closes land
+    in the event log too.
+    """
 
     enabled = True
 
     def __init__(self, process_name: str = "repro") -> None:
         self.process_name = process_name
+        #: Track stamped on every span this tracer records; named
+        #: worker tracers get their process name so exporters can
+        #: render them as distinct lanes.
+        self.track = process_name if process_name != "repro" else ""
+        self.listener = None
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._finished: list[SpanRecord] = []
@@ -242,9 +262,13 @@ class Tracer:
             pid=os.getpid(),
             tid=threading.get_ident(),
             attrs=span.attrs,
+            track=self.track,
         )
         with self._lock:
             self._finished.append(record)
+        listener = self.listener
+        if listener is not None:
+            listener(record)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -316,6 +340,7 @@ class Tracer:
                     pid=record.pid,
                     tid=record.tid,
                     attrs=record.attrs,
+                    track=record.track,
                 )
             )
         with self._lock:

@@ -49,7 +49,8 @@ from repro.workload.generator import WorkloadConfig
 
 
 def _count_cache_event(kind: str) -> None:
-    """Mirror one cache operation into the ambient metrics registry."""
+    """Mirror one cache operation into the ambient metrics registry
+    and the flight recorder."""
     metrics = _obs_runtime.get_metrics()
     if metrics.enabled:
         metrics.counter(
@@ -57,6 +58,7 @@ def _count_cache_event(kind: str) -> None:
             help="artifact cache operations by kind",
             kind=kind,
         ).inc()
+    _obs_runtime.record_event("cache", category="cache", kind=kind)
 
 #: Bump when the dataset schema or the cache layout changes; every
 #: existing entry is invalidated (its key no longer matches).

@@ -32,6 +32,7 @@ from typing import Sequence
 
 from repro.monitor.collector import MonitoringConfig
 from repro.obs import runtime as obs_runtime
+from repro.obs.events import FlightRecorder, NullRecorder
 from repro.obs.metrics import MetricsRegistry, NullMetrics
 from repro.obs.trace import NullTracer, Tracer
 from repro.pipeline.cache import DatasetCache, dataset_key
@@ -152,16 +153,19 @@ class Session:
         (serial when unset).  Parallel figure execution additionally
         requires a disk cache (workers load the shared dataset from
         it); the sampling stage does not.
-    tracer, metrics:
-        The session's observability pair (see :mod:`repro.obs`).
-        Defaults to a fresh enabled :class:`~repro.obs.trace.Tracer`
-        and :class:`~repro.obs.metrics.MetricsRegistry`; pass
+    tracer, metrics, recorder:
+        The session's observability triple (see :mod:`repro.obs`).
+        Defaults to a fresh enabled :class:`~repro.obs.trace.Tracer`,
+        :class:`~repro.obs.metrics.MetricsRegistry`, and
+        :class:`~repro.obs.events.FlightRecorder`; pass
         :data:`~repro.obs.trace.NULL_TRACER` /
-        :data:`~repro.obs.metrics.NULL_METRICS` to opt out entirely.
-        While the session builds datasets or runs figures the pair is
-        installed as the ambient observability
+        :data:`~repro.obs.metrics.NULL_METRICS` /
+        :data:`~repro.obs.events.NULL_RECORDER` to opt out entirely.
+        While the session builds datasets or runs figures the triple
+        is installed as the ambient observability
         (:func:`repro.obs.runtime.use`), so the scheduler loop, the
-        frame kernels, and the collector report into it too.
+        frame kernels, and the collector report into it too, and every
+        span close is mirrored into the flight recorder.
     """
 
     def __init__(
@@ -174,6 +178,7 @@ class Session:
         interchange=None,
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | NullMetrics | None = None,
+        recorder: FlightRecorder | NullRecorder | None = None,
     ) -> None:
         self.config = config or WorkloadConfig()
         self.monitoring = monitoring
@@ -182,6 +187,9 @@ class Session:
         self.cache = DatasetCache(cache_dir) if cache_dir is not None else None
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        if self.tracer.enabled and self.recorder.enabled:
+            self.tracer.listener = self.recorder.span_closed
         self.instrumentation = PipelineInstrumentation(self.tracer, self.metrics)
         self._dataset = None
         self._streaming_dataset = None
@@ -230,7 +238,7 @@ class Session:
         if self._dataset is not None:
             inst.bump("memory_hit")
             return self._dataset
-        with obs_runtime.use(self.tracer, self.metrics):
+        with obs_runtime.use(self.tracer, self.metrics, self.recorder):
             if self.cache is not None and self.cache.has(self.key):
                 with inst.stage("cache_load", from_cache=True) as probe:
                     loaded = self.cache.load(self.key)
@@ -280,7 +288,7 @@ class Session:
         if self._streaming_dataset is not None:
             self.instrumentation.bump("memory_hit")
             return self._streaming_dataset
-        with obs_runtime.use(self.tracer, self.metrics):
+        with obs_runtime.use(self.tracer, self.metrics, self.recorder):
             dataset = _build_dataset(
                 self.config,
                 self.monitoring,
@@ -317,7 +325,7 @@ class Session:
         inst = self.instrumentation
         results: dict[str, object] = {}
         misses = []
-        with obs_runtime.use(self.tracer, self.metrics):
+        with obs_runtime.use(self.tracer, self.metrics, self.recorder):
             for figure_id in ids:
                 cached = self.cache.load_figure(self.key, figure_id) if self.cache else None
                 if cached is not None:

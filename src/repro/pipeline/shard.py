@@ -113,6 +113,7 @@ class IslandBuildResult:
     peak_rss_bytes: float = 0.0
     span_payload: list | None = None
     metrics_snapshot: dict | None = field(default=None, repr=False)
+    events_payload: list | None = field(default=None, repr=False)
     #: Streaming build: spill-directory handles (see
     #: :func:`_island_outputs`); ``None`` on the materialized path.
     handles: dict | None = None
@@ -217,15 +218,19 @@ def _run_island(task: IslandTask) -> IslandBuildResult:
 
     if os.getpid() == task.parent_pid and runtime.get_tracer().enabled:
         return _build_island(task)
+    from repro.obs.events import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import Tracer
 
     tracer = Tracer(process_name=f"repro-island-{task.partition.index}")
     metrics = MetricsRegistry()
-    with runtime.use(tracer, metrics):
+    recorder = FlightRecorder(island=task.partition.index)
+    tracer.listener = recorder.span_closed
+    with runtime.use(tracer, metrics, recorder):
         result = _build_island(task)
     result.span_payload = tracer.drain_payload()
     result.metrics_snapshot = metrics.drain()
+    result.events_payload = recorder.drain_payload()
     return result
 
 
@@ -438,12 +443,17 @@ def build_sharded_dataset(
                 for part, bucket in zip(layout, buckets)
             ]
             results = parallel_map(_run_island, tasks, workers=workers)
+            from repro.obs.runtime import get_recorder
+
             parent = inst.tracer.current_span_id()
+            recorder = get_recorder()
             for island in results:
                 if island.span_payload:
                     inst.tracer.adopt(island.span_payload, parent=parent)
                 if island.metrics_snapshot:
                     inst.metrics.merge(island.metrics_snapshot)
+                if island.events_payload and recorder.enabled:
+                    recorder.adopt(island.events_payload)
             islands = [
                 {
                     "partition_index": island.partition_index,

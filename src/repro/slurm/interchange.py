@@ -236,6 +236,13 @@ class PartitionedRunner:
         for simulator, bucket in zip(self.simulators, buckets):
             simulator.begin(bucket)
 
+        # Resolved once: with nobody watching, the epoch loop carries
+        # zero telemetry work (observation-only, off the lockstep path).
+        from repro.obs import progress as obs_progress
+        from repro.obs.runtime import get_recorder
+
+        sink = obs_progress.get_sink()
+        watched = sink is not None or get_recorder().enabled
         if not self.interchange.coupled:
             # Independent islands: each loop runs to completion on its
             # own.  This is the order-insensitive case the pipeline
@@ -244,10 +251,14 @@ class PartitionedRunner:
                 simulator.advance()
         else:
             boundary = self.interchange.epoch_s
+            epoch = 0
             while any(bool(s.loop) for s in self.simulators):
                 for simulator in self.simulators:
                     simulator.advance(until=boundary)
                 self._exchange(boundary)
+                epoch += 1
+                if watched:
+                    self._emit_heartbeats(sink, epoch)
                 boundary += self.interchange.epoch_s
 
         results = [simulator.finalize() for simulator in self.simulators]
@@ -259,6 +270,47 @@ class PartitionedRunner:
             interchange=self.interchange,
             migrations=self.migrations,
         )
+
+    def _emit_heartbeats(self, sink, epoch: int) -> None:
+        """Heartbeat every island to the progress sink (serial path).
+
+        Mirrors the side-channel heartbeats the process-parallel
+        runner's workers send, so ``--progress`` renders identically
+        whichever lockstep actually ran.
+        """
+        from repro.obs.progress import Heartbeat
+        from repro.obs.runtime import get_metrics, peak_rss_bytes, record_event
+
+        rss = peak_rss_bytes()
+        metrics = get_metrics()
+        spill = 0.0
+        if metrics.enabled:
+            for name, _labels, counter in metrics.samples("counter"):
+                if name == "repro_frame_spill_bytes_total":
+                    spill += counter.value
+        for index, simulator in enumerate(self.simulators):
+            record_event(
+                "island.epoch",
+                category="interchange",
+                island=index,
+                epoch=epoch,
+                sim_time_s=float(simulator.loop.now),
+                queue_depth=len(simulator.queue),
+            )
+            if sink is not None:
+                sink.update(
+                    Heartbeat(
+                        island=index,
+                        epoch=epoch,
+                        sim_time_s=float(simulator.loop.now),
+                        queue_depth=len(simulator.queue),
+                        running=len(simulator._running),
+                        events=simulator.loop.processed,
+                        dispatched=len(simulator.records),
+                        peak_rss_bytes=rss,
+                        spill_bytes=spill,
+                    )
+                )
 
     # ------------------------------------------------------------------
     # The interchange step

@@ -78,6 +78,39 @@ class _IslandWorkerTask:
     finish: IslandFinish | None
     context: dict
     return_records: bool
+    #: Write end of the heartbeat side channel (``None`` = no telemetry).
+    #: Deliberately a separate pipe from the interchange protocol so
+    #: observation can never reorder or alter the lockstep payload.
+    heartbeat_conn: Any = None
+
+
+def _island_spill_bytes(metrics) -> float:
+    """Sum of the island's spill counters (0.0 when not recording)."""
+    if not metrics.enabled:
+        return 0.0
+    total = 0.0
+    for name, _labels, counter in metrics.samples("counter"):
+        if name == "repro_frame_spill_bytes_total":
+            total += counter.value
+    return total
+
+
+def _island_heartbeat(simulator, island: int, epoch: int, metrics) -> dict:
+    """One heartbeat payload snapshotting a worker's live state."""
+    from repro.obs.progress import Heartbeat
+    from repro.obs.runtime import peak_rss_bytes
+
+    return Heartbeat(
+        island=island,
+        epoch=epoch,
+        sim_time_s=float(simulator.loop.now),
+        queue_depth=len(simulator.queue),
+        running=len(simulator._running),
+        events=simulator.loop.processed,
+        dispatched=len(simulator.records),
+        peak_rss_bytes=peak_rss_bytes(),
+        spill_bytes=_island_spill_bytes(metrics),
+    ).to_payload()
 
 
 def _island_worker(conn, task: _IslandWorkerTask) -> None:
@@ -96,14 +129,19 @@ def _island_worker(conn, task: _IslandWorkerTask) -> None:
     Any exception is shipped home as ``("error", traceback)``.
     """
     from repro.obs import runtime
+    from repro.obs.events import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.runtime import peak_rss_bytes
     from repro.obs.trace import Tracer
 
+    island = task.partition.index
     try:
-        tracer = Tracer(process_name=f"repro-island-{task.partition.index}")
+        tracer = Tracer(process_name=f"repro-island-{island}")
         metrics = MetricsRegistry()
-        with runtime.use(tracer, metrics):
+        recorder = FlightRecorder(island=island)
+        tracer.listener = recorder.span_closed
+        epoch = 0
+        with runtime.use(tracer, metrics, recorder):
             simulator = SlurmSimulator(task.partition.spec(task.spec), task.config)
             state = (
                 task.setup(simulator, task.partition, task.context)
@@ -129,6 +167,23 @@ def _island_worker(conn, task: _IslandWorkerTask) -> None:
                         else None
                     )
                     conn.send(("epoch", usage, candidates, len(simulator.queue)))
+                    # Telemetry rides its own pipe, after the protocol
+                    # reply: the interchange payload is untouched.
+                    epoch += 1
+                    recorder.emit(
+                        "island.epoch",
+                        category="interchange",
+                        epoch=epoch,
+                        sim_time_s=float(simulator.loop.now),
+                        queue_depth=len(simulator.queue),
+                    )
+                    if task.heartbeat_conn is not None:
+                        try:
+                            task.heartbeat_conn.send(
+                                _island_heartbeat(simulator, island, epoch, metrics)
+                            )
+                        except OSError:  # pragma: no cover - parent gone
+                            task.heartbeat_conn = None
                 elif command == "exchange":
                     _, ledger, remove_ids, incoming, boundary = message
                     if ledger is not None:
@@ -148,12 +203,20 @@ def _island_worker(conn, task: _IslandWorkerTask) -> None:
                     )
                     if not task.return_records:
                         result = dataclasses.replace(result, records=[])
+                    if task.heartbeat_conn is not None:
+                        try:
+                            task.heartbeat_conn.send(
+                                _island_heartbeat(simulator, island, epoch, metrics)
+                            )
+                        except OSError:  # pragma: no cover - parent gone
+                            task.heartbeat_conn = None
                     payload = {
                         "result": result,
                         "extra": extra,
                         "peak_rss_bytes": peak_rss_bytes(),
                         "span_payload": tracer.drain_payload(),
                         "metrics_snapshot": metrics.drain(),
+                        "events_payload": recorder.drain_payload(),
                     }
                     conn.send(("done", payload))
                     return
@@ -165,6 +228,11 @@ def _island_worker(conn, task: _IslandWorkerTask) -> None:
         except Exception:  # pragma: no cover - parent already gone
             pass
     finally:
+        if task.heartbeat_conn is not None:
+            try:
+                task.heartbeat_conn.close()
+            except OSError:  # pragma: no cover
+                pass
         conn.close()
 
 
@@ -299,12 +367,22 @@ class ParallelPartitionedRunner:
         except ValueError:  # pragma: no cover - non-fork platforms
             ctx = multiprocessing.get_context()
 
+        from repro.obs import progress as obs_progress
+
+        # Resolve the heartbeat sink once: with nobody watching, no
+        # side-channel pipes exist at all and workers skip telemetry.
+        sink = obs_progress.get_sink()
         buckets = route_requests(requests, len(self.layout))
         conns = []
+        heartbeat_conns = []
         processes = []
         try:
             for part, bucket in zip(self.layout, buckets):
                 parent_conn, child_conn = ctx.Pipe()
+                hb_parent = hb_child = None
+                if sink is not None:
+                    # duplex=False: heartbeats flow worker -> parent only.
+                    hb_parent, hb_child = ctx.Pipe(duplex=False)
                 task = _IslandWorkerTask(
                     partition=part,
                     spec=self.spec,
@@ -314,12 +392,16 @@ class ParallelPartitionedRunner:
                     finish=self.island_finish,
                     context=self.island_context,
                     return_records=self.return_records,
+                    heartbeat_conn=hb_child,
                 )
                 process = ctx.Process(
                     target=_island_worker, args=(child_conn, task), daemon=True
                 )
                 process.start()
                 child_conn.close()
+                if hb_child is not None:
+                    hb_child.close()
+                    heartbeat_conns.append(hb_parent)
                 conns.append(parent_conn)
                 processes.append(process)
 
@@ -334,6 +416,7 @@ class ParallelPartitionedRunner:
                     conn.send(("advance", None, False, None))
                 for index, conn in enumerate(conns):
                     self._recv(conn, index, "epoch")
+                self._drain_heartbeats(heartbeat_conns, sink)
             else:
                 boundary = self.interchange.epoch_s
                 specs = [part.spec(self.spec) for part in self.layout]
@@ -376,16 +459,18 @@ class ParallelPartitionedRunner:
                         self._recv(conn, index, "ack")[1]
                         for index, conn in enumerate(conns)
                     ]
+                    self._drain_heartbeats(heartbeat_conns, sink)
                     boundary += self.interchange.epoch_s
 
             payloads = []
             for index, conn in enumerate(conns):
                 conn.send(("finalize",))
                 payloads.append(self._recv(conn, index, "done")[1])
+            self._drain_heartbeats(heartbeat_conns, sink)
             for process in processes:
                 process.join(timeout=30)
         finally:
-            for conn in conns:
+            for conn in conns + heartbeat_conns:
                 try:
                     conn.close()
                 except OSError:  # pragma: no cover
@@ -427,17 +512,37 @@ class ParallelPartitionedRunner:
         return message
 
     @staticmethod
+    def _drain_heartbeats(heartbeat_conns: list, sink) -> None:
+        """Forward queued worker heartbeats to the progress sink.
+
+        Non-blocking (``poll(0)``): the lockstep never waits on
+        telemetry, and a slow renderer only delays its own redraw.
+        """
+        if sink is None:
+            return
+        for conn in heartbeat_conns:
+            try:
+                while conn.poll(0):
+                    sink.update(conn.recv())
+            except (OSError, EOFError):  # pragma: no cover - worker gone
+                continue
+
+    @staticmethod
     def _adopt_observability(payloads: list[dict]) -> None:
-        """Re-parent worker spans / merge worker metrics into the
-        ambient observability pair (the session trace, when one is
-        active)."""
+        """Re-parent worker spans / merge worker metrics and events
+        into the ambient observability triple (the session trace, when
+        one is active)."""
         from repro.obs import runtime
 
         tracer = runtime.get_tracer()
         metrics = runtime.get_metrics()
+        recorder = runtime.get_recorder()
         parent = tracer.current_span_id()
         for payload in payloads:
             if payload["span_payload"]:
                 tracer.adopt(payload["span_payload"], parent=parent)
             if payload["metrics_snapshot"] and metrics.enabled:
                 metrics.merge(payload["metrics_snapshot"])
+            events = payload.get("events_payload")
+            if events and recorder.enabled:
+                recorder.adopt(events)

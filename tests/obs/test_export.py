@@ -94,6 +94,64 @@ class TestChromeTraceSchema:
         assert summarize_chrome_trace(path) == "empty trace (no complete events)"
 
 
+def _tracer_with_island_tracks():
+    """A parent tracer that adopted spans from two island workers."""
+    parent = _sample_tracer()
+    for island in range(2):
+        worker = Tracer(process_name=f"island-{island}")
+        with worker.span("island.run", category="interchange"):
+            pass
+        parent.adopt(worker.drain_payload())
+    return parent
+
+
+class TestChromeTraceTracks:
+    def test_adopted_island_spans_get_their_own_lanes(self):
+        events = chrome_trace_events(_tracer_with_island_tracks())
+        complete = [e for e in events if e["ph"] == "X"]
+        parent_tids = {
+            e["tid"] for e in complete if e["name"] != "island.run"
+        }
+        island_events = [e for e in complete if e["name"] == "island.run"]
+        island_tids = {e["tid"] for e in island_events}
+        # one synthetic lane per island, never colliding with real tids
+        assert len(island_tids) == 2
+        assert not (island_tids & parent_tids)
+        assert min(island_tids) > max(parent_tids)
+
+    def test_island_lanes_are_named(self):
+        events = chrome_trace_events(_tracer_with_island_tracks())
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"island-0", "island-1"} <= names
+
+    def test_island_spans_keep_their_real_pid(self):
+        # the lane is synthetic; the pid must stay truthful so
+        # summarize_chrome_trace still counts processes correctly
+        tracer = _tracer_with_island_tracks()
+        events = chrome_trace_events(tracer)
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        records = {r.name: r for r in tracer.finished()}
+        assert by_name["island.run"]["pid"] == records["island.run"].pid
+
+    def test_summarize_totals_unchanged_by_tracks(self, tmp_path):
+        tracer = _tracer_with_island_tracks()
+        path = write_chrome_trace(tmp_path / "trace.json", tracer)
+        text = summarize_chrome_trace(path)
+        assert "5 spans" in text
+        assert "island.run" in text
+
+    def test_untracked_tracer_emits_no_synthetic_lanes(self):
+        events = chrome_trace_events(_sample_tracer())
+        thread_meta = [
+            e for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert thread_meta == []
+
+
 def _sample_metrics():
     m = MetricsRegistry()
     m.counter("repro_cache_events_total", help="cache ops", kind="hit").inc(3)
@@ -139,6 +197,34 @@ class TestPrometheusText:
         m.counter("c", path='a"b\\c', note="x,y").inc()
         samples = parse_prometheus_text(prometheus_text(m))
         assert samples[("c", (("note", "x,y"), ("path", 'a"b\\c')))] == 1
+
+    def test_label_newline_round_trip(self):
+        # a newline in a label value must not break the line-oriented
+        # exposition format: it is escaped to \n and parsed back
+        m = MetricsRegistry()
+        m.counter("c", cmd="python -m repro\n--scale 1.0").inc(2)
+        text = prometheus_text(m)
+        assert "repro\\n--scale" in text
+        samples = parse_prometheus_text(text)
+        assert samples[("c", (("cmd", "python -m repro\n--scale 1.0"),))] == 2
+
+    def test_label_adversarial_mix_round_trip(self):
+        # quote + backslash + newline in one value, several labels deep
+        value = 'say "hi",\\ then\nnewline'
+        m = MetricsRegistry()
+        m.gauge("g", a=value, b='tail\\').set(7)
+        samples = parse_prometheus_text(prometheus_text(m))
+        assert samples[("g", (("a", value), ("b", "tail\\")))] == 7
+
+    def test_escaped_text_stays_line_oriented(self):
+        m = MetricsRegistry()
+        m.counter("c", cmd="one\ntwo\nthree").inc()
+        body = [
+            line
+            for line in prometheus_text(m).splitlines()
+            if not line.startswith("#")
+        ]
+        assert len(body) == 1  # the newlines never leak into the framing
 
     def test_ends_with_newline(self):
         assert prometheus_text(_sample_metrics()).endswith("\n")

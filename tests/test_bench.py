@@ -248,3 +248,150 @@ class TestGitSha:
                 assert stamped["git_sha"] == here.stdout.strip()
             finally:
                 target.unlink(missing_ok=True)
+
+
+class TestBenchTrend:
+    def test_no_history(self, tmp_path):
+        from repro.bench import bench_trend, trend_report
+
+        trend = bench_trend(tmp_path)
+        assert trend["run_ids"] == []
+        assert "no BENCH_<n>.json history" in trend_report(tmp_path)
+
+    def test_series_aligned_with_gaps(self, tmp_path):
+        from repro.bench import bench_trend
+
+        write_run(tmp_path, 6, {"frame": 1.0})
+        write_run(tmp_path, 7, {"frame": 1.1, "stream": 4.0})
+        trend = bench_trend(tmp_path)
+        assert trend["run_ids"] == [6, 7]
+        by_metric = {(s["suite"], s["metric"]): s for s in trend["series"]}
+        assert by_metric[("frame", "wall_s")]["values"] == [1.0, 1.1]
+        # stream only exists in run 7: a None gap keeps runs aligned
+        assert by_metric[("stream", "wall_s")]["values"] == [None, 4.0]
+
+    def test_other_scales_skipped(self, tmp_path):
+        from repro.bench import bench_trend
+
+        write_run(tmp_path, 6, {"frame": 1.0}, scale="1.0")
+        write_run(tmp_path, 7, {"frame": 2.0}, scale="0.05")
+        write_run(tmp_path, 8, {"frame": 2.1}, scale="0.05")
+        trend = bench_trend(tmp_path)
+        assert trend["scale"] == "0.05"
+        assert trend["run_ids"] == [7, 8]
+        assert trend["skipped_runs"] == 1
+
+    def test_rising_wall_time_flagged_as_worsening(self, tmp_path):
+        from repro.bench import bench_trend
+
+        for offset, seconds in enumerate([1.0, 1.3, 1.6, 2.0]):
+            write_run(tmp_path, 6 + offset, {"frame": seconds})
+        (row,) = bench_trend(tmp_path)["series"]
+        assert row["kind"] == "seconds"
+        assert row["slope"] > 0
+        assert row["worsening"] is True
+
+    def test_falling_throughput_flagged_rising_is_fine(self, tmp_path):
+        from repro.bench import bench_trend
+
+        stats = lambda v: {"frame": {"agg": {"rows_per_s": v}}}
+        write_run(tmp_path, 6, {"frame": 1.0}, stats=stats(1e6))
+        write_run(tmp_path, 7, {"frame": 1.0}, stats=stats(5e5))
+        by_metric = {s["metric"]: s for s in bench_trend(tmp_path)["series"]}
+        assert by_metric["agg.rows_per_s"]["kind"] == "throughput"
+        assert by_metric["agg.rows_per_s"]["worsening"] is True
+        assert by_metric["wall_s"]["worsening"] is False
+
+    def test_single_run_never_flags(self, tmp_path):
+        from repro.bench import bench_trend
+
+        write_run(tmp_path, 6, {"frame": 99.0})
+        (row,) = bench_trend(tmp_path)["series"]
+        assert row["slope"] == 0.0
+        assert row["worsening"] is False
+
+    def test_window_limits_runs(self, tmp_path):
+        from repro.bench import bench_trend
+
+        for offset in range(6):
+            write_run(tmp_path, 6 + offset, {"frame": 1.0 + offset})
+        trend = bench_trend(tmp_path, window=3)
+        assert trend["run_ids"] == [9, 10, 11]
+
+
+class TestSparkline:
+    def test_scales_min_to_max(self):
+        from repro.bench import _sparkline
+
+        spark = _sparkline([1.0, 2.0, 3.0])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+
+    def test_flat_series(self):
+        from repro.bench import _sparkline
+
+        assert _sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_gaps_render_as_dots(self):
+        from repro.bench import _sparkline
+
+        assert _sparkline([None, 1.0, None, 2.0]) == "·▁·█"
+        assert _sparkline([None, None]) == "··"
+
+
+class TestTrendReport:
+    def test_renders_two_run_trend_table(self, tmp_path):
+        from repro.bench import trend_report
+
+        write_run(tmp_path, 6, {"frame": 1.0, "stream": 3.0})
+        write_run(tmp_path, 7, {"frame": 1.05, "stream": 2.9})
+        text = trend_report(tmp_path)
+        assert "bench report: 2 run(s) at scale 0.05 (BENCH_6..BENCH_7)" in text
+        assert "frame" in text and "wall_s" in text
+        assert "1.00s" in text and "1.05s" in text
+        assert "▁" in text or "█" in text
+
+    def test_drift_flag_and_footer(self, tmp_path):
+        from repro.bench import trend_report
+
+        write_run(tmp_path, 6, {"frame": 1.0})
+        write_run(tmp_path, 7, {"frame": 2.0})
+        text = trend_report(tmp_path)
+        assert "DRIFT" in text
+        assert "investigate" in text
+
+    def test_sha_span_in_header(self, tmp_path):
+        payload = {
+            "schema": 1,
+            "bench_scale": "0.05",
+            "git_sha": "abcdef0123456789",
+            "suites": [{"name": "frame", "seconds": 1.0, "stats": {}}],
+        }
+        (tmp_path / "BENCH_6.json").write_text(json.dumps(payload))
+        payload = dict(payload, git_sha="1234567aaaaaaaaa")
+        (tmp_path / "BENCH_7.json").write_text(json.dumps(payload))
+        from repro.bench import trend_report
+
+        assert "abcdef0..1234567" in trend_report(tmp_path)
+
+    def test_markdown_table(self, tmp_path):
+        from repro.bench import trend_report
+
+        write_run(tmp_path, 6, {"frame": 1.0})
+        write_run(tmp_path, 7, {"frame": 2.0})
+        text = trend_report(tmp_path, markdown=True)
+        assert "| suite | metric | first | last | slope/run | trend | flag |" in text
+        assert "| frame | wall_s |" in text
+        assert "DRIFT" in text
+        # sparkline fenced in backticks so the bars survive markdown
+        assert "`" in text
+
+    def test_memory_stat_formatting(self, tmp_path):
+        from repro.bench import trend_report
+
+        stats = {"scale": {"build": {"island_peak_rss_bytes": 512 * 1024 * 1024}}}
+        write_run(tmp_path, 6, {"scale": 10.0}, stats=stats)
+        write_run(tmp_path, 7, {"scale": 10.0}, stats=stats)
+        text = trend_report(tmp_path)
+        assert "build.island_peak_rss_bytes" in text
+        assert "512MiB" in text

@@ -123,6 +123,63 @@ class TestParser:
         assert main(["bench", "--check", "--no-json"]) == 3
         assert "REGRESSION" in capsys.readouterr().out
 
+    def test_bench_report_flags_parse(self):
+        args = build_parser().parse_args(["bench", "--report", "--markdown"])
+        assert args.report is True
+        assert args.markdown is True
+        args = build_parser().parse_args(["bench"])
+        assert args.report is False
+
+    def test_bench_report_renders_and_exits_clean(self, capsys, monkeypatch):
+        def fake_report(root, *, markdown=False):
+            return "bench report: rendered markdown=" + str(markdown)
+
+        monkeypatch.setattr("repro.bench.trend_report", fake_report)
+        assert main(["bench", "--report"]) == 0
+        assert "markdown=False" in capsys.readouterr().out
+        assert main(["bench", "--report", "--markdown"]) == 0
+        assert "markdown=True" in capsys.readouterr().out
+
+    def test_obs_mode_defaults_to_report(self):
+        args = build_parser().parse_args(["obs"])
+        assert args.mode == "report"
+        args = build_parser().parse_args(["obs", "top"])
+        assert args.mode == "top"
+
+    def test_obs_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "bottom"])
+
+    def test_interchange_flags_parse_and_couple(self):
+        args = build_parser().parse_args(
+            ["summary", "--epoch-hours", "2", "--migrate-after-hours", "0.5"]
+        )
+        config = DatasetOptions.from_args(args).interchange()
+        assert config.epoch_s == 2 * 3600.0
+        assert config.migrate_after_s == 0.5 * 3600.0
+        assert config.coupled
+
+    def test_epoch_hours_alone_still_couples(self):
+        args = build_parser().parse_args(["summary", "--epoch-hours", "6"])
+        config = DatasetOptions.from_args(args).interchange()
+        assert config.epoch_s == 6 * 3600.0
+        assert config.migrate_after_s == 3600.0  # 1/6 of the epoch
+        assert config.coupled
+
+    def test_no_interchange_flags_means_uncoupled(self):
+        args = build_parser().parse_args(["summary"])
+        assert DatasetOptions.from_args(args).interchange() is None
+
+    def test_events_out_and_progress_flags_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["generate", "--events-out", str(tmp_path / "ev.jsonl"), "--progress"]
+        )
+        assert args.events_out == str(tmp_path / "ev.jsonl")
+        assert args.progress is True
+        args = build_parser().parse_args(["generate"])
+        assert args.events_out is None
+        assert args.progress is False
+
 
 class TestCommands:
     def test_generate_writes_csvs(self, tmp_path, capsys):
@@ -200,6 +257,47 @@ class TestCommands:
 
         with pytest.raises(WorkloadError):
             main(["figure", "fig15", "--scale", "0.01", "--scenario", "moonbase"])
+
+    def test_obs_report_includes_flight_recorder_digest(self, capsys):
+        rc = main(["obs", "--scale", "0.01", "--seed", "5", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== trace" in out
+        assert "events across" in out  # flight-recorder summary
+        assert "span:workload" in out
+
+    def test_obs_top_runs_build_and_summarizes(self, capsys):
+        rc = main(["obs", "top", "--scale", "0.01", "--seed", "5", "--no-cache"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "stage workload" in captured.out
+        assert "events across" in captured.out
+        # serial single-partition build: the final table renders on
+        # stderr even with no island heartbeats
+        assert "sharded build:" in captured.err
+
+    def test_events_out_writes_jsonl(self, tmp_path, capsys):
+        events_file = tmp_path / "events.jsonl"
+        rc = main(
+            ["generate", "--scale", "0.01", "--seed", "5", "--no-cache",
+             "--output", str(tmp_path / "ds"), "--events-out", str(events_file)]
+        )
+        assert rc == 0
+        assert f"wrote {events_file}" in capsys.readouterr().out
+        from repro.obs import read_jsonl
+
+        events = list(read_jsonl(events_file))
+        assert any(e.name == "stage" for e in events)
+
+    def test_progress_flag_renders_final_table(self, tmp_path, capsys):
+        rc = main(
+            ["generate", "--scale", "0.01", "--seed", "5", "--no-cache",
+             "--progress", "--output", str(tmp_path / "ds")]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "jobs.csv" in captured.out  # command output intact, on stdout
+        assert "sharded build:" in captured.err  # telemetry stays on stderr
 
     def test_report_second_run_hits_cache(self, tmp_path, capsys):
         argv = [
