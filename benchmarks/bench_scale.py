@@ -20,8 +20,13 @@ spilling its tables to disk.  The parent consumes the k-way merged
 chunk streams without ever materializing the dataset, and the gates
 pin (a) figure-grade statistics bit-identical to the serial
 materialized coupled build, (b) parent working memory bounded by a
-chunk-size constant (independent of scale), and (c) the same >= 2x
-speedup at 4 workers on real parallel hardware.
+chunk-size constant (independent of scale), (c) the same >= 2x
+speedup at 4 workers on real parallel hardware, (d) the *entire*
+figure registry running off the chunk streams with integer-count
+stats bit identical and the parent peak at O(islands x chunk), and
+(e) the spill codec: lossless round trips bit identical, and opt-in
+telemetry quantisation cuts encoded spill bytes >= 3x below the raw
+layout (both recorded as checked stats for ``--check``).
 
 ``REPRO_BENCH_SCALE_FULL`` shrinks or grows the build (default
 ``1.0``; the equality, balance, and memory gates hold at any scale).
@@ -379,4 +384,177 @@ def test_coupled_parallel_speedup(coupled_builds):
     assert speedup >= 2.0, (
         f"4-worker coupled streaming build only {speedup:.2f}x faster "
         f"than serial ({parallel_s:.1f}s vs {serial_s:.1f}s) on {cores} cores"
+    )
+
+
+# ----------------------------------------------------------------------
+# Full figure registry on the streaming build
+# ----------------------------------------------------------------------
+
+#: Comparison names whose measured value is a ratio of integer counts.
+#: These accumulate exactly on the chunk stream, so the streaming build
+#: must reproduce them bit for bit (float-sum shares and sketched
+#: quantiles are checked to tolerance instead).
+_EXACT_STAT_MARKERS = (
+    "waiting <1 min",
+    "waiting >1 min",
+    "job share",
+    "job fraction",
+    "jobs with >",
+    "users with",
+    "unimpacted",
+    "avg-impacted",
+)
+
+
+def test_stream_runs_full_figure_registry(coupled_builds):
+    """Gate: every registered figure runs off the streaming build.
+
+    No figure may materialize the dataset: the whole registry runs
+    against the k-way merged chunk streams under one tracemalloc
+    window, and the parent's peak must stay a constant multiple of
+    ``islands x chunk`` — independent of ``STREAM_SCALE``.  Against the
+    serial materialized ground truth, integer-count statistics are bit
+    identical, everything else agrees to figure-grade tolerance, and a
+    representative sketched median sits within the sketch's tracked
+    rank-error bound of the exact sample ranks.
+    """
+    from repro.analysis.stats import column_ecdf
+    from repro.figures.registry import all_figures, get_figure
+
+    _, _, stream, serial, _, _, _ = coupled_builds
+    chunk_bytes = STREAM_CHUNK_ROWS * 50 * 8
+
+    serial_results = {fid: get_figure(fid)(serial) for fid in all_figures()}
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    stream_results = {fid: get_figure(fid)(stream) for fid in all_figures()}
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert stream.is_streaming, "a figure producer materialized the view"
+    budget = 16 * PARTITIONS * chunk_bytes
+    assert peak < budget, (
+        f"figure registry over the stream peaked at {peak / 1e6:.1f} MB; "
+        f"budget {budget / 1e6:.1f} MB (16 x {PARTITIONS} islands x one "
+        f"{STREAM_CHUNK_ROWS}-row chunk)"
+    )
+
+    exact_checked = 0
+    for fid, exact in serial_results.items():
+        streamed = stream_results[fid]
+        assert [c.name for c in exact.comparisons] == [
+            c.name for c in streamed.comparisons
+        ], fid
+        for ours, theirs in zip(exact.comparisons, streamed.comparisons):
+            if any(marker in ours.name for marker in _EXACT_STAT_MARKERS):
+                assert ours.measured == theirs.measured, f"{fid}: {ours.name}"
+                exact_checked += 1
+            elif np.isnan(ours.measured):
+                assert np.isnan(theirs.measured), f"{fid}: {ours.name}"
+            else:
+                assert theirs.measured == pytest.approx(
+                    ours.measured, rel=0.05, abs=0.75
+                ), f"{fid}: {ours.name}"
+    assert exact_checked >= 8, "exact-stat marker list matched too few stats"
+
+    sketch = column_ecdf(stream.per_gpu, "power_w_mean")
+    exact_values = np.asarray(serial.per_gpu["power_w_mean"], dtype=float)
+    exact_values = np.sort(exact_values[np.isfinite(exact_values)])
+    bound = sketch.rank_error_bound()
+    true_rank = np.searchsorted(exact_values, sketch.median(), side="right")
+    assert abs(true_rank - 0.5 * exact_values.size) <= bound + 1, (
+        f"sketched median at rank {true_rank}, target "
+        f"{0.5 * exact_values.size:.0f}, bound {bound}"
+    )
+
+    record_bench_stat(
+        "stream_figure_registry",
+        figures=len(stream_results),
+        exact_stats=exact_checked,
+        parent_peak_tracemalloc_bytes=int(peak),
+        chunk_bytes=chunk_bytes,
+        seconds=round(elapsed, 3),
+        rank_error_bound=int(bound),
+    )
+
+
+# ----------------------------------------------------------------------
+# Spill codec: lossless bit identity, opt-in quantisation ratio
+# ----------------------------------------------------------------------
+
+
+def test_spill_codec_compresses_telemetry(coupled_builds, tmp_path_factory):
+    """Gate: the codec pays for the spill path on the streaming build.
+
+    Re-spilling the streaming build's widest table through the default
+    lossless codec must round-trip bit identically, chunk for chunk.
+    Opting the telemetry summary columns (``*_min/_mean/_max``) into
+    quantisation must cut the encoded spill bytes at least 3x below
+    the raw layout while staying within ``QUANT_STEP / 2`` of every
+    original sample.  Both ratios and the encoded byte volumes are
+    recorded as checked stats, so ``repro bench --check`` flags a
+    codec or schema change that silently bloats the spill.
+    """
+    from pathlib import Path
+
+    from repro.frame.codec import QUANT_STEP, SpillCodec
+    from repro.frame.io import table_raw_bytes
+
+    _, _, stream, _, _, _, _ = coupled_builds
+    base = tmp_path_factory.mktemp("spill-codec")
+    source = stream.per_gpu
+
+    lossless_dir = base / "lossless"
+    lossless = source.spill(lossless_dir)
+    raw_bytes = 0
+    for original, decoded in zip(source.chunks(), lossless.chunks()):
+        raw_bytes += table_raw_bytes(original)
+        assert tuple(original.column_names) == tuple(decoded.column_names)
+        for name in original.column_names:
+            np.testing.assert_array_equal(
+                np.asarray(decoded[name]), np.asarray(original[name]), name
+            )
+    lossless_bytes = sum(p.stat().st_size for p in Path(lossless_dir).glob("*.npz"))
+
+    telemetry = tuple(
+        name
+        for name in source.column_names
+        if name.rsplit("_", 1)[-1] in ("min", "mean", "max")
+    )
+    assert telemetry, "per_gpu lost its telemetry summary columns"
+    quant_dir = base / "quantised"
+    quantised = source.spill(quant_dir, codec=SpillCodec(quantise=telemetry))
+    for original, decoded in zip(source.chunks(), quantised.chunks()):
+        for name in original.column_names:
+            expected = np.asarray(original[name])
+            got = np.asarray(decoded[name])
+            if name in telemetry:
+                finite = np.isfinite(expected.astype(float))
+                assert np.all(
+                    np.abs(got[finite].astype(float) - expected[finite].astype(float))
+                    <= QUANT_STEP / 2 + 1e-9
+                ), name
+            else:
+                np.testing.assert_array_equal(got, expected, name)
+    quantised_bytes = sum(p.stat().st_size for p in Path(quant_dir).glob("*.npz"))
+
+    lossless_ratio = raw_bytes / lossless_bytes if lossless_bytes else 0.0
+    quantised_ratio = raw_bytes / quantised_bytes if quantised_bytes else 0.0
+    record_bench_stat(
+        "spill_codec",
+        raw_bytes=raw_bytes,
+        lossless_spill_bytes=lossless_bytes,
+        quantised_spill_bytes=quantised_bytes,
+        lossless_compression_ratio=round(lossless_ratio, 3),
+        compression_ratio=round(quantised_ratio, 3),
+    )
+    assert lossless_ratio > 1.0, "lossless codec failed to beat the raw layout"
+    assert quantised_ratio >= 3.0, (
+        f"opt-in quantisation only reached {quantised_ratio:.2f}x over raw "
+        f"({quantised_bytes} vs {raw_bytes} bytes); the spill codec no "
+        "longer pays for the streaming build"
     )

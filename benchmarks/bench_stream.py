@@ -13,7 +13,11 @@ These gates pin both halves of that contract:
   the exact verbs (count/min/max), within float tolerance for
   sum/mean/std (per-chunk partials legitimately re-associate the
   reduction), and within the sketch's *tracked* rank-error bound for
-  quantiles.
+  quantiles;
+* **figure grade** — fig03–05 comparisons match across
+  representations, and fig06+fig09 run over a ~25-chunk
+  ``streaming_view()`` with bit-identical counts/retained samples,
+  rank-bounded medians, and a peak under eight chunk footprints.
 
 ``REPRO_BENCH_FULL=1`` adds a scale-0.5 end-to-end smoke: build, spill
 ``per_gpu`` to disk, and stream fig04's five CDFs off the spill under
@@ -161,6 +165,89 @@ def test_streaming_figures_match_materialized(dataset):
                 assert theirs.measured == pytest.approx(
                     ours.measured, rel=0.05, abs=0.75
                 ), ours.name
+
+
+def test_streaming_fig06_fig09_figure_grade(dataset):
+    """fig06/fig09 over a ~25-chunk streaming view, figure grade.
+
+    fig06 folds the series store (shared by both representations), so
+    its phase table and every comparison must be *bit-identical* on the
+    streaming path.  fig09's cap-impact fractions are integer-count
+    ratios (bit-identical); its power medians come from the quantile
+    sketch and must sit within the sketch's tracked rank-error bound
+    of the exact distribution.  The whole streaming run must peak
+    (tracemalloc) under eight chunk footprints, where one footprint is
+    an in-flight chunk from each of the three chunked job tables.
+    """
+    from repro.figures import fig06, fig09
+
+    chunk_rows = max(256, dataset.gpu_jobs.num_rows // 25)
+    view = dataset.streaming_view(chunk_rows=chunk_rows)
+    width = sum(
+        len(table.column_names)
+        for table in (dataset.jobs, dataset.gpu_jobs, dataset.per_gpu)
+    )
+    chunk_bytes = chunk_rows * width * 8
+
+    exact06 = fig06.run(dataset)
+    exact09 = fig09.run(dataset)
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    stream06 = fig06.run(view)
+    stream09 = fig09.run(view)
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert peak < 8 * chunk_bytes, (
+        f"fig06+fig09 streaming peaked at {peak / 1e6:.2f} MB; budget "
+        f"{8 * chunk_bytes / 1e6:.2f} MB (8x one {chunk_rows}-row "
+        "chunk of all three tables)"
+    )
+
+    # fig06: same store, same fold — identical retained sample set.
+    exact_phases = exact06.series["phase_table"]
+    stream_phases = stream06.series["phase_table"]
+    assert stream_phases.num_rows == exact_phases.num_rows
+    for name in exact_phases.column_names:
+        np.testing.assert_array_equal(
+            np.asarray(stream_phases[name]), np.asarray(exact_phases[name]), name
+        )
+    for ours, theirs in zip(exact06.comparisons, stream06.comparisons):
+        assert ours.name == theirs.name
+        assert ours.measured == theirs.measured or (
+            np.isnan(ours.measured) and np.isnan(theirs.measured)
+        ), ours.name
+
+    # fig09: integer-count fractions bit-identical, sketched medians
+    # within the tracked rank bound of the exact sample ranks.
+    for ours, theirs in zip(exact09.comparisons, stream09.comparisons):
+        assert ours.name == theirs.name
+        if "cap" in ours.name:
+            assert ours.measured == theirs.measured, ours.name
+    for column, cdf in (
+        ("power_w_mean", stream09.series["avg_cdf"]),
+        ("power_w_max", stream09.series["max_cdf"]),
+    ):
+        exact_values = np.asarray(dataset.gpu_jobs[column], dtype=float)
+        exact_values = np.sort(exact_values[np.isfinite(exact_values)])
+        bound = cdf.rank_error_bound()
+        estimate = cdf.median()
+        true_rank = np.searchsorted(exact_values, estimate, side="right")
+        assert abs(true_rank - 0.5 * exact_values.size) <= bound + 1, (
+            f"{column} median {estimate} at rank {true_rank}, target "
+            f"{0.5 * exact_values.size:.0f}, bound {bound}"
+        )
+
+    record_bench_stat(
+        "stream_figures",
+        rows=int(dataset.gpu_jobs.num_rows),
+        chunk_rows=chunk_rows,
+        peak_tracemalloc_bytes=int(peak),
+        seconds=round(elapsed, 3),
+    )
 
 
 @pytest.mark.skipif(

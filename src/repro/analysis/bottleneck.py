@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.streaming import is_chunked
 from repro.errors import AnalysisError
 from repro.frame import Table
 
@@ -64,8 +65,33 @@ def _flags(jobs: Table, threshold: float) -> dict[str, np.ndarray]:
     return flags
 
 
+def _stream_flag_counts(jobs, threshold: float):
+    """One bounded pass: total rows, per-resource and per-pair counts.
+
+    Integer counts divide into exactly the materialized
+    ``mask.mean()``, so all streamed bottleneck fractions are
+    bit-identical.
+    """
+    total = 0
+    singles = {name: 0 for name in BOTTLENECK_COLUMNS}
+    pairs = {key: 0 for key in itertools.combinations(sorted(BOTTLENECK_COLUMNS), 2)}
+    for chunk in jobs.chunks():
+        total += chunk.num_rows
+        flags = _flags(chunk, threshold)
+        for name, mask in flags.items():
+            singles[name] += int(mask.sum())
+        for a, b in pairs:
+            pairs[(a, b)] += int((flags[a] & flags[b]).sum())
+    if total == 0:
+        raise AnalysisError("no jobs to analyse")
+    return total, singles, pairs
+
+
 def single_bottlenecks(jobs: Table, threshold: float = SATURATION_THRESHOLD) -> dict[str, float]:
     """Fraction of jobs saturating each resource (Fig 7b / 8a)."""
+    if is_chunked(jobs):
+        total, singles, _ = _stream_flag_counts(jobs, threshold)
+        return {name: count / total for name, count in singles.items()}
     if jobs.num_rows == 0:
         raise AnalysisError("no jobs to analyse")
     flags = _flags(jobs, threshold)
@@ -76,6 +102,9 @@ def pairwise_bottlenecks(
     jobs: Table, threshold: float = SATURATION_THRESHOLD
 ) -> dict[tuple[str, str], float]:
     """Fraction of jobs saturating both resources of each pair (Fig 8b)."""
+    if is_chunked(jobs):
+        total, _, pairs = _stream_flag_counts(jobs, threshold)
+        return {key: count / total for key, count in pairs.items()}
     if jobs.num_rows == 0:
         raise AnalysisError("no jobs to analyse")
     flags = _flags(jobs, threshold)
@@ -86,7 +115,18 @@ def pairwise_bottlenecks(
 
 
 def analyse(jobs: Table, threshold: float = SATURATION_THRESHOLD) -> BottleneckAnalysis:
-    """Full bottleneck analysis of a job summary table."""
+    """Full bottleneck analysis of a job summary table.
+
+    A chunked table takes a single fold for rows, single counts, and
+    pair counts together (one pass instead of three).
+    """
+    if is_chunked(jobs):
+        total, singles, pairs = _stream_flag_counts(jobs, threshold)
+        return BottleneckAnalysis(
+            num_jobs=total,
+            single={name: count / total for name, count in singles.items()},
+            pairs={key: count / total for key, count in pairs.items()},
+        )
     return BottleneckAnalysis(
         num_jobs=jobs.num_rows,
         single=single_bottlenecks(jobs, threshold),

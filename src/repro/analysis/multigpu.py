@@ -13,8 +13,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.stats import coefficient_of_variation
+from repro.analysis.streaming import is_chunked, iter_sorted_groups
 from repro.errors import AnalysisError
-from repro.frame import Table
+from repro.frame import QuantileSketch, Table
 
 #: Size buckets used by Fig 13 and the Sec. V wait-time comparison.
 SIZE_BUCKETS = ((1, 1), (2, 2), (3, 8), (9, 10_000))
@@ -25,7 +26,39 @@ IDLE_GPU_THRESHOLD = 0.5
 
 
 def gpu_count_breakdown(gpu_jobs: Table) -> Table:
-    """Job share and GPU-hour share per size bucket (Fig 13)."""
+    """Job share and GPU-hour share per size bucket (Fig 13).
+
+    A chunked stream folds integer job counts (shares bit-identical to
+    the materialized ``mask.mean()``) and per-bucket hour sums in one
+    bounded pass.
+    """
+    if is_chunked(gpu_jobs):
+        total = 0
+        total_hours = 0.0
+        bucket_jobs = [0] * len(SIZE_BUCKETS)
+        bucket_hours = [0.0] * len(SIZE_BUCKETS)
+        for chunk in gpu_jobs.chunks():
+            counts = np.asarray(chunk["num_gpus"], dtype=float)
+            hours = np.asarray(chunk["gpu_hours"], dtype=float)
+            total += counts.size
+            total_hours += float(hours.sum())
+            for i, (lo, hi) in enumerate(SIZE_BUCKETS):
+                mask = (counts >= lo) & (counts <= hi)
+                bucket_jobs[i] += int(mask.sum())
+                bucket_hours[i] += float(hours[mask].sum())
+        if total == 0:
+            raise AnalysisError("no jobs")
+        return Table.from_rows(
+            [
+                {
+                    "gpus": label,
+                    "job_fraction": bucket_jobs[i] / total,
+                    "gpu_hour_fraction": bucket_hours[i] / total_hours if total_hours else 0.0,
+                    "num_jobs": bucket_jobs[i],
+                }
+                for i, label in enumerate(SIZE_LABELS)
+            ]
+        )
     if gpu_jobs.num_rows == 0:
         raise AnalysisError("no jobs")
     counts = np.asarray(gpu_jobs["num_gpus"], dtype=float)
@@ -46,10 +79,17 @@ def gpu_count_breakdown(gpu_jobs: Table) -> Table:
 
 
 def user_gpu_breadth(gpu_jobs: Table) -> dict[str, float]:
-    """Fraction of users who ever ran multi-GPU / 3+ / 9+ GPU jobs."""
-    if gpu_jobs.num_rows == 0:
+    """Fraction of users who ever ran multi-GPU / 3+ / 9+ GPU jobs.
+
+    ``group_by("user")`` dispatches to the streaming aggregate on a
+    chunked table; ``max`` is an exact streaming reducer, so the
+    fractions are bit-identical on both paths.
+    """
+    if not is_chunked(gpu_jobs) and gpu_jobs.num_rows == 0:
         raise AnalysisError("no jobs")
     breadth = gpu_jobs.group_by("user").aggregate({"num_gpus": "max"})
+    if breadth.num_rows == 0:
+        raise AnalysisError("no jobs")
     max_gpus = np.asarray(breadth["num_gpus_max"], dtype=float)
     return {
         "any_multi_gpu": float((max_gpus >= 2).mean()),
@@ -59,7 +99,32 @@ def user_gpu_breadth(gpu_jobs: Table) -> dict[str, float]:
 
 
 def wait_by_size(gpu_jobs: Table) -> Table:
-    """Median queue wait per size bucket (Sec. V text)."""
+    """Median queue wait per size bucket (Sec. V text).
+
+    On a chunked stream each bucket's median comes from a one-pass
+    :class:`~repro.frame.QuantileSketch` (exact until the sketch first
+    compacts, rank-bounded after); job counts stay exact.
+    """
+    if is_chunked(gpu_jobs):
+        sketches = [QuantileSketch() for _ in SIZE_BUCKETS]
+        bucket_jobs = [0] * len(SIZE_BUCKETS)
+        for chunk in gpu_jobs.chunks():
+            counts = np.asarray(chunk["num_gpus"], dtype=float)
+            waits = np.asarray(chunk["wait_time_s"], dtype=float)
+            for i, (lo, hi) in enumerate(SIZE_BUCKETS):
+                mask = (counts >= lo) & (counts <= hi)
+                bucket_jobs[i] += int(mask.sum())
+                sketches[i].update(waits[mask])
+        return Table.from_rows(
+            [
+                {
+                    "gpus": label,
+                    "median_wait_s": sketches[i].quantile(0.5) if bucket_jobs[i] else float("nan"),
+                    "num_jobs": bucket_jobs[i],
+                }
+                for i, label in enumerate(SIZE_LABELS)
+            ]
+        )
     counts = np.asarray(gpu_jobs["num_gpus"], dtype=float)
     waits = np.asarray(gpu_jobs["wait_time_s"], dtype=float)
     rows = []
@@ -95,11 +160,23 @@ def multi_gpu_cov(
 
     ``cov_all`` includes idle GPUs; ``cov_active`` drops GPUs whose
     mean SM *and* memory utilization sit below ``idle_threshold``.
+
+    A chunked ``per_gpu`` stream (sorted by ``(job_id, gpu_index)``,
+    as the pipeline emits it) folds one job's rows at a time via
+    :func:`~repro.analysis.streaming.iter_sorted_groups`; each group's
+    row order matches the materialized ``group_by``, so every CoV is
+    bit-identical on both paths.
     """
-    if per_gpu.num_rows == 0:
-        raise AnalysisError("no per-GPU rows")
+    if is_chunked(per_gpu):
+        groups = iter_sorted_groups(per_gpu, "job_id")
+    else:
+        if per_gpu.num_rows == 0:
+            raise AnalysisError("no per-GPU rows")
+        groups = ((key[0], group) for key, group in per_gpu.group_by("job_id"))
+    empty = True
     results = []
-    for job_key, group in per_gpu.group_by("job_id"):
+    for job_key, group in groups:
+        empty = False
         if group.num_rows < 2:
             continue
         sm = np.asarray(group["sm_mean"], dtype=float)
@@ -117,13 +194,15 @@ def multi_gpu_cov(
             cov_active = {m: float("nan") for m in metrics}
         results.append(
             MultiGpuCovResult(
-                job_id=int(job_key[0]),
+                job_id=int(job_key),
                 num_gpus=group.num_rows,
                 num_idle_gpus=int((~active).sum()),
                 cov_all=cov_all,
                 cov_active=cov_active,
             )
         )
+    if empty:
+        raise AnalysisError("no per-GPU rows")
     return results
 
 

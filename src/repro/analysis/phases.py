@@ -97,24 +97,42 @@ def within_active_cov(
     return out
 
 
-def job_phase_table(store, jobs_with_context=None):
-    """Phase stats for every job in a time-series store, as a Table.
+class PhaseAccumulator:
+    """Mergeable one-pass fold producing the per-job phase table.
 
-    ``jobs_with_context`` optionally maps job id -> dict of extra
-    columns (lifecycle class etc.).  Multi-GPU jobs use their most
-    active GPU (idle GPUs would report a zero active fraction that
-    says nothing about the job's phase structure).
+    Feed it series grouped by job (``store.iter_sorted()`` order); it
+    keeps exactly one job's running best candidate resident — the
+    series with the highest SM mean, strict ``>`` so the first
+    candidate wins ties, matching ``max()`` over an ascending
+    ``gpu_index`` list.  Island shards each fold their own jobs and
+    :meth:`merge` takes the disjoint union, so the partitioned build
+    never holds more than one series per shard.
     """
-    from repro.frame import Table
 
-    rows = []
-    for job_id in store.job_ids():
-        candidates = store.series_for_job(job_id)
-        best = max(candidates, key=lambda s: float(s.metric("sm").mean()))
-        stats = phase_stats(best)
-        covs = within_active_cov(best)
-        row = {
-            "job_id": job_id,
+    def __init__(self) -> None:
+        #: job id -> finished phase row, in first-seen order per shard.
+        self._rows: dict[int, dict] = {}
+        self._job: int | None = None
+        self._best: GpuTimeSeries | None = None
+        self._best_mean = float("-inf")
+
+    def update(self, series: GpuTimeSeries) -> None:
+        """Fold in the next series (must arrive grouped by job id)."""
+        if series.job_id != self._job:
+            self._finish_job()
+            self._job = series.job_id
+        mean = float(series.metric("sm").mean())
+        if self._best is None or mean > self._best_mean:
+            self._best = series
+            self._best_mean = mean
+
+    def _finish_job(self) -> None:
+        if self._best is None:
+            return
+        stats = phase_stats(self._best)
+        covs = within_active_cov(self._best)
+        self._rows[self._best.job_id] = {
+            "job_id": self._best.job_id,
             "active_fraction": stats.active_fraction,
             "active_interval_cov": stats.active_interval_cov,
             "idle_interval_cov": stats.idle_interval_cov,
@@ -124,7 +142,49 @@ def job_phase_table(store, jobs_with_context=None):
             "mem_bw_active_cov": covs["mem_bw"],
             "mem_size_active_cov": covs["mem_size"],
         }
-        if jobs_with_context and job_id in jobs_with_context:
-            row.update(jobs_with_context[job_id])
-        rows.append(row)
-    return Table.from_rows(rows)
+        self._best = None
+        self._best_mean = float("-inf")
+
+    def merge(self, other: "PhaseAccumulator") -> None:
+        """Absorb another shard's finished rows (disjoint job ids)."""
+        other._finish_job()
+        for job_id, row in other._rows.items():
+            if job_id in self._rows:
+                raise AnalysisError(f"job {job_id} folded by two phase shards")
+            self._rows[job_id] = row
+
+    def result(self, jobs_with_context=None):
+        """The phase table, rows in ascending job-id order."""
+        from repro.frame import Table
+
+        self._finish_job()
+        rows = []
+        for job_id in sorted(self._rows):
+            row = dict(self._rows[job_id])
+            if jobs_with_context and job_id in jobs_with_context:
+                row.update(jobs_with_context[job_id])
+            rows.append(row)
+        return Table.from_rows(rows)
+
+
+def job_phase_table(store, jobs_with_context=None):
+    """Phase stats for every job in a time-series store, as a Table.
+
+    ``jobs_with_context`` optionally maps job id -> dict of extra
+    columns (lifecycle class etc.).  Multi-GPU jobs use their most
+    active GPU (idle GPUs would report a zero active fraction that
+    says nothing about the job's phase structure).
+
+    One bounded-memory pass: series stream through in ``(job_id,
+    gpu_index)`` order (``iter_sorted`` keeps one spill batch resident
+    for a :class:`~repro.monitor.timeseries.SpilledTimeSeriesStore`)
+    and the :class:`PhaseAccumulator` holds a single candidate series
+    at a time, so the table costs O(jobs) rows rather than O(samples).
+    """
+    accumulator = PhaseAccumulator()
+    series_iter = (
+        store.iter_sorted() if hasattr(store, "iter_sorted") else iter(store)
+    )
+    for series in series_iter:
+        accumulator.update(series)
+    return accumulator.result(jobs_with_context)

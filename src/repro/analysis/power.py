@@ -16,8 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.streaming import is_chunked
 from repro.errors import AnalysisError
-from repro.frame import Table
+from repro.frame import QuantileSketch, StreamingMoments, Table
 
 #: Cap levels studied by the paper (W).
 DEFAULT_CAPS_W = (150.0, 200.0, 250.0)
@@ -39,15 +40,42 @@ class PowerCapImpact:
 
 
 def power_cap_impact(jobs: Table, caps_w=DEFAULT_CAPS_W) -> list[PowerCapImpact]:
-    """Evaluate each cap level against the jobs' avg/max power draw."""
+    """Evaluate each cap level against the jobs' avg/max power draw.
+
+    A chunked stream folds integer counts per cap level, so every
+    fraction is bit-identical to the materialized ``mask.mean()``.
+    """
+    for cap in caps_w:
+        if cap <= 0:
+            raise AnalysisError(f"cap must be positive, got {cap}")
+    if is_chunked(jobs):
+        total = 0
+        below = [0] * len(caps_w)
+        avg_above = [0] * len(caps_w)
+        for chunk in jobs.chunks():
+            avg = np.asarray(chunk["power_w_mean"], dtype=float)
+            peak = np.asarray(chunk["power_w_max"], dtype=float)
+            total += peak.size
+            for i, cap in enumerate(caps_w):
+                below[i] += int((peak < cap).sum())
+                avg_above[i] += int((avg >= cap).sum())
+        if total == 0:
+            raise AnalysisError("no jobs to analyse")
+        return [
+            PowerCapImpact(
+                cap_w=float(cap),
+                unimpacted_fraction=below[i] / total,
+                max_impacted_fraction=(total - below[i]) / total,
+                avg_impacted_fraction=avg_above[i] / total,
+            )
+            for i, cap in enumerate(caps_w)
+        ]
     if jobs.num_rows == 0:
         raise AnalysisError("no jobs to analyse")
     avg = np.asarray(jobs["power_w_mean"], dtype=float)
     peak = np.asarray(jobs["power_w_max"], dtype=float)
     out = []
     for cap in caps_w:
-        if cap <= 0:
-            raise AnalysisError(f"cap must be positive, got {cap}")
         out.append(
             PowerCapImpact(
                 cap_w=float(cap),
@@ -72,7 +100,28 @@ class PowerHeadroom:
 
 
 def power_headroom(jobs: Table, board_power_w: float = 300.0) -> PowerHeadroom:
-    """Summarise the population's power headroom."""
+    """Summarise the population's power headroom.
+
+    A chunked stream sketches the two medians (rank-bounded) and folds
+    the mean through :class:`~repro.frame.StreamingMoments`.
+    """
+    if is_chunked(jobs):
+        avg_sketch, peak_sketch = QuantileSketch(), QuantileSketch()
+        avg_moments = StreamingMoments()
+        for chunk in jobs.chunks():
+            avg = np.asarray(chunk["power_w_mean"], dtype=float)
+            avg_sketch.update(avg)
+            avg_moments.update(avg)
+            peak_sketch.update(np.asarray(chunk["power_w_max"], dtype=float))
+        if avg_moments.count == 0:
+            raise AnalysisError("no jobs to analyse")
+        return PowerHeadroom(
+            board_power_w=board_power_w,
+            median_avg_power_w=avg_sketch.quantile(0.5),
+            median_max_power_w=peak_sketch.quantile(0.5),
+            mean_avg_power_w=avg_moments.mean(),
+            overprovision_factor_at_half_cap=board_power_w / (board_power_w / 2.0),
+        )
     if jobs.num_rows == 0:
         raise AnalysisError("no jobs to analyse")
     avg = np.asarray(jobs["power_w_mean"], dtype=float)

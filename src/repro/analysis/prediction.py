@@ -104,16 +104,38 @@ def predict_user_behavior(
     the running global median serves both as the baseline strategy and
     as the cold-start value it is compared against.
     """
+    from repro.analysis.streaming import is_chunked
+
     if strategy not in STRATEGIES:
         raise AnalysisError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
     if warmup < 1:
         raise AnalysisError("warmup must be >= 1")
-    if gpu_jobs.num_rows == 0:
-        raise AnalysisError("no jobs")
+    if is_chunked(gpu_jobs):
+        # The pipeline's job stream is already submit-ordered (job ids
+        # ascend with submit time); the generator verifies that, so
+        # the replay visits rows in exactly the order the materialized
+        # sort produces and every score is bit-identical.
+        def pairs():
+            last_submit = -math.inf
+            for chunk in gpu_jobs.chunks():
+                if chunk.num_rows == 0:
+                    continue
+                submits = np.asarray(chunk["submit_time_s"], dtype=float)
+                if submits[0] < last_submit or np.any(np.diff(submits) < 0):
+                    raise AnalysisError(
+                        "streaming prediction replay needs a submit-time-sorted job stream"
+                    )
+                last_submit = float(submits[-1])
+                yield from zip(
+                    list(chunk["user"]), np.asarray(chunk[metric], dtype=float)
+                )
 
-    ordered = gpu_jobs.sort_by("submit_time_s")
-    users = list(ordered["user"])
-    values = np.asarray(ordered[metric], dtype=float)
+        stream = pairs()
+    else:
+        if gpu_jobs.num_rows == 0:
+            raise AnalysisError("no jobs")
+        ordered = gpu_jobs.sort_by("submit_time_s")
+        stream = zip(list(ordered["user"]), np.asarray(ordered[metric], dtype=float))
 
     import bisect
 
@@ -129,7 +151,7 @@ def predict_user_behavior(
             return seen_sorted[mid]
         return 0.5 * (seen_sorted[mid - 1] + seen_sorted[mid])
 
-    for user, actual in zip(users, values):
+    for user, actual in stream:
         history = histories[user]
         if actual > 0 and history.count >= warmup and seen_sorted:
             global_median = running_median()
@@ -144,9 +166,7 @@ def predict_user_behavior(
         bisect.insort(seen_sorted, float(actual))
 
     if not rel_errors:
-        raise AnalysisError(
-            f"no predictions possible (warmup={warmup}, {gpu_jobs.num_rows} jobs)"
-        )
+        raise AnalysisError(f"no predictions possible (warmup={warmup})")
     return PredictionReport(
         metric=metric,
         strategy=strategy,

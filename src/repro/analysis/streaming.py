@@ -1,0 +1,64 @@
+"""Shared primitives for the streaming analysis kernels.
+
+Every heavy kernel in :mod:`repro.analysis` follows the
+exact-or-sketch contract that :func:`repro.analysis.stats.column_ecdf`
+established: a materialized :class:`~repro.frame.Table` takes the
+original vectorized path, while a :class:`~repro.frame.ChunkedTable`
+folds the chunk stream with bounded state.  Integer counts (and the
+shares derived from them) stay bit-identical to the materialized
+result; float accumulations are deterministic for a fixed chunking but
+may differ in the last ULP from a single-pass sum; quantiles come from
+a rank-bounded :class:`~repro.frame.QuantileSketch` (exact until the
+sketch first compacts).  This module holds the pieces those folds
+share so each kernel only contributes its own arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.frame import Table, concat_tables
+
+
+def is_chunked(source: Any) -> bool:
+    """Whether ``source`` is a chunk stream (vs a materialized Table)."""
+    from repro.frame import ChunkedTable
+
+    return isinstance(source, ChunkedTable)
+
+
+def iter_sorted_groups(source: Any, key: str) -> Iterator[tuple[Any, Table]]:
+    """Yield ``(key_value, group)`` from a ``key``-sorted chunk stream.
+
+    The stream must arrive grouped by ``key`` (e.g. the pipeline's
+    ``per_gpu`` table, sorted by ``(job_id, gpu_index)``); consecutive
+    equal keys form one group.  Exactly one group is resident at a time
+    beyond the chunk being read, so a per-group fold costs O(largest
+    group) memory rather than O(rows).  Groups straddling chunk
+    boundaries are stitched back together with ``concat_tables``, which
+    keeps each group's row order — and therefore any per-group
+    arithmetic — bit-identical to iterating the materialized
+    ``group_by(key)``.
+    """
+    pending_key: Any = None
+    parts: list[Table] = []
+    for chunk in source.chunks():
+        if chunk.num_rows == 0:
+            continue
+        keys = np.asarray(chunk.column(key))
+        change = np.nonzero(keys[1:] != keys[:-1])[0]
+        starts = np.concatenate(([0], change + 1))
+        ends = np.concatenate((change + 1, [len(keys)]))
+        for start, end in zip(starts, ends):
+            sub = chunk.take(np.arange(start, end))
+            value = keys[start]
+            if parts and value == pending_key:
+                parts.append(sub)
+                continue
+            if parts:
+                yield pending_key, parts[0] if len(parts) == 1 else concat_tables(parts)
+            pending_key, parts = value, [sub]
+    if parts:
+        yield pending_key, parts[0] if len(parts) == 1 else concat_tables(parts)

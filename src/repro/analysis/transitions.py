@@ -10,6 +10,7 @@ think time.  This module mines both.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,19 +26,48 @@ def transition_matrix(gpu_jobs: Table) -> Table:
     One row per source class, one column per destination class, cells
     = P(next job's class | this job's class), computed over
     consecutive submissions of the same user.
+
+    A chunked table folds the same per-user last-class state across
+    chunks: the pipeline's job stream is already in submission order
+    (job ids are assigned by ascending submit time), which the fold
+    verifies, so the integer transition counts — and therefore every
+    probability — are bit-identical to the materialized sort.
     """
-    if gpu_jobs.num_rows == 0:
-        raise AnalysisError("no jobs")
+    from repro.analysis.streaming import is_chunked
+
     counts = {a: {b: 0 for b in LIFECYCLE_CLASSES} for a in LIFECYCLE_CLASSES}
-    ordered = gpu_jobs.sort_by("submit_time_s")
     last_class: dict[str, str] = {}
-    users = list(ordered["user"])
-    classes = list(ordered["lifecycle_class"])
-    for user, cls in zip(users, classes):
-        previous = last_class.get(user)
-        if previous is not None:
-            counts[previous][cls] += 1
-        last_class[user] = cls
+    if is_chunked(gpu_jobs):
+        empty = True
+        last_submit = -math.inf
+        for chunk in gpu_jobs.chunks():
+            if chunk.num_rows == 0:
+                continue
+            empty = False
+            submits = np.asarray(chunk["submit_time_s"], dtype=float)
+            if submits[0] < last_submit or np.any(np.diff(submits) < 0):
+                raise AnalysisError(
+                    "streaming transition fold needs a submit-time-sorted job stream"
+                )
+            last_submit = float(submits[-1])
+            for user, cls in zip(list(chunk["user"]), list(chunk["lifecycle_class"])):
+                previous = last_class.get(user)
+                if previous is not None:
+                    counts[previous][cls] += 1
+                last_class[user] = cls
+        if empty:
+            raise AnalysisError("no jobs")
+    else:
+        if gpu_jobs.num_rows == 0:
+            raise AnalysisError("no jobs")
+        ordered = gpu_jobs.sort_by("submit_time_s")
+        users = list(ordered["user"])
+        classes = list(ordered["lifecycle_class"])
+        for user, cls in zip(users, classes):
+            previous = last_class.get(user)
+            if previous is not None:
+                counts[previous][cls] += 1
+            last_class[user] = cls
     rows = []
     for source in LIFECYCLE_CLASSES:
         total = sum(counts[source].values())
@@ -76,9 +106,47 @@ def segment_campaigns(gpu_jobs: Table, gap_s: float = 2.0 * 3600.0) -> list[dict
     A campaign is a maximal run of submissions with inter-arrival gaps
     below ``gap_s`` (think time).  Returns one dict per campaign with
     ``user``, ``classes`` (in order), ``span_s``.
+
+    A chunked table streams the submit-ordered jobs holding only each
+    user's *open* campaign plus the finished campaign records (O(users
+    + campaigns) state, never the job rows themselves); the result
+    list matches the materialized path exactly, including its
+    per-first-seen-user ordering.
     """
+    from repro.analysis.streaming import is_chunked
+
     if gap_s <= 0:
         raise AnalysisError("gap must be positive")
+    if is_chunked(gpu_jobs):
+        open_runs: dict[str, list[tuple[float, str]]] = {}
+        finished: dict[str, list[dict]] = {}
+        last_submit = -math.inf
+        for chunk in gpu_jobs.chunks():
+            if chunk.num_rows == 0:
+                continue
+            submits = np.asarray(chunk["submit_time_s"], dtype=float)
+            if submits[0] < last_submit or np.any(np.diff(submits) < 0):
+                raise AnalysisError(
+                    "streaming campaign fold needs a submit-time-sorted job stream"
+                )
+            last_submit = float(submits[-1])
+            for user, submit, cls in zip(
+                list(chunk["user"]), submits, list(chunk["lifecycle_class"])
+            ):
+                user, cls = str(user), str(cls)
+                current = open_runs.setdefault(user, [])
+                if current and float(submit) - current[-1][0] > gap_s:
+                    finished.setdefault(user, []).append(_campaign_record(user, current))
+                    current = open_runs[user] = []
+                current.append((float(submit), cls))
+        if not open_runs:
+            raise AnalysisError("no jobs")
+        campaigns = []
+        for user, current in open_runs.items():
+            campaigns.extend(finished.get(user, ()))
+            if current:
+                campaigns.append(_campaign_record(user, current))
+        return campaigns
     if gpu_jobs.num_rows == 0:
         raise AnalysisError("no jobs")
     ordered = gpu_jobs.sort_by("submit_time_s")

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.stats import gini
+from repro.analysis.streaming import is_chunked
 from repro.errors import AnalysisError
 from repro.frame import Table
 
@@ -33,14 +34,21 @@ def user_table(gpu_jobs: Table) -> Table:
     all users at once, NaN where the mean is zero (same convention as
     :func:`repro.analysis.stats.coefficient_of_variation` — pipeline
     metrics are finite by construction, so no filtering is needed).
+
+    A chunked ``gpu_jobs`` dispatches to the streaming group-by — the
+    same spec and output naming, O(users) state — so the per-user view
+    never materializes the job stream.  Job counts stay exact;
+    mean/std fold chunk partials (deterministic for a fixed chunking).
     """
-    if gpu_jobs.num_rows == 0:
+    if not is_chunked(gpu_jobs) and gpu_jobs.num_rows == 0:
         raise AnalysisError("no jobs to aggregate")
 
     spec: dict[str, list[str]] = {"gpu_hours": ["count", "sum"]}
     for column in USER_METRICS:
         spec[column] = ["mean", "std"]
     aggregated = gpu_jobs.group_by("user").aggregate(spec)
+    if aggregated.num_rows == 0:
+        raise AnalysisError("no jobs to aggregate")
 
     data: dict[str, np.ndarray] = {
         "user": aggregated["user"],

@@ -235,22 +235,44 @@ def _median(values: list[float]) -> float:
 #: Absolute floors for the stat-level double gates (mirrors
 #: ``min_seconds`` for wall time): a throughput drop must lose at
 #: least this many rows/s, a peak-memory growth must add at least
-#: this many bytes, before the ratio gate can flag it.
+#: this many bytes, a spill-volume growth must add at least this many
+#: encoded bytes, and a compression ratio must lose at least this much
+#: before the ratio gate can flag it.
 MIN_ROWS_PER_S_DROP = 10_000.0
 MIN_PEAK_BYTES_GROWTH = 16 * 1024 * 1024
+MIN_SPILL_BYTES_GROWTH = 4 * 1024 * 1024
+MIN_COMPRESSION_RATIO_DROP = 0.25
+
+#: Whether a higher value of a stat kind is a regression.  Wall time,
+#: peak memory, and spill volume worsen upward; throughput and
+#: compression ratios worsen downward.
+_KIND_HIGHER_IS_WORSE = {
+    "seconds": True,
+    "memory": True,
+    "spill": True,
+    "throughput": False,
+    "ratio": False,
+}
 
 
 def _stat_kind(key: str) -> str | None:
     """Classify a stat key for regression checking.
 
     ``rows_per_s``-style keys are throughput (lower is worse);
-    ``*peak*bytes``-style keys are memory (higher is worse).  Anything
+    ``*peak*bytes``-style keys are memory (higher is worse);
+    ``*spill*bytes``-style keys are spill volume (higher is worse —
+    the codec's job is to keep encoded bytes down); keys ending in
+    ``compression_ratio`` are codec ratios (lower is worse).  Anything
     else is informational and never gated.
     """
     if key.endswith("rows_per_s"):
         return "throughput"
+    if key.endswith("compression_ratio"):
+        return "ratio"
     if "peak" in key and key.endswith("bytes"):
         return "memory"
+    if "spill" in key and key.endswith("bytes"):
+        return "spill"
     return None
 
 
@@ -292,7 +314,10 @@ def check_regressions(
     ``median / (1 + threshold)`` and loses more than
     :data:`MIN_ROWS_PER_S_DROP`; a ``*peak*bytes`` memory stat
     regresses when it exceeds ``(1 + threshold) * median`` and grows by
-    more than :data:`MIN_PEAK_BYTES_GROWTH`.  Stats absent from the
+    more than :data:`MIN_PEAK_BYTES_GROWTH`; a ``*spill*bytes`` volume
+    stat works like memory with a :data:`MIN_SPILL_BYTES_GROWTH` floor;
+    a ``*compression_ratio`` stat works like throughput with a
+    :data:`MIN_COMPRESSION_RATIO_DROP` floor.  Stats absent from the
     baseline are, like new suites, never flagged.
     """
     history = load_bench_history(root)
@@ -355,6 +380,16 @@ def check_regressions(
                 regressed = (
                     value < baseline / (1.0 + threshold)
                     and baseline - value > MIN_ROWS_PER_S_DROP
+                )
+            elif kind == "ratio":
+                regressed = (
+                    value < baseline / (1.0 + threshold)
+                    and baseline - value > MIN_COMPRESSION_RATIO_DROP
+                )
+            elif kind == "spill":
+                regressed = (
+                    value > (1.0 + threshold) * baseline
+                    and value - baseline > MIN_SPILL_BYTES_GROWTH
                 )
             else:
                 regressed = (
@@ -421,7 +456,8 @@ def bench_trend(root: Path, *, window: int = 20) -> dict:
         {"scale": ..., "run_ids": [...], "shas": [...],
          "skipped_runs": N, "series": [
             {"suite": ..., "metric": "wall_s" | "<stat>.<key>",
-             "kind": "seconds" | "throughput" | "memory",
+             "kind": "seconds" | "throughput" | "memory"
+                     | "spill" | "ratio",
              "values": [... or None per run],
              "first": ..., "last": ..., "slope": ...,
              "drift": ..., "worsening": bool}]}
@@ -429,8 +465,9 @@ def bench_trend(root: Path, *, window: int = 20) -> dict:
     ``slope`` is the least-squares fit in value units per run;
     ``drift`` normalizes it by the series mean (fraction per run);
     ``worsening`` is True when the drift exceeds
-    :data:`TREND_DRIFT_THRESHOLD` in the bad direction (wall time or
-    peak memory rising, throughput falling).
+    :data:`TREND_DRIFT_THRESHOLD` in the bad direction (wall time,
+    peak memory, or spill bytes rising; throughput or compression
+    ratio falling).
     """
     history = load_bench_history(root)
     if not history:
@@ -475,9 +512,9 @@ def bench_trend(root: Path, *, window: int = 20) -> dict:
         mean = sum(present) / len(present) if present else 0.0
         drift = slope / mean if mean else 0.0
         worsening = (
-            drift < -TREND_DRIFT_THRESHOLD
-            if kind == "throughput"
-            else drift > TREND_DRIFT_THRESHOLD
+            drift > TREND_DRIFT_THRESHOLD
+            if _KIND_HIGHER_IS_WORSE.get(kind, True)
+            else drift < -TREND_DRIFT_THRESHOLD
         ) and len(present) >= 2
         series.append(
             {
@@ -506,16 +543,19 @@ def _fmt_trend_value(value: float | None, kind: str) -> str:
         return "-"
     if kind == "seconds":
         return f"{value:.2f}s"
-    if kind == "memory":
+    if kind in ("memory", "spill"):
         return f"{value / (1024 * 1024):.0f}MiB"
+    if kind == "ratio":
+        return f"{value:.2f}x"
     return f"{value:,.0f}/s"
 
 
 def trend_report(root: Path, *, markdown: bool = False, window: int = 20) -> str:
     """Render the stored ``BENCH_<n>.json`` trajectory as a trend table.
 
-    One row per suite wall time and per recorded throughput/peak-memory
-    stat: first and latest value, least-squares slope per run, a
+    One row per suite wall time and per recorded throughput,
+    peak-memory, spill-bytes, or compression-ratio stat: first and
+    latest value, least-squares slope per run, a
     sparkline over the run window, and a DRIFT flag when the fit worsens
     faster than :data:`TREND_DRIFT_THRESHOLD` per run.  ``markdown=True``
     emits a GitHub-flavored table for CI artifacts.
@@ -574,6 +614,18 @@ def trend_report(root: Path, *, markdown: bool = False, window: int = 20) -> str
             f"  {len(flagged)} series drifting worse than "
             f"{TREND_DRIFT_THRESHOLD:.0%}/run — investigate before merging"
         )
+        spilling = [
+            row for row in flagged if row["kind"] in ("spill", "ratio")
+        ]
+        if spilling:
+            worst = ", ".join(
+                f"{row['suite']}:{row['metric']}" for row in spilling
+            )
+            lines.append(
+                f"  spill-path drift ({worst}): encoded spill bytes are "
+                "growing or the codec ratio is shrinking — check recent "
+                "schema/codec changes before merging"
+            )
     return "\n".join(lines)
 
 

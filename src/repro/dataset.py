@@ -82,13 +82,25 @@ class SupercloudDataset:
     def streaming_view(self, chunk_rows: int | None = None) -> "SupercloudDataset":
         """A copy whose job tables are chunked views of the same data.
 
-        The figure producers that opted into the streaming path (fig03,
-        fig04, fig05) consume either representation; the rest require
-        the materialized tables.  ``timeseries``/``records`` are
-        shared, and
+        Every registered figure producer consumes either
+        representation: count/share statistics are bit-identical on
+        both paths, quantiles come from rank-bounded sketches on the
+        chunked one, and the heavy analysis kernels
+        (:mod:`repro.analysis`) fold the chunk stream with bounded
+        state.  ``timeseries``/``records`` are shared, and
         :meth:`repro.monitor.timeseries.TimeSeriesStore.scan_table`
-        streams the dense samples.  A dataset that is already streaming
-        (a sharded spill build) is returned as-is.
+        streams the dense samples.  When ``chunk_rows`` is omitted each
+        table picks an adaptive size targeting
+        :data:`repro.frame.DEFAULT_CHUNK_BYTES` per chunk.  A dataset
+        that is already streaming (a sharded spill build) is returned
+        as-is.
+
+        The view presents the job tables in ascending ``job_id`` order
+        — the order the sharded builds' k-way merge emits — which is
+        also ascending submit time (ids are assigned by submit order),
+        so the sequential streaming folds (transitions, prediction
+        replay) and the per-job group folds (``per_gpu`` sorted by
+        ``(job_id, gpu_index)``) hold on every chunk stream.
         """
         import dataclasses
 
@@ -97,9 +109,9 @@ class SupercloudDataset:
 
         return dataclasses.replace(
             self,
-            jobs=self.jobs.to_chunked(chunk_rows),
-            gpu_jobs=self.gpu_jobs.to_chunked(chunk_rows),
-            per_gpu=self.per_gpu.to_chunked(chunk_rows),
+            jobs=self.jobs.sort_by("job_id").to_chunked(chunk_rows),
+            gpu_jobs=self.gpu_jobs.sort_by("job_id").to_chunked(chunk_rows),
+            per_gpu=self.per_gpu.sort_by("job_id", "gpu_index").to_chunked(chunk_rows),
         )
 
     def materialize(self) -> "SupercloudDataset":

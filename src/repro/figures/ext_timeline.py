@@ -3,18 +3,29 @@
 Quantifies the Sec. III provisioning takeaway: mean/peak GPU occupancy
 against capacity, and the visibility of conference-deadline surges the
 operators describe in Sec. II.
+
+Streams: occupancy and daily hours derive from the ``jobs`` table's
+start/end/GPU-count columns rather than the record list (a streaming
+build carries no records), via the jobs-table kernels in
+:mod:`repro.analysis.timeline`, so this producer accepts a
+materialized dataset or ``dataset.streaming_view()`` unchanged —
+occupancy is bit-identical on both paths (integer GPU weights).
 """
 
 from __future__ import annotations
 
-from repro.analysis.timeline import daily_gpu_hours, gpu_occupancy, surge_visibility
+from repro.analysis.timeline import (
+    daily_gpu_hours_from_jobs,
+    gpu_occupancy_from_jobs,
+    surge_visibility,
+)
 from repro.dataset import SupercloudDataset
 from repro.figures.base import Comparison, FigureResult
 
 
 def run(dataset: SupercloudDataset) -> FigureResult:
-    timeline = gpu_occupancy(dataset.records, capacity=dataset.spec.total_gpus)
-    daily = daily_gpu_hours(dataset.records)
+    timeline = gpu_occupancy_from_jobs(dataset.jobs, capacity=dataset.spec.total_gpus)
+    daily = daily_gpu_hours_from_jobs(dataset.jobs)
     surges = surge_visibility(daily, dataset.config.knobs.deadline_windows)
     mean_ratio = sum(r["observed_ratio"] for r in surges.iter_rows()) / max(
         surges.num_rows, 1

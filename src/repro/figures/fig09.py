@@ -1,9 +1,16 @@
-"""Fig 9: GPU power consumption and power-cap impact."""
+"""Fig 9: GPU power consumption and power-cap impact.
+
+Streams: the CDFs go through
+:func:`~repro.analysis.stats.column_ecdf` (exact on a Table, sketched
+on a chunk stream) and the cap-impact fractions are exact integer
+counts on both paths, so this producer accepts a materialized dataset
+or ``dataset.streaming_view()`` unchanged.
+"""
 
 from __future__ import annotations
 
 from repro.analysis.power import power_cap_impact, power_headroom
-from repro.analysis.stats import ecdf
+from repro.analysis.stats import column_ecdf
 from repro.dataset import SupercloudDataset
 from repro.figures.base import Comparison, FigureResult
 
@@ -11,8 +18,8 @@ from repro.figures.base import Comparison, FigureResult
 def run(dataset: SupercloudDataset) -> FigureResult:
     """Fig 9(a): avg/max power CDFs; Fig 9(b): impact of 150/200/250 W caps."""
     gpu = dataset.gpu_jobs
-    avg = ecdf(gpu["power_w_mean"])
-    peak = ecdf(gpu["power_w_max"])
+    avg = column_ecdf(gpu, "power_w_mean")
+    peak = column_ecdf(gpu, "power_w_max")
     impacts = power_cap_impact(gpu)
     headroom = power_headroom(gpu)
 

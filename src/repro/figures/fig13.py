@@ -1,12 +1,37 @@
-"""Fig 13: job-size mix and GPU-hour footprint of multi-GPU jobs."""
+"""Fig 13: job-size mix and GPU-hour footprint of multi-GPU jobs.
+
+Streams: the size-mix fractions go through
+:func:`~repro.analysis.stats.column_fraction` (exact integer counts,
+bit-identical on a chunk stream), the breakdown and breadth kernels
+carry their own streaming folds, and the multi-GPU hour share streams
+as one sum fold, so this producer accepts a materialized dataset or
+``dataset.streaming_view()`` unchanged.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.analysis.multigpu import gpu_count_breakdown, user_gpu_breadth
+from repro.analysis.stats import column_fraction
+from repro.analysis.streaming import is_chunked
 from repro.dataset import SupercloudDataset
 from repro.figures.base import Comparison, FigureResult
+
+
+def _multi_gpu_hour_share(gpu) -> float:
+    """GPU-hour share of multi-GPU jobs, exact or one-pass folded."""
+    if is_chunked(gpu):
+        multi = total = 0.0
+        for chunk in gpu.chunks():
+            counts = np.asarray(chunk["num_gpus"], dtype=float)
+            hours = np.asarray(chunk["gpu_hours"], dtype=float)
+            multi += float(hours[counts > 1].sum())
+            total += float(hours.sum())
+        return multi / total
+    counts = np.asarray(gpu["num_gpus"], dtype=float)
+    hours = np.asarray(gpu["gpu_hours"], dtype=float)
+    return float(hours[counts > 1].sum() / hours.sum())
 
 
 def run(dataset: SupercloudDataset) -> FigureResult:
@@ -16,15 +41,21 @@ def run(dataset: SupercloudDataset) -> FigureResult:
     breakdown = gpu_count_breakdown(gpu)
     breadth = user_gpu_breadth(gpu)
 
-    counts = np.asarray(gpu["num_gpus"], dtype=float)
-    hours = np.asarray(gpu["gpu_hours"], dtype=float)
-    multi_share = float(hours[counts > 1].sum() / hours.sum())
-
     comparisons = [
-        Comparison("single-GPU job fraction", 0.84, float((counts == 1).mean())),
-        Comparison("jobs with >2 GPUs", 0.024, float((counts > 2).mean())),
-        Comparison("jobs with >=9 GPUs (<1%)", 0.01, float((counts >= 9).mean())),
-        Comparison("multi-GPU share of GPU hours", 0.50, multi_share),
+        Comparison(
+            "single-GPU job fraction",
+            0.84,
+            column_fraction(gpu, "num_gpus", lambda g: g == 1),
+        ),
+        Comparison(
+            "jobs with >2 GPUs", 0.024, column_fraction(gpu, "num_gpus", lambda g: g > 2)
+        ),
+        Comparison(
+            "jobs with >=9 GPUs (<1%)",
+            0.01,
+            column_fraction(gpu, "num_gpus", lambda g: g >= 9),
+        ),
+        Comparison("multi-GPU share of GPU hours", 0.50, _multi_gpu_hour_share(gpu)),
         Comparison("users with any multi-GPU job", 0.60, breadth["any_multi_gpu"]),
         Comparison("users with >=3-GPU jobs", 0.13, breadth["three_plus"]),
         Comparison("users with >=9-GPU jobs", 0.052, breadth["nine_plus"]),

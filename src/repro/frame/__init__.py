@@ -33,12 +33,15 @@ array([ 45., 120.])
 
 from repro.frame.builder import TableBuilder
 from repro.frame.chunked import (
+    DEFAULT_CHUNK_BYTES,
     DEFAULT_CHUNK_ROWS,
     ChunkedTable,
     StreamingGroupBy,
+    adaptive_chunk_rows,
     concat_chunked,
     merge_sorted_chunked,
 )
+from repro.frame.codec import LOSSLESS, QUANT_STEP, SpillCodec
 from repro.frame.column import as_column, column_dtype, is_string_column
 from repro.frame.factorize import Factorization, factorize_columns
 from repro.frame.groupby import (
@@ -53,6 +56,7 @@ from repro.frame.io import (
     read_table_npz,
     scan_csv,
     scan_jsonl,
+    table_raw_bytes,
     write_csv,
     write_jsonl,
     write_table_npz,
@@ -83,8 +87,14 @@ __all__ = [
     "write_jsonl",
     "read_table_npz",
     "write_table_npz",
+    "table_raw_bytes",
     "scan_csv",
     "scan_jsonl",
+    "SpillCodec",
+    "LOSSLESS",
+    "QUANT_STEP",
+    "adaptive_chunk_rows",
+    "DEFAULT_CHUNK_BYTES",
     "DEFAULT_CHUNK_ROWS",
     "DEFAULT_SKETCH_K",
     "STREAMABLE_REDUCERS",
@@ -101,6 +111,7 @@ __all__ = [
 _DEPRECATED_SUBMODULES = (
     "builder",
     "chunked",
+    "codec",
     "column",
     "factorize",
     "groupby",

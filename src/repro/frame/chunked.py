@@ -48,11 +48,41 @@ __all__ = [
     "ChunkedTable",
     "concat_chunked",
     "merge_sorted_chunked",
+    "adaptive_chunk_rows",
     "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_CHUNK_BYTES",
 ]
 
 #: Default rows per chunk: ~0.5 MiB per float64 column.
 DEFAULT_CHUNK_ROWS = 65536
+
+#: Adaptive chunk sizing target: bytes one resident chunk may occupy.
+#: 8 MiB = ``DEFAULT_CHUNK_ROWS`` rows of a 16-float64-column table, so
+#: tables of that shape chunk exactly as before; wider tables get
+#: proportionally fewer rows per chunk and narrow ones more, keeping
+#: the memory high-water mark shape-independent.
+DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
+
+#: Bounds for the adaptive row count: never slice finer than 1024 rows
+#: (per-chunk overhead would dominate) or coarser than 2**20 rows.
+_MIN_ADAPTIVE_ROWS = 1024
+_MAX_ADAPTIVE_ROWS = 1 << 20
+
+
+def adaptive_chunk_rows(
+    row_bytes: float, target_bytes: int = DEFAULT_CHUNK_BYTES
+) -> int:
+    """Rows per chunk so one chunk occupies ~``target_bytes``.
+
+    ``row_bytes`` is the estimated width of one row (see
+    :meth:`Table.row_nbytes`); the result is clamped to
+    ``[1024, 2**20]`` so degenerate widths cannot produce pathological
+    chunking.
+    """
+    if row_bytes <= 0:
+        return DEFAULT_CHUNK_ROWS
+    rows = int(target_bytes / row_bytes)
+    return max(_MIN_ADAPTIVE_ROWS, min(rows, _MAX_ADAPTIVE_ROWS))
 
 ChunkSource = Callable[[], Iterator[Table]]
 
@@ -428,29 +458,51 @@ class ChunkedTable:
         record_peak_rss()
         return table
 
-    def spill(self, directory: str | Path | None = None) -> "ChunkedTable":
+    def spill(
+        self,
+        directory: str | Path | None = None,
+        codec: "SpillCodec | None | str" = "default",
+    ) -> "ChunkedTable":
         """Stream every chunk to ``.npz`` files; return the file-backed view.
 
         Re-iterating the result re-reads the files instead of re-running
         the producing pipeline, so a spilled view can be scanned many
-        times for the cost of one upstream pass.  Emits
-        ``repro_frame_spill_chunks_total`` / ``repro_frame_spill_bytes_total``.
-        """
-        from repro.frame.io import read_table_npz, write_table_npz
+        times for the cost of one upstream pass.
 
+        Chunks are written through the spill codec
+        (:class:`~repro.frame.codec.SpillCodec`): by default the
+        lossless policy, whose decoded chunks are bit-identical to the
+        originals; pass a codec with ``quantise=...`` to opt named
+        float columns into lossy quantisation, or ``codec=None`` for
+        the legacy raw layout.  Emits
+        ``repro_frame_spill_chunks_total``,
+        ``repro_frame_spill_bytes_total`` (encoded bytes on disk),
+        ``repro_frame_spill_raw_bytes_total`` (what the raw layout
+        would have written) and a ``frame.spill.codec`` event carrying
+        the raw bytes, encoded bytes, and compression ratio.
+        """
+        from repro.frame.codec import LOSSLESS
+        from repro.frame.io import read_table_npz, table_raw_bytes, write_table_npz
+
+        if codec == "default":
+            codec = LOSSLESS
         target = Path(
             tempfile.mkdtemp(prefix="repro-spill-") if directory is None else directory
         )
         target.mkdir(parents=True, exist_ok=True)
         paths: list[Path] = []
         rows = 0
+        raw_bytes = 0
         spilled_bytes = 0
         tracer = get_tracer()
         with tracer.span("frame.stream.spill", category="frame", directory=str(target)) as span:
             for chunk in self.chunks():
-                path = write_table_npz(chunk, target / f"chunk_{len(paths):06d}.npz")
+                path = write_table_npz(
+                    chunk, target / f"chunk_{len(paths):06d}.npz", codec=codec
+                )
                 paths.append(path)
                 rows += chunk.num_rows
+                raw_bytes += table_raw_bytes(chunk)
                 spilled_bytes += path.stat().st_size
             span.set(chunks=len(paths), rows=rows, bytes=spilled_bytes)
         metrics = get_metrics()
@@ -461,8 +513,12 @@ class ChunkedTable:
             ).inc(len(paths))
             metrics.counter(
                 "repro_frame_spill_bytes_total",
-                help="bytes of spill files written by the streaming engine",
+                help="bytes of spill files written by the streaming engine (encoded)",
             ).inc(spilled_bytes)
+            metrics.counter(
+                "repro_frame_spill_raw_bytes_total",
+                help="bytes the raw (uncodec'd) spill layout would have written",
+            ).inc(raw_bytes)
         _count_stream_op("spill", len(paths), rows)
         record_event(
             "frame.spill",
@@ -472,6 +528,15 @@ class ChunkedTable:
             rows=rows,
             bytes=spilled_bytes,
         )
+        if codec is not None:
+            record_event(
+                "frame.spill.codec",
+                category="frame",
+                directory=str(target),
+                raw_bytes=raw_bytes,
+                encoded_bytes=spilled_bytes,
+                ratio=round(raw_bytes / spilled_bytes, 3) if spilled_bytes else 0.0,
+            )
         record_peak_rss()
         self._num_rows = rows
         return ChunkedTable(

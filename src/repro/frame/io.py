@@ -149,30 +149,89 @@ def scan_jsonl(path: str | Path, chunk_rows: int = 65536) -> Iterator[Table]:
         yield Table.from_rows(rows, columns=columns)
 
 
-def write_table_npz(table: Table, path: str | Path) -> Path:
-    """Write one table as a ``.npz`` archive (the spill codec).
+def write_table_npz(
+    table: Table, path: str | Path, codec: "SpillCodec | None" = None
+) -> Path:
+    """Write one table as a ``.npz`` archive (the spill format).
 
-    Numeric columns round-trip bit-for-bit; object columns go through
-    pickle.  Column order is preserved via a ``__names__`` manifest.
+    With ``codec=None`` this is the legacy layout: one raw ``c{i}``
+    member per column (numeric columns round-trip bit-for-bit, object
+    columns through pickle).  With a :class:`~repro.frame.codec
+    .SpillCodec` each column is encoded independently (delta/RLE for
+    integers, exact RLE for run-heavy floats, dictionary coding for
+    object columns, opt-in quantisation for columns the codec names)
+    and the members land zlib-compressed; a ``__codec__`` manifest
+    records the per-column scheme so :func:`read_table_npz` can decode
+    either layout transparently.  Column order is preserved via the
+    ``__names__`` manifest in both layouts.
     """
     path = Path(path)
     if path.suffix != ".npz":
         raise FrameError(f"spill files must end in .npz, got {path.name}")
     path.parent.mkdir(parents=True, exist_ok=True)
-    arrays = {
-        f"c{i}": table.column(name) for i, name in enumerate(table.column_names)
-    }
     names = np.asarray(table.column_names, dtype=object)
+    if codec is None:
+        arrays = {
+            f"c{i}": table.column(name) for i, name in enumerate(table.column_names)
+        }
+        with path.open("wb") as fh:
+            np.savez(fh, __names__=names, **arrays)
+        return path
+    schemes: list[str] = []
+    arrays = {}
+    for i, name in enumerate(table.column_names):
+        scheme, parts = codec.scheme_for(name, np.asarray(table.column(name)))
+        schemes.append(scheme)
+        for suffix, values in parts.items():
+            member = f"c{i}_{suffix}" if suffix else f"c{i}"
+            arrays[member] = values
+    manifest = np.asarray(schemes, dtype=object)
     with path.open("wb") as fh:
-        np.savez(fh, __names__=names, **arrays)
+        np.savez_compressed(
+            fh,
+            __names__=names,
+            __codec__=manifest,
+            __rows__=np.asarray([table.num_rows], dtype=np.int64),
+            **arrays,
+        )
     return path
 
 
 def read_table_npz(path: str | Path) -> Table:
-    """Read a table written by :func:`write_table_npz`."""
+    """Read a table written by :func:`write_table_npz` (either layout)."""
+    from repro.frame.codec import decode_column
+
     with np.load(Path(path), allow_pickle=True) as archive:
         names = [str(n) for n in archive["__names__"]]
-        return Table({name: archive[f"c{i}"] for i, name in enumerate(names)})
+        if "__codec__" not in archive.files:
+            return Table({name: archive[f"c{i}"] for i, name in enumerate(names)})
+        schemes = [str(s) for s in archive["__codec__"]]
+        columns = {}
+        for i, (name, scheme) in enumerate(zip(names, schemes)):
+            prefix = f"c{i}_"
+            parts = {
+                member[len(prefix):]: archive[member]
+                for member in archive.files
+                if member.startswith(prefix)
+            }
+            if f"c{i}" in archive.files:
+                parts[""] = archive[f"c{i}"]
+            columns[name] = decode_column(scheme, parts)
+        return Table(columns)
+
+
+def table_raw_bytes(table: Table) -> int:
+    """Bytes the legacy spill layout would write for ``table``'s columns.
+
+    The raw side of the spill compression ratio: numeric columns count
+    their buffer size, object columns their pickled size.
+    """
+    from repro.frame.codec import column_raw_bytes
+
+    return sum(
+        column_raw_bytes(np.asarray(table.column(name)))
+        for name in table.column_names
+    )
 
 
 def _serialize(value: Any) -> Any:

@@ -80,12 +80,36 @@ class Table:
         )
 
     def to_chunked(self, chunk_rows: int | None = None) -> "ChunkedTable":
-        """Split this table into a :class:`ChunkedTable` view."""
-        from repro.frame.chunked import DEFAULT_CHUNK_ROWS, ChunkedTable
+        """Split this table into a :class:`ChunkedTable` view.
+
+        With ``chunk_rows=None`` the row count is sized adaptively from
+        the table's row width so one chunk occupies roughly
+        :data:`~repro.frame.chunked.DEFAULT_CHUNK_BYTES` regardless of
+        how wide the table is (see :func:`adaptive_chunk_rows`).
+        """
+        from repro.frame.chunked import ChunkedTable, adaptive_chunk_rows
 
         return ChunkedTable.from_table(
-            self, DEFAULT_CHUNK_ROWS if chunk_rows is None else chunk_rows
+            self,
+            adaptive_chunk_rows(self.row_nbytes) if chunk_rows is None else chunk_rows,
         )
+
+    @property
+    def row_nbytes(self) -> float:
+        """Estimated bytes one row occupies across all columns.
+
+        Numeric columns count their itemsize; object columns are
+        estimated at a flat per-cell cost (the exact payload depends on
+        the pickled strings).  Drives adaptive chunk sizing.
+        """
+        width = 0.0
+        for name in self._columns:
+            column = self._columns[name]
+            if column.dtype == object:
+                width += 24.0
+            else:
+                width += column.dtype.itemsize
+        return width
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,27 +19,19 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import MonitoringError
+from repro.frame.codec import QUANT_STEP, rle_decode as _rle_decode, rle_encode as _rle_encode
 from repro.monitor.timeseries import METRIC_NAMES, GpuTimeSeries, TimeSeriesStore
 
-#: Quantisation step for every metric (percent, or watts for power).
-QUANT_STEP = 0.5
+__all__ = [
+    "QUANT_STEP",
+    "encode_series",
+    "decode_series",
+    "save_store",
+    "load_store",
+    "compression_ratio",
+]
+
 _FORMAT_VERSION = 1
-
-
-def _rle_encode(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Run-length encode: (run values, run lengths)."""
-    if values.size == 0:
-        return np.empty(0, dtype=values.dtype), np.empty(0, dtype=np.int64)
-    change = np.nonzero(np.diff(values))[0]
-    starts = np.concatenate(([0], change + 1))
-    lengths = np.diff(np.concatenate((starts, [values.size])))
-    return values[starts], lengths
-
-
-def _rle_decode(run_values: np.ndarray, run_lengths: np.ndarray) -> np.ndarray:
-    if run_values.size == 0:
-        return np.empty(0, dtype=run_values.dtype)
-    return np.repeat(run_values, run_lengths)
 
 
 def encode_series(series: GpuTimeSeries) -> dict[str, np.ndarray]:

@@ -88,6 +88,7 @@ class MonitoringCollector:
         self._seal_rows = self.config.summary_chunk_rows
         self._spill_dir: Path | None = None
         self._spill_runs: list[Path] = []
+        self._spill_codec = None
 
     # ------------------------------------------------------------------
     # Scheduler hooks
@@ -239,7 +240,12 @@ class MonitoringCollector:
         self.flush()
         return self._store
 
-    def enable_spill(self, directory: str | Path, chunk_rows: int | None = None) -> None:
+    def enable_spill(
+        self,
+        directory: str | Path,
+        chunk_rows: int | None = None,
+        codec: "SpillCodec | None | str" = "default",
+    ) -> None:
         """Seal per-GPU summary chunks to ``.npz`` files instead of memory.
 
         A runtime switch, deliberately *not* a :class:`MonitoringConfig`
@@ -249,22 +255,46 @@ class MonitoringCollector:
         switch can be flipped at any point before the final flush.
         ``chunk_rows`` tightens the seal threshold (defaults to the
         config value, or the frame default when the config has none).
+        Runs are written through the spill codec — lossless by default,
+        so read-back stays bit-identical; pass ``codec=None`` for the
+        legacy raw layout.
         """
-        from repro.frame import DEFAULT_CHUNK_ROWS
-        from repro.frame.io import write_table_npz
+        from repro.frame import DEFAULT_CHUNK_ROWS, LOSSLESS
 
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
         self._spill_dir = target
+        self._spill_codec = LOSSLESS if codec == "default" else codec
         if chunk_rows is not None:
             self._seal_rows = chunk_rows
         elif self._seal_rows is None:
             self._seal_rows = DEFAULT_CHUNK_ROWS
         for table in self._gpu_chunks:
-            path = target / f"run_{len(self._spill_runs):06d}.npz"
-            write_table_npz(table, path)
-            self._spill_runs.append(path)
+            self._write_spill_run(table)
         self._gpu_chunks = []
+
+    def _write_spill_run(self, table: Table) -> None:
+        """Write one sealed run through the codec, counting its bytes."""
+        from repro.frame.io import table_raw_bytes, write_table_npz
+        from repro.obs import runtime
+
+        path = self._spill_dir / f"run_{len(self._spill_runs):06d}.npz"
+        write_table_npz(table, path, codec=self._spill_codec)
+        self._spill_runs.append(path)
+        metrics = runtime.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_frame_spill_chunks_total",
+                help="table chunks spilled to disk by the streaming engine",
+            ).inc()
+            metrics.counter(
+                "repro_frame_spill_bytes_total",
+                help="bytes of spill files written by the streaming engine (encoded)",
+            ).inc(path.stat().st_size)
+            metrics.counter(
+                "repro_frame_spill_raw_bytes_total",
+                help="bytes the raw (uncodec'd) spill layout would have written",
+            ).inc(table_raw_bytes(table))
 
     def _seal_gpu_chunk(self) -> None:
         """Rotate the summary builder into a sealed chunk (disk or RAM)."""
@@ -272,11 +302,7 @@ class MonitoringCollector:
 
         table = self._gpu_builder.finish()
         if self._spill_dir is not None:
-            from repro.frame.io import write_table_npz
-
-            path = self._spill_dir / f"run_{len(self._spill_runs):06d}.npz"
-            write_table_npz(table, path)
-            self._spill_runs.append(path)
+            self._write_spill_run(table)
         else:
             self._gpu_chunks.append(table)
         self._gpu_builder = TableBuilder(columns=self._gpu_builder.column_names)

@@ -124,6 +124,16 @@ class TimeSeriesStore:
     def __iter__(self) -> Iterator[GpuTimeSeries]:
         return iter(self._series.values())
 
+    def iter_sorted(self) -> Iterator[GpuTimeSeries]:
+        """Series in global ``(job_id, gpu_index)`` order.
+
+        The one-pass analysis folds (:mod:`repro.analysis.phases`)
+        rely on this grouping so they can hold one job's candidates at
+        a time.
+        """
+        for key in sorted(self._series):
+            yield self._series[key]
+
     def total_samples(self) -> int:
         return sum(s.num_samples for s in self._series.values())
 
@@ -158,22 +168,36 @@ class TimeSeriesStore:
 
         return ChunkedTable(produce, num_rows=self.total_samples())
 
-    def spill(self, directory: str | Path) -> "SpilledTimeSeriesStore":
+    def spill(
+        self, directory: str | Path, codec: "object | None | str" = "default"
+    ) -> "SpilledTimeSeriesStore":
         """Write every series to batched ``.npz`` files; return the view.
 
-        Unlike :mod:`repro.monitor.codec` (the quantising archive
-        format), the spill format is **lossless** — raw float arrays —
-        because the streaming build must hand figure code bit-identical
-        samples to what the in-memory store holds.  Batches of
-        :data:`SPILL_BATCH_SERIES` series land in ``batch_%06d.npz``
-        with a JSON manifest, and the returned
-        :class:`SpilledTimeSeriesStore` loads one batch member at a
-        time on access.
+        By default the batch members are written through the lossless
+        spill codec — exact run-length encoding where idle dwells make
+        it win, raw arrays otherwise — so the streaming build hands
+        figure code bit-identical samples to what the in-memory store
+        holds.  A :class:`~repro.frame.SpillCodec` with ``quantise=``
+        metric names opts those arrays into the lossy
+        quantise+delta+RLE transform of :mod:`repro.monitor.codec`
+        (max error ``QUANT_STEP/2``); ``codec=None`` writes the legacy
+        raw-array layout.  Batches of :data:`SPILL_BATCH_SERIES` series
+        land in ``batch_%06d.npz`` with a JSON manifest, and the
+        returned :class:`SpilledTimeSeriesStore` loads one batch member
+        at a time on access.  Spill traffic counts into the
+        ``repro_frame_spill_*`` byte counters.
         """
+        from repro.frame.codec import LOSSLESS, encode_column
+        from repro.obs.runtime import get_metrics, record_event
+
+        if codec == "default":
+            codec = LOSSLESS
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
         keys = sorted(self._series)
         files: list[dict] = []
+        raw_bytes = 0
+        encoded_bytes = 0
         for start in range(0, len(keys), SPILL_BATCH_SERIES):
             batch_keys = keys[start : start + SPILL_BATCH_SERIES]
             name = f"batch_{len(files):06d}.npz"
@@ -182,16 +206,57 @@ class TimeSeriesStore:
             for job_id, gpu_index in batch_keys:
                 series = self._series[(job_id, gpu_index)]
                 prefix = f"s{job_id}_{gpu_index}/"
-                payload[prefix + "times_s"] = np.asarray(series.times_s, dtype=float)
-                for metric in METRIC_NAMES:
-                    payload[prefix + metric] = np.asarray(
-                        series.metrics[metric], dtype=float
+                arrays = [("times_s", np.asarray(series.times_s, dtype=float))]
+                arrays += [
+                    (metric, np.asarray(series.metrics[metric], dtype=float))
+                    for metric in METRIC_NAMES
+                ]
+                for label, values in arrays:
+                    raw_bytes += values.nbytes
+                    if codec is None:
+                        payload[prefix + label] = values
+                        continue
+                    scheme, parts = encode_column(
+                        values, quantise=label in codec.quantise
                     )
+                    if scheme == "rle":
+                        payload[prefix + label + "#rle_v"] = parts["v"]
+                        payload[prefix + label + "#rle_l"] = parts["l"]
+                    elif scheme == "quant":
+                        payload[prefix + label + "#q_v"] = parts["v"]
+                        payload[prefix + label + "#q_l"] = parts["l"]
+                    else:
+                        payload[prefix + label] = values
                 entries.append([job_id, gpu_index, series.num_samples])
-            np.savez_compressed(target / name, **payload)
+            path = target / name
+            np.savez_compressed(path, **payload)
+            encoded_bytes += path.stat().st_size
             files.append({"name": name, "series": entries})
         manifest = {"format_version": _SPILL_FORMAT_VERSION, "files": files}
         (target / _SPILL_MANIFEST).write_text(json.dumps(manifest))
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_frame_spill_chunks_total",
+                help="table chunks spilled to disk by the streaming engine",
+            ).inc(len(files))
+            metrics.counter(
+                "repro_frame_spill_bytes_total",
+                help="bytes of spill files written by the streaming engine (encoded)",
+            ).inc(encoded_bytes)
+            metrics.counter(
+                "repro_frame_spill_raw_bytes_total",
+                help="bytes the raw (uncodec'd) spill layout would have written",
+            ).inc(raw_bytes)
+        if codec is not None:
+            record_event(
+                "frame.spill.codec",
+                category="monitor",
+                directory=str(target),
+                raw_bytes=raw_bytes,
+                encoded_bytes=encoded_bytes,
+                ratio=round(raw_bytes / encoded_bytes, 3) if encoded_bytes else 0.0,
+            )
         return SpilledTimeSeriesStore([target])
 
 
@@ -232,6 +297,7 @@ class SpilledTimeSeriesStore:
                     self._index[key] = (path, int(num_samples))
         self._open_path: Path | None = None
         self._open_file: "np.lib.npyio.NpzFile | None" = None
+        self._open_members: frozenset[str] = frozenset()
 
     @classmethod
     def union(cls, stores: "Iterable[SpilledTimeSeriesStore]") -> "SpilledTimeSeriesStore":
@@ -246,15 +312,32 @@ class SpilledTimeSeriesStore:
                 self._open_file.close()
             self._open_file = np.load(path)
             self._open_path = path
+            self._open_members = frozenset(self._open_file.files)
         return self._open_file
+
+    def _read_array(self, batch, key: str) -> np.ndarray:
+        """Decode one spilled array, whatever scheme encoded it."""
+        from repro.frame.codec import QUANT_STEP, rle_decode
+
+        if key in self._open_members:
+            return batch[key]
+        if key + "#rle_v" in self._open_members:
+            return rle_decode(batch[key + "#rle_v"], batch[key + "#rle_l"])
+        if key + "#q_v" in self._open_members:
+            deltas = rle_decode(batch[key + "#q_v"], batch[key + "#q_l"])
+            return np.cumsum(deltas).astype(float) * QUANT_STEP
+        raise KeyError(key)
 
     def _load(self, key: tuple[int, int]) -> GpuTimeSeries:
         path, _ = self._index[key]
         batch = self._batch(path)
         prefix = f"s{key[0]}_{key[1]}/"
         try:
-            times = batch[prefix + "times_s"]
-            metrics = {name: batch[prefix + name] for name in METRIC_NAMES}
+            times = self._read_array(batch, prefix + "times_s")
+            metrics = {
+                name: self._read_array(batch, prefix + name)
+                for name in METRIC_NAMES
+            }
         except KeyError as error:
             raise MonitoringError(
                 f"spill batch {path} is missing arrays for job {key[0]} "
@@ -285,6 +368,10 @@ class SpilledTimeSeriesStore:
     def __iter__(self) -> Iterator[GpuTimeSeries]:
         for key in sorted(self._index):
             yield self._load(key)
+
+    def iter_sorted(self) -> Iterator[GpuTimeSeries]:
+        """Series in ``(job_id, gpu_index)`` order, one batch resident."""
+        return iter(self)
 
     def total_samples(self) -> int:
         return sum(count for _, count in self._index.values())

@@ -1,0 +1,160 @@
+"""Property-based tests for the spill codec (hypothesis).
+
+The spill format promises two things (see :mod:`repro.frame.codec`):
+
+* every lossless scheme — RLE, modular delta, dictionary — reconstructs
+  the column with identical dtype and element-wise equal values, for
+  *any* input, including empty columns, single-run columns, all-distinct
+  columns, and values at the dtype boundaries where delta arithmetic
+  wraps;
+* the opt-in ``quant`` scheme never errs by more than ``QUANT_STEP / 2``
+  per sample.
+
+These suites drive both promises with generated data rather than the
+telemetry-shaped fixtures the unit tests use.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame.codec import (
+    QUANT_STEP,
+    decode_column,
+    encode_column,
+    rle_decode,
+    rle_encode,
+)
+
+#: Signed/unsigned widths whose boundaries the delta scheme must wrap
+#: across without losing exactness.
+_INT_DTYPES = (np.int8, np.int16, np.int32, np.int64, np.uint8, np.uint64)
+
+
+def _int_arrays():
+    """Integer columns biased toward dtype-boundary values."""
+
+    @st.composite
+    def build(draw):
+        dtype = np.dtype(draw(st.sampled_from(_INT_DTYPES)))
+        info = np.iinfo(dtype)
+        boundary = st.sampled_from(
+            [info.min, info.min + 1, 0, 1, info.max - 1, info.max]
+        )
+        element = st.one_of(boundary, st.integers(info.min, info.max))
+        values = draw(st.lists(element, min_size=0, max_size=64))
+        return np.array(values, dtype=dtype)
+
+    return build()
+
+
+def _float_arrays(allow_nan=True):
+    element = st.floats(
+        allow_nan=allow_nan, allow_infinity=allow_nan, width=64
+    )
+    return st.lists(element, min_size=0, max_size=64).map(
+        lambda v: np.array(v, dtype=np.float64)
+    )
+
+
+def _object_arrays():
+    word = st.text(alphabet="abcdef", min_size=0, max_size=4)
+    return st.lists(word, min_size=0, max_size=64).map(
+        lambda v: np.array(v, dtype=object)
+    )
+
+
+def _assert_identical(decoded, values):
+    assert decoded.dtype == values.dtype
+    if values.dtype.kind == "f":
+        np.testing.assert_array_equal(decoded, values)  # NaN == NaN here
+    else:
+        assert decoded.shape == values.shape
+        assert all(a == b for a, b in zip(decoded, values))
+
+
+@given(st.one_of(_int_arrays(), _float_arrays()))
+@settings(max_examples=200, deadline=None)
+def test_rle_round_trip_is_exact(values):
+    """rle_decode(rle_encode(x)) == x for empty, single-run,
+    all-distinct, and dtype-boundary inputs alike."""
+    run_values, run_lengths = rle_decode_args = rle_encode(values)
+    assert run_lengths.sum() == values.size
+    assert (run_lengths > 0).all()
+    _assert_identical(rle_decode(*rle_decode_args), values)
+
+
+@given(_int_arrays())
+@settings(max_examples=200, deadline=None)
+def test_rle_single_run_collapses(values):
+    """A constant column must encode as (at most) one run — the case
+    the format exists for."""
+    if values.size == 0:
+        return
+    constant = np.full(values.size, values[0], dtype=values.dtype)
+    run_values, run_lengths = rle_encode(constant)
+    assert run_values.size == 1
+    assert run_lengths[0] == constant.size
+
+
+@given(_int_arrays())
+@settings(max_examples=200, deadline=None)
+def test_integer_encode_round_trip_wraps_exactly(values):
+    """Delta encoding wraps modularly in the source dtype, so columns
+    that straddle iinfo.min/iinfo.max still round-trip bit exactly."""
+    scheme, arrays = encode_column(values)
+    _assert_identical(decode_column(scheme, arrays), values)
+
+
+@given(_float_arrays())
+@settings(max_examples=200, deadline=None)
+def test_float_encode_round_trip_is_exact(values):
+    """Lossless float path: NaN maps to NaN, every finite value is
+    bit identical, and the adaptive raw fallback never corrupts."""
+    scheme, arrays = encode_column(values)
+    assert not scheme.startswith("quant")
+    _assert_identical(decode_column(scheme, arrays), values)
+
+
+@given(_object_arrays())
+@settings(max_examples=200, deadline=None)
+def test_object_encode_round_trip_is_exact(values):
+    """Dictionary coding round-trips object columns — including the
+    all-distinct case where the dictionary would be pure overhead."""
+    scheme, arrays = encode_column(values)
+    decoded = decode_column(scheme, arrays)
+    assert decoded.shape == values.shape
+    assert all(a == b for a, b in zip(decoded, values))
+
+
+@given(_float_arrays(allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_quantisation_error_is_bounded(values):
+    """The lossy scheme's whole promise: |decoded - x| <= QUANT_STEP/2.
+
+    Quantised levels are exact int64s and the delta+RLE transport is
+    lossless, so the only error is the initial rounding.
+    """
+    # Keep |x / QUANT_STEP| inside int64 so the level computation is
+    # well defined (the codec is only opted in for telemetry columns,
+    # which are percentages and watts).
+    values = np.clip(values, -1e15, 1e15)
+    scheme, arrays = encode_column(values, quantise=True)
+    decoded = decode_column(scheme, arrays)
+    if scheme == "quant":
+        assert np.abs(decoded - values).max(initial=0.0) <= QUANT_STEP / 2
+    else:
+        # Adaptive fallback (e.g. empty input) must stay lossless.
+        _assert_identical(decoded, values)
+
+
+@given(_float_arrays(allow_nan=True))
+@settings(max_examples=100, deadline=None)
+def test_quantisation_refuses_non_finite(values):
+    """Columns with NaN/inf fall through to a lossless scheme even
+    when opted into quantisation."""
+    if values.size and np.isfinite(values).all():
+        return
+    scheme, arrays = encode_column(values, quantise=True)
+    assert scheme != "quant"
+    _assert_identical(decode_column(scheme, arrays), values)

@@ -229,6 +229,54 @@ class TestStatDetectors:
         assert "ok" in text
 
 
+class TestSpillCodecStatDetectors:
+    """Spill-volume and compression-ratio stats gate like memory and
+    throughput, with their own absolute floors."""
+
+    def test_spill_bytes_growth_flagged(self, tmp_path):
+        for i in range(3):
+            stat_run(tmp_path, 6 + i, {"codec": {"lossless_spill_bytes": 50e6}})
+        stat_run(tmp_path, 9, {"codec": {"lossless_spill_bytes": 120e6}})
+        check = check_regressions(tmp_path)
+        assert not check.ok
+        row = check.stat_regressions[0]
+        assert row["metric"] == "codec.lossless_spill_bytes"
+        assert row["kind"] == "spill"
+
+    def test_compression_ratio_drop_flagged(self, tmp_path):
+        for i in range(3):
+            stat_run(tmp_path, 6 + i, {"codec": {"compression_ratio": 4.7}})
+        stat_run(tmp_path, 9, {"codec": {"compression_ratio": 1.5}})
+        check = check_regressions(tmp_path)
+        assert not check.ok
+        assert check.stat_regressions[0]["kind"] == "ratio"
+
+    def test_spill_floor_protects_small_volumes(self, tmp_path):
+        # Doubled, but only 2 MiB grown — under MIN_SPILL_BYTES_GROWTH.
+        stat_run(tmp_path, 6, {"codec": {"spill_bytes": 2 * 2**20}})
+        stat_run(tmp_path, 7, {"codec": {"spill_bytes": 4 * 2**20}})
+        assert check_regressions(tmp_path).ok
+
+    def test_ratio_floor_protects_small_drops(self, tmp_path):
+        # A 0.2x loss is under MIN_COMPRESSION_RATIO_DROP even though
+        # the relative threshold would trip at these magnitudes.
+        stat_run(tmp_path, 6, {"codec": {"compression_ratio": 0.5}})
+        stat_run(tmp_path, 7, {"codec": {"compression_ratio": 0.3}})
+        check = check_regressions(tmp_path)
+        assert check.ok
+        assert check.stat_checked
+
+    def test_trend_report_notes_spill_drift(self, tmp_path):
+        from repro.bench import trend_report
+
+        for i, ratio in enumerate((5.0, 4.0, 3.0, 2.0, 1.2)):
+            stat_run(tmp_path, 6 + i, {"codec": {"compression_ratio": ratio}})
+        report = trend_report(tmp_path)
+        assert "DRIFT" in report
+        assert "spill-path drift" in report
+        assert "codec.compression_ratio" in report
+
+
 class TestGitSha:
     def test_payload_stamped_inside_checkout(self, tmp_path):
         import subprocess
